@@ -1,0 +1,183 @@
+// Command experiments regenerates every result table in EXPERIMENTS.md:
+// one table per paper claim (E1..E10 in DESIGN.md). Run with:
+//
+//	go run ./cmd/experiments            # all experiments
+//	go run ./cmd/experiments -only e2   # one experiment
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run only this experiment (e1..e10)")
+	flag.Parse()
+	ctx := context.Background()
+
+	runs := []struct {
+		name string
+		fn   func(context.Context) error
+	}{
+		{"e1", e1}, {"e2", e2}, {"e5", e5}, {"e6", e6},
+		{"e7", e7}, {"e8", e8}, {"e9", e9}, {"e10", e10},
+	}
+	for _, r := range runs {
+		if *only != "" && !strings.EqualFold(*only, r.name) {
+			continue
+		}
+		if err := r.fn(ctx); err != nil {
+			log.Fatalf("%s: %v", r.name, err)
+		}
+		fmt.Println()
+	}
+}
+
+func header(title string) {
+	fmt.Println("## " + title)
+	fmt.Println()
+}
+
+func e1(ctx context.Context) error {
+	header("E1 — bandwidth: roaming filter agent vs client-server pull (§1)")
+	rows, err := experiments.E1Sweep(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("| sites | records/site | record B | selectivity | agent B | client B | client/agent |\n")
+	fmt.Printf("|---|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		fmt.Printf("| %d | %d | %d | %.2f | %d | %d | %.2fx |\n",
+			r.Sites, r.Records, r.RecordBytes, r.Selectivity, r.AgentBytes, r.ClientBytes, r.Ratio())
+	}
+	return nil
+}
+
+func e2(ctx context.Context) error {
+	header("E2 — flooding termination via site-local folders (§2)")
+	rows, err := experiments.E2Sweep(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("| variant | topology | sites | ttl | activations | delivered | duplicates | bytes |\n")
+	fmt.Printf("|---|---|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		ttl := "-"
+		if r.TTL > 0 {
+			ttl = fmt.Sprint(r.TTL)
+		}
+		fmt.Printf("| %s | %s | %d | %s | %d | %d | %d | %d |\n",
+			r.Variant, r.Topology, r.Sites, ttl, r.Activations, r.Delivered, r.Duplicates, r.Bytes)
+	}
+	return nil
+}
+
+func e5(ctx context.Context) error {
+	header("E5 — double spending foiled by the validation agent (§3)")
+	fmt.Printf("| transfers | replay rate | double-spends w/ validator | w/o validator | frauds logged |\n")
+	fmt.Printf("|---|---|---|---|---|\n")
+	for _, p := range []float64{0.1, 0.3, 0.5} {
+		row, err := experiments.E5DoubleSpend(ctx, 500, p, 5)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("| %d | %.1f | %d | %d | %d |\n",
+			row.Transfers, row.ReplayRate, row.WithValidator, row.Naive, row.FraudsCaught)
+	}
+	return nil
+}
+
+func e6(ctx context.Context) error {
+	header("E6 — audit protocol identifies every contract violator (§3)")
+	rows, err := experiments.E6AuditMatrix(ctx, 10)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("| behavior | runs | correct verdicts |\n|---|---|---|\n")
+	for _, r := range rows {
+		fmt.Printf("| %s | %d | %d |\n", r.Behavior, r.Runs, r.Correct)
+	}
+	return nil
+}
+
+func e7(ctx context.Context) error {
+	header("E7 — broker scheduling vs random placement; report staleness ablation (§4)")
+	rows, err := experiments.E7Sweep()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("| policy | jobs | providers | report every k | imbalance (1.0 = ideal) |\n")
+	fmt.Printf("|---|---|---|---|---|\n")
+	for _, r := range rows {
+		k := "-"
+		if r.Policy == "broker" {
+			k = fmt.Sprint(r.StalenessK)
+		}
+		fmt.Printf("| %s | %d | %d | %s | %.2f |\n", r.Policy, r.Jobs, r.Providers, k, r.Imbalance)
+	}
+	return nil
+}
+
+func e8(ctx context.Context) error {
+	header("E8 — rear guards let computations survive site failures (§5)")
+	fmt.Printf("| guards | trials | crash prob | completed | relaunches | mean time |\n")
+	fmt.Printf("|---|---|---|---|---|---|\n")
+	for _, guards := range []bool{false, true} {
+		for _, p := range []float64{0.5, 1.0} {
+			row, err := experiments.E8Survival(ctx, 20, 5, p, guards, 21)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("| %v | %d | %.1f | %d | %d | %v |\n",
+				guards, row.Trials, p, row.Completed, row.Relaunches, row.MeanTime.Round(time.Millisecond))
+		}
+	}
+	fmt.Println()
+	fmt.Println("ablation: guard detection interval vs recovery latency (guaranteed mid-journey crash)")
+	fmt.Printf("| interval | trials | completed | mean completion time |\n|---|---|---|---|\n")
+	abl, err := experiments.E8IntervalAblation(ctx, 5, 4,
+		[]time.Duration{5 * time.Millisecond, 20 * time.Millisecond, 80 * time.Millisecond}, 31)
+	if err != nil {
+		return err
+	}
+	for _, r := range abl {
+		fmt.Printf("| %v | %d | %d | %v |\n", r.Interval, r.Trials, r.Completed, r.MeanTime.Round(time.Millisecond))
+	}
+	return nil
+}
+
+func e9(ctx context.Context) error {
+	header("E9 — StormCast: filtering at the data site (§6)")
+	rows, err := experiments.E9Sweep(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("| grid | window | agent B | pull B | pull/agent | forecasts agree | accuracy |\n")
+	fmt.Printf("|---|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		ratio := float64(r.PullBytes) / float64(r.AgentBytes)
+		fmt.Printf("| %s | %d | %d | %d | %.2fx | %v | %.0f%% |\n",
+			r.Grid, r.Window, r.AgentBytes, r.PullBytes, ratio, r.Agree, r.AccuracyPct)
+	}
+	return nil
+}
+
+func e10(ctx context.Context) error {
+	header("E10 — agent-structured mail (§6)")
+	fmt.Printf("| users | messages | receipts | delivered | msgs/sec |\n|---|---|---|---|---|\n")
+	for _, receipts := range []bool{false, true} {
+		row, err := experiments.E10Mail(ctx, 6, 60, receipts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("| %d | %d | %v | %d | %.0f |\n",
+			row.Users, row.Messages, row.Receipts, row.Delivered, row.MsgPerSec)
+	}
+	return nil
+}

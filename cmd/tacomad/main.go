@@ -1,0 +1,116 @@
+// Command tacomad runs one TACOMA site as a network daemon speaking the
+// TCP transport. Several tacomad processes (on one machine or many) form a
+// TACOMA system: agents injected at any site can roam the rest.
+//
+// Usage:
+//
+//	tacomad -site site-0 -listen 127.0.0.1:7100 \
+//	        -peer site-1=127.0.0.1:7101 -peer site-2=127.0.0.1:7102
+//
+// The daemon installs the standard system agents (ag_tacl, rexec, courier,
+// diffusion), a mailbox, and the rear-guard machinery, and registers each
+// -peer in the site-local SITES folder so diffusion agents can spread.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/folder"
+	"repro/internal/mail"
+	"repro/internal/rearguard"
+	"repro/internal/vnet"
+)
+
+type peerList []string
+
+func (p *peerList) String() string { return strings.Join(*p, ",") }
+func (p *peerList) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("peer must be name=host:port, got %q", v)
+	}
+	*p = append(*p, v)
+	return nil
+}
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	site := flag.String("site", "site-0", "this site's name")
+	listen := flag.String("listen", "127.0.0.1:7100", "listen address")
+	maxSteps := flag.Int("max-steps", 1<<20, "TacL step budget per agent activation")
+	cabinetPath := flag.String("cabinet", "", "file to persist the site's file cabinet across restarts")
+	var peers peerList
+	flag.Var(&peers, "peer", "peer site as name=host:port (repeatable)")
+	flag.Parse()
+
+	ep, err := vnet.NewTCPEndpoint(vnet.SiteID(*site), *listen)
+	if err != nil {
+		log.Fatalf("tacomad: %v", err)
+	}
+	s := core.NewSite(ep, core.SiteConfig{MaxSteps: *maxSteps})
+	mail.InstallMailbox(s)
+	rearguard.Install(s)
+
+	// "File cabinets can be flushed to disk when permanence is required."
+	if *cabinetPath != "" {
+		if f, err := os.Open(*cabinetPath); err == nil {
+			if err := s.Cabinet().Load(f); err != nil {
+				log.Fatalf("tacomad: load cabinet %s: %v", *cabinetPath, err)
+			}
+			f.Close()
+			log.Printf("tacomad: restored cabinet from %s (%d folders)", *cabinetPath, s.Cabinet().Len())
+		} else if !os.IsNotExist(err) {
+			log.Fatalf("tacomad: open cabinet %s: %v", *cabinetPath, err)
+		}
+	}
+
+	for _, p := range peers {
+		name, addr, _ := strings.Cut(p, "=")
+		ep.AddPeer(vnet.SiteID(name), addr)
+		s.Cabinet().TestAndAppendString(folder.SitesFolder, name)
+	}
+
+	log.Printf("tacomad: site %s listening on %s with %d peers, agents: %v",
+		*site, ep.Addr(), len(peers), s.AgentNames())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("tacomad: site %s shutting down", *site)
+	if err := ep.Close(); err != nil {
+		log.Printf("tacomad: close: %v", err)
+	}
+	s.Wait()
+
+	if *cabinetPath != "" {
+		if err := flushCabinet(s, *cabinetPath); err != nil {
+			log.Fatalf("tacomad: %v", err)
+		}
+		log.Printf("tacomad: cabinet flushed to %s", *cabinetPath)
+	}
+}
+
+// flushCabinet writes the cabinet atomically: temp file + rename.
+func flushCabinet(s *core.Site, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("flush cabinet: %w", err)
+	}
+	if err := s.Cabinet().Flush(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("flush cabinet: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("flush cabinet: %w", err)
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,121 @@
+// Command tacsh runs a TacL agent script, either on a local simulated
+// system of -sites sites (default) or injected into a running tacomad
+// (with -remote and -peer flags).
+//
+// Local simulation:
+//
+//	tacsh -sites 4 -script roam.tacl
+//	echo 'bc_push RESULT [expr {6*7}]' | tacsh
+//
+// Against daemons:
+//
+//	tacsh -remote site-0 -peer site-0=127.0.0.1:7100 -script hello.tacl
+//
+// The final briefcase is printed folder by folder.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/folder"
+	"repro/internal/vnet"
+)
+
+func main() {
+	log.SetFlags(0)
+	sites := flag.Int("sites", 3, "number of simulated sites (local mode)")
+	script := flag.String("script", "", "script file ('-' or empty reads stdin)")
+	remote := flag.String("remote", "", "inject at this remote site instead of simulating")
+	timeout := flag.Duration("timeout", 30*time.Second, "overall deadline")
+	var peers peerList
+	flag.Var(&peers, "peer", "peer site as name=host:port (repeatable, remote mode)")
+	flag.Parse()
+
+	src, err := readScript(*script)
+	if err != nil {
+		log.Fatalf("tacsh: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	var bc *folder.Briefcase
+	if *remote == "" {
+		bc, err = runLocal(ctx, *sites, src)
+	} else {
+		bc, err = runRemote(ctx, *remote, peers, src)
+	}
+	if err != nil {
+		log.Fatalf("tacsh: %v", err)
+	}
+	printBriefcase(bc)
+}
+
+func readScript(path string) (string, error) {
+	if path == "" || path == "-" {
+		data, err := io.ReadAll(os.Stdin)
+		return string(data), err
+	}
+	data, err := os.ReadFile(path)
+	return string(data), err
+}
+
+func runLocal(ctx context.Context, n int, src string) (*folder.Briefcase, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("need at least one site")
+	}
+	sys := core.NewSystem(n, core.SystemConfig{})
+	sys.FullMesh()
+	defer sys.Wait()
+	return core.RunScript(ctx, sys.SiteAt(0), src, nil)
+}
+
+func runRemote(ctx context.Context, at string, peers peerList, src string) (*folder.Briefcase, error) {
+	ep, err := vnet.NewTCPEndpoint("tacsh-client", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer ep.Close()
+	for _, p := range peers {
+		name, addr, ok := strings.Cut(p, "=")
+		if !ok {
+			return nil, fmt.Errorf("peer must be name=host:port, got %q", p)
+		}
+		ep.AddPeer(vnet.SiteID(name), addr)
+	}
+	client := core.NewSite(ep, core.SiteConfig{})
+	bc := folder.NewBriefcase()
+	bc.Ensure(folder.CodeFolder).PushString(src)
+	if err := client.RemoteMeet(ctx, vnet.SiteID(at), core.AgTacl, bc); err != nil {
+		return nil, err
+	}
+	return bc, nil
+}
+
+func printBriefcase(bc *folder.Briefcase) {
+	for _, name := range bc.Names() {
+		f, err := bc.Folder(name)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("%s (%d):\n", name, f.Len())
+		for _, e := range f.Strings() {
+			fmt.Printf("  %s\n", strings.ReplaceAll(e, "\n", "\n  "))
+		}
+	}
+}
+
+type peerList []string
+
+func (p *peerList) String() string { return strings.Join(*p, ",") }
+func (p *peerList) Set(v string) error {
+	*p = append(*p, v)
+	return nil
+}

@@ -1,0 +1,62 @@
+// Quickstart: three sites, one roaming TacL agent.
+//
+// The agent visits every site in turn, records its trail in the briefcase,
+// asks each site's cabinet whether anyone visited before, and comes home
+// with the evidence. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	sys := tacoma.NewSystem(3, tacoma.SystemConfig{Seed: 1})
+	defer sys.Wait()
+
+	// A native Go service agent, registered at every site: agents meet it
+	// to get the site's motto.
+	sys.Register("motto", func(s *tacoma.Site) tacoma.Agent {
+		return tacoma.AgentFunc(func(mc *tacoma.MeetContext, bc *tacoma.Briefcase) error {
+			bc.Ensure("MOTTOS").PushString(fmt.Sprintf("greetings from %s", s.ID()))
+			return nil
+		})
+	})
+
+	// The roaming agent: TacL source travels in the CODE folder; `jump`
+	// re-ships it via the rexec system agent. Variables do not survive a
+	// jump — state lives in the briefcase. That is restart-style
+	// migration, exactly as in the paper's Tcl prototype.
+	script := `
+		bc_push TRAIL [host]
+		cab_visit VISITORS roamer
+		meet motto
+		if {[host] eq "site-0"} { jump site-1 }
+		if {[host] eq "site-1"} { jump site-2 }
+		bc_push RESULT "roamed [bc_len TRAIL] sites"
+	`
+	bc, err := tacoma.RunScript(context.Background(), sys.SiteAt(0), script, nil)
+	if err != nil {
+		log.Fatalf("quickstart: %v", err)
+	}
+
+	trail, _ := bc.Folder("TRAIL")
+	fmt.Println("trail:  ", trail.Strings())
+	mottos, _ := bc.Folder("MOTTOS")
+	for _, m := range mottos.Strings() {
+		fmt.Println("motto:  ", m)
+	}
+	result, _ := bc.GetString(tacoma.ResultFolder)
+	fmt.Println("result: ", result)
+
+	// Site-local state stayed behind: each cabinet recorded the visit.
+	for i := 0; i < sys.Len(); i++ {
+		s := sys.SiteAt(i)
+		fmt.Printf("cabinet %s: VISITORS=%v\n", s.ID(), s.Cabinet().Snapshot("VISITORS").Strings())
+	}
+}

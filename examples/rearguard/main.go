@@ -1,0 +1,83 @@
+// Rear guards: section 5's fault-tolerance scheme, live.
+//
+// An agent walks a 5-site itinerary collecting a trail. Mid-journey the
+// site it is executing on crashes, taking the agent with it. The rear
+// guard left at the previous site detects the vanished agent (failed
+// probes, or a changed incarnation after a quick reboot), relaunches it
+// from the checkpointed briefcase, and the journey completes — skipping
+// the still-dead site and recording the recovery. The same journey without
+// guards simply never comes home. Run with:
+//
+//	go run ./examples/rearguard
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/folder"
+	"repro/internal/rearguard"
+	"repro/internal/vnet"
+)
+
+func run(guards bool) {
+	const hops = 5
+	sys := core.NewSystem(hops+1, core.SystemConfig{Seed: 5, CallTimeout: 20 * time.Millisecond})
+	defer sys.Wait()
+
+	managers := make([]*rearguard.Manager, sys.Len())
+	blocker := make(chan struct{})
+	for i := 0; i < sys.Len(); i++ {
+		m := rearguard.Install(sys.SiteAt(i))
+		m.Interval = 10 * time.Millisecond
+		managers[i] = m
+		sys.SiteAt(i).Register("survey", core.AgentFunc(func(mc *core.MeetContext, bc *folder.Briefcase) error {
+			if mc.Site.ID() == "site-3" && !mc.Site.Cabinet().ContainsString("CRASHED", "once") {
+				<-blocker // the crash catches the agent working here
+			}
+			bc.Ensure("TRAIL").PushString(string(mc.Site.ID()))
+			return nil
+		}))
+	}
+	itin := make([]vnet.SiteID, hops)
+	for i := range itin {
+		itin[i] = sys.SiteAt(i + 1).ID()
+	}
+
+	go func() {
+		time.Sleep(15 * time.Millisecond)
+		fmt.Println("  !! site-3 crashes while the agent is working there")
+		sys.SiteAt(3).Cabinet().AppendString("CRASHED", "once")
+		sys.Net.Crash("site-3")
+		close(blocker)
+		time.Sleep(80 * time.Millisecond)
+		sys.Net.Restart("site-3")
+		fmt.Println("  .. site-3 restarts (volatile agent is gone for good)")
+	}()
+
+	ch, err := managers[0].Launch(context.Background(), rearguard.Config{
+		ID: "survey-1", Task: "survey", Itinerary: itin, Guards: guards,
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := rearguard.Wait(ch, 2*time.Second)
+	if !res.Completed {
+		fmt.Println("  => computation LOST — it never came home")
+		return
+	}
+	trail, _ := res.Briefcase.Folder("TRAIL")
+	fmt.Printf("  => completed: trail=%v relaunches=%d skipped=%v\n",
+		trail.Strings(), res.Relaunches, res.Skipped)
+}
+
+func main() {
+	fmt.Println("without rear guards:")
+	run(false)
+	fmt.Println()
+	fmt.Println("with rear guards:")
+	run(true)
+}

@@ -1,0 +1,170 @@
+package broker
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/folder"
+)
+
+// The paper's scheduling prototype uses an agent that "issues tickets to
+// allow access to the service". TicketOffice implements it: tickets are
+// HMAC-signed, bounded-use tokens. A service presented with a ticket asks
+// the office to punch it; a ticket punched more times than it allows, or
+// one with a forged signature, is rejected. Tickets let a provider admit
+// exactly the work a broker scheduled onto it.
+
+// Ticket errors.
+var (
+	ErrBadTicket   = errors.New("broker: invalid ticket")
+	ErrTicketSpent = errors.New("broker: ticket uses exhausted")
+)
+
+// Ticket is a bounded-use access token for a service.
+type Ticket struct {
+	Service string
+	ID      string
+	Uses    int64
+	Sig     string
+}
+
+// Encode renders the ticket as a folder element.
+func (t Ticket) Encode() string {
+	return strings.Join([]string{t.Service, t.ID, strconv.FormatInt(t.Uses, 10), t.Sig}, "|")
+}
+
+// DecodeTicket parses a ticket element.
+func DecodeTicket(s string) (Ticket, error) {
+	parts := strings.Split(s, "|")
+	if len(parts) != 4 {
+		return Ticket{}, fmt.Errorf("%w: %q", ErrBadTicket, s)
+	}
+	uses, err := strconv.ParseInt(parts[2], 10, 64)
+	if err != nil {
+		return Ticket{}, fmt.Errorf("%w: bad uses in %q", ErrBadTicket, s)
+	}
+	return Ticket{Service: parts[0], ID: parts[1], Uses: uses, Sig: parts[3]}, nil
+}
+
+// TicketOffice issues and punches tickets.
+type TicketOffice struct {
+	key     []byte
+	mu      sync.Mutex
+	punched map[string]int64 // ticket id -> punches so far
+}
+
+// NewTicketOffice creates an office with a fresh signing key.
+func NewTicketOffice() *TicketOffice {
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		panic("broker: crypto/rand unavailable: " + err.Error())
+	}
+	return &TicketOffice{key: key, punched: make(map[string]int64)}
+}
+
+func (o *TicketOffice) sign(service, id string, uses int64) string {
+	mac := hmac.New(sha256.New, o.key)
+	fmt.Fprintf(mac, "%s|%s|%d", service, id, uses)
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// Issue creates a ticket admitting uses accesses to service.
+func (o *TicketOffice) Issue(service string, uses int64) (Ticket, error) {
+	if uses < 1 {
+		return Ticket{}, fmt.Errorf("%w: non-positive uses %d", ErrBadTicket, uses)
+	}
+	var idb [12]byte
+	if _, err := rand.Read(idb[:]); err != nil {
+		panic("broker: crypto/rand unavailable: " + err.Error())
+	}
+	id := hex.EncodeToString(idb[:])
+	return Ticket{Service: service, ID: id, Uses: uses, Sig: o.sign(service, id, uses)}, nil
+}
+
+// Punch validates a ticket for one access. It fails on forged signatures
+// and on tickets whose allowed uses are exhausted.
+func (o *TicketOffice) Punch(t Ticket) error {
+	if !hmac.Equal([]byte(t.Sig), []byte(o.sign(t.Service, t.ID, t.Uses))) {
+		return fmt.Errorf("%w: bad signature", ErrBadTicket)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.punched[t.ID] >= t.Uses {
+		return fmt.Errorf("%w: %s", ErrTicketSpent, t.ID[:8])
+	}
+	o.punched[t.ID]++
+	return nil
+}
+
+// Remaining reports unused punches on a ticket (0 for forged tickets).
+func (o *TicketOffice) Remaining(t Ticket) int64 {
+	if !hmac.Equal([]byte(t.Sig), []byte(o.sign(t.Service, t.ID, t.Uses))) {
+		return 0
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return t.Uses - o.punched[t.ID]
+}
+
+// TicketAgent exposes the office as a meetable agent:
+//
+//	OP=issue: SERVICE, USES          -> TICKET
+//	OP=punch: TICKET                 -> error when rejected
+const (
+	// TicketFolder carries an encoded ticket.
+	TicketFolder = "TICKET"
+	// UsesFolder carries the requested number of uses.
+	UsesFolder = "USES"
+)
+
+// InstallTicketAgent registers a ticket agent at the site.
+func InstallTicketAgent(site *core.Site) *TicketOffice {
+	office := NewTicketOffice()
+	site.Register(AgTicket, core.AgentFunc(func(mc *core.MeetContext, bc *folder.Briefcase) error {
+		op, err := bc.GetString(OpFolder)
+		if err != nil {
+			return fmt.Errorf("%w: missing OP", ErrBadTicket)
+		}
+		switch op {
+		case "issue":
+			service, err := bc.GetString(ServiceFolder)
+			if err != nil {
+				return fmt.Errorf("%w: missing SERVICE", ErrBadTicket)
+			}
+			uses := int64(1)
+			if u, err := bc.GetString(UsesFolder); err == nil {
+				uses, err = strconv.ParseInt(u, 10, 64)
+				if err != nil {
+					return fmt.Errorf("%w: bad USES %q", ErrBadTicket, u)
+				}
+			}
+			t, err := office.Issue(service, uses)
+			if err != nil {
+				return err
+			}
+			bc.PutString(TicketFolder, t.Encode())
+			return nil
+		case "punch":
+			raw, err := bc.GetString(TicketFolder)
+			if err != nil {
+				return fmt.Errorf("%w: missing TICKET", ErrBadTicket)
+			}
+			t, err := DecodeTicket(raw)
+			if err != nil {
+				return err
+			}
+			return office.Punch(t)
+		default:
+			return fmt.Errorf("%w: unknown op %q", ErrBadTicket, op)
+		}
+	}))
+	return office
+}

@@ -1,0 +1,332 @@
+package cash
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/folder"
+)
+
+// Agent names and folder names of the cash subsystem.
+const (
+	// AgValidator is the trusted validation agent: it retires bills and
+	// reissues equivalents, defeating double spending.
+	AgValidator = "validator"
+	// AgNotary stores signed statements documenting contract actions.
+	AgNotary = "notary"
+	// AgAuditor renders verdicts on contract disputes from notarized
+	// statements and the mint's redemption log.
+	AgAuditor = "auditor"
+
+	// CashFolder carries ECU records between agents.
+	CashFolder = "CASH"
+	// SplitFolder carries requested denominations for validation.
+	SplitFolder = "SPLIT"
+	// StatementFolder carries one signed statement to the notary.
+	StatementFolder = "STATEMENT"
+	// ContractFolder carries a contract id to the auditor.
+	ContractFolder = "CONTRACT"
+	// ClaimFolder carries the aggrieved party's claim to the auditor.
+	ClaimFolder = "CLAIM"
+	// VerdictFolder carries the auditor's verdict back.
+	VerdictFolder = "VERDICT"
+)
+
+// Statement phases documenting a purchase.
+const (
+	PhasePay       = "PAY"       // buyer: "I sent payment with commitment H"
+	PhasePaid      = "PAID"      // seller: "I validated payment with commitment H"
+	PhaseDelivered = "DELIVERED" // seller: "I delivered service with hash S"
+	PhaseReceived  = "RECEIVED"  // buyer: "I received service with hash S"
+)
+
+// Verdicts returned by the auditor.
+const (
+	VerdictNoViolation  = "no-violation"
+	VerdictBuyerCheated = "buyer-cheated"
+	VerdictSellerCheats = "seller-cheated"
+)
+
+// Claims an aggrieved party may raise.
+const (
+	ClaimNoPayment = "no-payment" // raised by the seller
+	ClaimNoService = "no-service" // raised by the buyer
+)
+
+// KeyRing maps party names to HMAC signing keys. The notary and auditor
+// share it — they play the role of the court that can verify documents.
+type KeyRing struct {
+	mu   sync.RWMutex
+	keys map[string][]byte
+}
+
+// NewKeyRing returns an empty key ring.
+func NewKeyRing() *KeyRing {
+	return &KeyRing{keys: make(map[string][]byte)}
+}
+
+// Enroll creates and stores a fresh signing key for a party, returning it
+// so the party can sign statements.
+func (k *KeyRing) Enroll(party string) []byte {
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		panic("cash: crypto/rand unavailable: " + err.Error())
+	}
+	k.mu.Lock()
+	k.keys[party] = key
+	k.mu.Unlock()
+	return key
+}
+
+func (k *KeyRing) key(party string) ([]byte, bool) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	key, ok := k.keys[party]
+	return key, ok
+}
+
+// Statement is one signed, notarized assertion about a contract action.
+type Statement struct {
+	Contract string
+	Party    string
+	Phase    string
+	Data     string // commitment hash or service hash
+	Sig      string
+}
+
+func statementBase(contract, party, phase, data string) string {
+	return strings.Join([]string{contract, party, phase, data}, "|")
+}
+
+// Sign produces a signed statement using the party's key.
+func Sign(key []byte, contract, party, phase, data string) Statement {
+	mac := hmac.New(sha256.New, key)
+	mac.Write([]byte(statementBase(contract, party, phase, data)))
+	return Statement{
+		Contract: contract, Party: party, Phase: phase, Data: data,
+		Sig: hex.EncodeToString(mac.Sum(nil)),
+	}
+}
+
+// Verify checks a statement's signature against the ring.
+func (k *KeyRing) Verify(st Statement) error {
+	key, ok := k.key(st.Party)
+	if !ok {
+		return fmt.Errorf("cash: unknown party %q", st.Party)
+	}
+	mac := hmac.New(sha256.New, key)
+	mac.Write([]byte(statementBase(st.Contract, st.Party, st.Phase, st.Data)))
+	want := mac.Sum(nil)
+	got, err := hex.DecodeString(st.Sig)
+	if err != nil || !hmac.Equal(want, got) {
+		return fmt.Errorf("cash: bad signature on statement by %q", st.Party)
+	}
+	return nil
+}
+
+// Encode renders the statement as a folder element.
+func (st Statement) Encode() string {
+	return statementBase(st.Contract, st.Party, st.Phase, st.Data) + "|" + st.Sig
+}
+
+// DecodeStatement parses a folder element into a statement.
+func DecodeStatement(s string) (Statement, error) {
+	parts := strings.Split(s, "|")
+	if len(parts) != 5 {
+		return Statement{}, fmt.Errorf("cash: malformed statement %q", s)
+	}
+	return Statement{
+		Contract: parts[0], Party: parts[1], Phase: parts[2],
+		Data: parts[3], Sig: parts[4],
+	}, nil
+}
+
+// notaryFolder names the cabinet folder storing a contract's statements.
+func notaryFolder(contract string) string { return "NOTARY:" + contract }
+
+// ValidatorAgent wraps the mint as a TACOMA agent. Protocol: the briefcase
+// CASH folder holds ECU strings; the optional SPLIT folder holds requested
+// denominations (one per element). On success CASH is replaced by fresh
+// equivalent bills. On failure the meet errors and CASH is cleared: a
+// rejected bill is confiscated evidence, never returned to circulation.
+type ValidatorAgent struct{ Mint *Mint }
+
+// Meet implements core.Agent.
+func (v *ValidatorAgent) Meet(mc *core.MeetContext, bc *folder.Briefcase) error {
+	cf, err := bc.Folder(CashFolder)
+	if err != nil {
+		return fmt.Errorf("validator: %w", err)
+	}
+	ecus, err := ParseECUs(cf.Strings())
+	if err != nil {
+		return fmt.Errorf("validator: %w", err)
+	}
+	var split []int64
+	if sf, err := bc.Folder(SplitFolder); err == nil {
+		for _, s := range sf.Strings() {
+			n, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return fmt.Errorf("validator: bad split amount %q", s)
+			}
+			split = append(split, n)
+		}
+	}
+	fresh, err := v.Mint.Validate(ecus, split)
+	if err != nil {
+		bc.Put(CashFolder, folder.New())
+		return fmt.Errorf("validator: %w", err)
+	}
+	bc.Put(CashFolder, folder.OfStrings(FormatECUs(fresh)...))
+	bc.Delete(SplitFolder)
+	return nil
+}
+
+// NotaryAgent stores signed statements in its site's file cabinet, one
+// folder per contract. It refuses statements whose signature does not
+// verify — documentation must be unforgeable to support audits.
+type NotaryAgent struct{ Keys *KeyRing }
+
+// Meet implements core.Agent.
+func (n *NotaryAgent) Meet(mc *core.MeetContext, bc *folder.Briefcase) error {
+	sf, err := bc.Folder(StatementFolder)
+	if err != nil {
+		return fmt.Errorf("notary: %w", err)
+	}
+	raw, err := sf.StringAt(0)
+	if err != nil {
+		return fmt.Errorf("notary: %w", err)
+	}
+	st, err := DecodeStatement(raw)
+	if err != nil {
+		return fmt.Errorf("notary: %w", err)
+	}
+	if err := n.Keys.Verify(st); err != nil {
+		return fmt.Errorf("notary: %w", err)
+	}
+	mc.Site.Cabinet().AppendString(notaryFolder(st.Contract), st.Encode())
+	bc.PutString(folder.ResultFolder, "notarized")
+	return nil
+}
+
+// AuditorAgent renders a verdict on a disputed contract. It must run at
+// the same site as the notary (it reads the notary's cabinet folders) and
+// holds a reference to the mint's redemption log. Briefcase protocol:
+// CONTRACT holds the contract id, CLAIM holds the grievance
+// (no-payment raised by the seller, no-service raised by the buyer);
+// the verdict is returned in VERDICT.
+type AuditorAgent struct {
+	Mint *Mint
+	Keys *KeyRing
+}
+
+// Meet implements core.Agent.
+func (a *AuditorAgent) Meet(mc *core.MeetContext, bc *folder.Briefcase) error {
+	contract, err := bc.GetString(ContractFolder)
+	if err != nil {
+		return fmt.Errorf("auditor: %w", err)
+	}
+	claim, err := bc.GetString(ClaimFolder)
+	if err != nil {
+		return fmt.Errorf("auditor: %w", err)
+	}
+	records := mc.Site.Cabinet().Snapshot(notaryFolder(contract))
+	byPhase := make(map[string]Statement)
+	for _, raw := range records.Strings() {
+		st, err := DecodeStatement(raw)
+		if err != nil {
+			continue // tolerate corrupt records; they simply don't count
+		}
+		if a.Keys.Verify(st) != nil {
+			continue
+		}
+		byPhase[st.Phase+"/"+st.Party] = st
+	}
+	verdict, reason := a.judge(claim, byPhase)
+	bc.Put(VerdictFolder, folder.OfStrings(verdict, reason))
+	return nil
+}
+
+// judge applies the audit rules. find locates the unique statement for a
+// phase regardless of which party filed it.
+func (a *AuditorAgent) judge(claim string, byPhase map[string]Statement) (verdict, reason string) {
+	find := func(phase string) (Statement, bool) {
+		for k, st := range byPhase {
+			if strings.HasPrefix(k, phase+"/") {
+				return st, true
+			}
+		}
+		return Statement{}, false
+	}
+	pay, hasPay := find(PhasePay)
+	_, hasPaid := find(PhasePaid)
+	delivered, hasDelivered := find(PhaseDelivered)
+	received, hasReceived := find(PhaseReceived)
+
+	switch claim {
+	case ClaimNoPayment:
+		// Seller says: I was never paid.
+		if !hasPay {
+			return VerdictBuyerCheated, "buyer filed no payment statement"
+		}
+		if a.Mint.Redeemed(pay.Data) {
+			// The exact bills the buyer committed to were validated; only
+			// a holder of those bills could have done that.
+			return VerdictSellerCheats, "payment commitment was redeemed at the mint"
+		}
+		if hasPaid {
+			return VerdictSellerCheats, "seller acknowledged payment then denied it"
+		}
+		return VerdictBuyerCheated, "payment commitment never redeemed"
+	case ClaimNoService:
+		// Buyer says: I paid and got nothing (or garbage).
+		if !hasPay || !a.Mint.Redeemed(pay.Data) {
+			return VerdictBuyerCheated, "no redeemed payment backs the claim"
+		}
+		if !hasDelivered {
+			return VerdictSellerCheats, "payment redeemed but no delivery statement"
+		}
+		if hasReceived && received.Data == delivered.Data {
+			return VerdictBuyerCheated, "buyer acknowledged matching delivery"
+		}
+		if hasReceived && received.Data != delivered.Data {
+			return VerdictSellerCheats, "delivered service does not match what buyer received"
+		}
+		// Delivery is documented and the buyer offers no counter-evidence:
+		// the claim is frivolous and the claimant is the violator.
+		return VerdictBuyerCheated, "delivery documented; claim unsubstantiated"
+	default:
+		return VerdictNoViolation, "unknown claim " + claim
+	}
+}
+
+// errNotRegistered guards Bank construction.
+var errNotRegistered = errors.New("cash: bank site missing")
+
+// Bank bundles the cash infrastructure installed at one trusted site: the
+// mint with its validator, the notary, and the auditor.
+type Bank struct {
+	Mint *Mint
+	Keys *KeyRing
+	Site *core.Site
+}
+
+// NewBank creates a mint/keyring pair and registers the validator, notary,
+// and auditor agents at the given site.
+func NewBank(site *core.Site) (*Bank, error) {
+	if site == nil {
+		return nil, errNotRegistered
+	}
+	b := &Bank{Mint: NewMint(), Keys: NewKeyRing(), Site: site}
+	site.Register(AgValidator, &ValidatorAgent{Mint: b.Mint})
+	site.Register(AgNotary, &NotaryAgent{Keys: b.Keys})
+	site.Register(AgAuditor, &AuditorAgent{Mint: b.Mint, Keys: b.Keys})
+	return b, nil
+}

@@ -1,0 +1,88 @@
+package cash
+
+import (
+	"fmt"
+	"sync"
+)
+
+// CycleBilling implements the paper's runaway-agent containment: "charging
+// for services would limit possible damage by a run-away agent". It
+// produces a core.SiteConfig.StepHookFactory that debits one currency unit
+// from the visiting agent's wallet every stepsPerUnit TacL steps and
+// credits the site's treasury. An agent whose wallet runs dry is aborted.
+//
+// Accounts maps an agent name to its wallet; agents without an account run
+// free (system agents, the site's own services).
+type CycleBilling struct {
+	mu           sync.Mutex
+	treasury     *Wallet
+	accounts     map[string]*Wallet
+	stepsPerUnit int
+	earned       int64
+}
+
+// NewCycleBilling creates a billing policy charging 1 unit per
+// stepsPerUnit interpreter steps.
+func NewCycleBilling(stepsPerUnit int) *CycleBilling {
+	if stepsPerUnit <= 0 {
+		stepsPerUnit = 1000
+	}
+	return &CycleBilling{
+		treasury:     NewWallet(),
+		accounts:     make(map[string]*Wallet),
+		stepsPerUnit: stepsPerUnit,
+	}
+}
+
+// Fund attaches a wallet to an agent name.
+func (cb *CycleBilling) Fund(agent string, w *Wallet) {
+	cb.mu.Lock()
+	cb.accounts[agent] = w
+	cb.mu.Unlock()
+}
+
+// Treasury returns the site's earnings wallet.
+func (cb *CycleBilling) Treasury() *Wallet { return cb.treasury }
+
+// Earned reports total cycles revenue collected.
+func (cb *CycleBilling) Earned() int64 {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	return cb.earned
+}
+
+// Factory is the core.SiteConfig.StepHookFactory implementation. The agent
+// is identified by the initiating party recorded in the meet context: the
+// kernel passes the visiting agent's name and its initiator; billing keys
+// accounts by initiator first (the roaming agent's principal), falling
+// back to the agent name.
+func (cb *CycleBilling) Factory(agent, from string) func() error {
+	cb.mu.Lock()
+	w := cb.accounts[from]
+	if w == nil {
+		w = cb.accounts[agent]
+	}
+	cb.mu.Unlock()
+	if w == nil {
+		return nil // unmetered
+	}
+	steps := 0
+	return func() error {
+		steps++
+		if steps%cb.stepsPerUnit != 0 {
+			return nil
+		}
+		bills, err := w.Withdraw(1)
+		if err != nil {
+			return fmt.Errorf("cash: agent out of funds after %d steps: %w", steps, err)
+		}
+		// Overshoot is returned; exactly one unit is kept. With unit bills
+		// this is a plain transfer; larger bills lose the remainder to the
+		// treasury, which is the incentive to carry small denominations.
+		cb.treasury.Add(bills...)
+		cb.mu.Lock()
+		cb.earned += Total(bills)
+		cb.mu.Unlock()
+		return nil
+	}
+}

@@ -1,0 +1,365 @@
+package cash
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestECUStringRoundTrip(t *testing.T) {
+	m := NewMint()
+	e, err := m.Issue(250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseECU(e.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != e {
+		t.Fatalf("round trip: %v vs %v", back, e)
+	}
+}
+
+func TestParseECUErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"100",
+		"abc|0011223344556677889900112233445566",
+		"-5|00112233445566778899001122334455",
+		"100|tooshort",
+		"100|ZZ112233445566778899001122334455",
+	}
+	for _, s := range bad {
+		if _, err := ParseECU(s); !errors.Is(err, ErrBadECU) {
+			t.Errorf("ParseECU(%q) err = %v, want ErrBadECU", s, err)
+		}
+	}
+}
+
+func TestMintIssue(t *testing.T) {
+	m := NewMint()
+	e, err := m.Issue(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Amount != 100 || len(e.Serial) != 2*serialBytes {
+		t.Fatalf("bad ECU %v", e)
+	}
+	if m.Outstanding() != 100 || m.Issued() != 100 {
+		t.Fatalf("outstanding=%d issued=%d", m.Outstanding(), m.Issued())
+	}
+	if _, err := m.Issue(0); err == nil {
+		t.Fatal("issued zero-value bill")
+	}
+	if _, err := m.Issue(-5); err == nil {
+		t.Fatal("issued negative bill")
+	}
+}
+
+func TestSerialsUnique(t *testing.T) {
+	m := NewMint()
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		e, err := m.Issue(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[e.Serial] {
+			t.Fatal("duplicate serial")
+		}
+		seen[e.Serial] = true
+	}
+}
+
+func TestValidateRetiresAndReissues(t *testing.T) {
+	m := NewMint()
+	e, _ := m.Issue(100)
+	fresh, err := m.Validate([]ECU{e}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != 1 || fresh[0].Amount != 100 {
+		t.Fatalf("fresh = %v", fresh)
+	}
+	if fresh[0].Serial == e.Serial {
+		t.Fatal("serial not replaced")
+	}
+	if m.Outstanding() != 100 {
+		t.Fatalf("money supply changed: %d", m.Outstanding())
+	}
+}
+
+func TestDoubleSpendRejected(t *testing.T) {
+	m := NewMint()
+	e, _ := m.Issue(100)
+	if _, err := m.Validate([]ECU{e}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The copy of the spent bill must be rejected.
+	_, err := m.Validate([]ECU{e}, nil)
+	if !errors.Is(err, ErrSpent) {
+		t.Fatalf("err = %v, want ErrSpent", err)
+	}
+	if m.Frauds() != 1 {
+		t.Fatalf("frauds = %d", m.Frauds())
+	}
+}
+
+func TestForgedSerialRejected(t *testing.T) {
+	m := NewMint()
+	forged := ECU{Amount: 1000, Serial: newSerial()}
+	if _, err := m.Validate([]ECU{forged}, nil); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("err = %v, want ErrInvalid", err)
+	}
+}
+
+func TestForgedAmountRejected(t *testing.T) {
+	m := NewMint()
+	e, _ := m.Issue(10)
+	e.Amount = 10000 // inflate the bill
+	if _, err := m.Validate([]ECU{e}, nil); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("err = %v, want ErrInvalid", err)
+	}
+	// The genuine bill must still be spendable: rejection is all-or-nothing.
+	e.Amount = 10
+	if _, err := m.Validate([]ECU{e}, nil); err != nil {
+		t.Fatalf("genuine bill rejected after failed forgery: %v", err)
+	}
+}
+
+func TestValidateBatchAllOrNothing(t *testing.T) {
+	m := NewMint()
+	good, _ := m.Issue(50)
+	spent, _ := m.Issue(50)
+	m.Validate([]ECU{spent}, nil)
+	_, err := m.Validate([]ECU{good, spent}, nil)
+	if !errors.Is(err, ErrSpent) {
+		t.Fatalf("err = %v", err)
+	}
+	// good must not have been retired by the failed batch.
+	if _, err := m.Validate([]ECU{good}, nil); err != nil {
+		t.Fatalf("good bill was retired by failed batch: %v", err)
+	}
+}
+
+func TestValidateDuplicateInBatch(t *testing.T) {
+	m := NewMint()
+	e, _ := m.Issue(5)
+	_, err := m.Validate([]ECU{e, e}, nil)
+	if !errors.Is(err, ErrSpent) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateSplit(t *testing.T) {
+	m := NewMint()
+	e, _ := m.Issue(100)
+	fresh, err := m.Validate([]ECU{e}, []int64{60, 30, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != 3 || Total(fresh) != 100 {
+		t.Fatalf("fresh = %v", fresh)
+	}
+	if m.Outstanding() != 100 {
+		t.Fatalf("supply = %d", m.Outstanding())
+	}
+}
+
+func TestValidateSplitMismatch(t *testing.T) {
+	m := NewMint()
+	e, _ := m.Issue(100)
+	if _, err := m.Validate([]ECU{e}, []int64{60, 30}); !errors.Is(err, ErrBadSplit) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := m.Validate([]ECU{e}, []int64{100, -0}); !errors.Is(err, ErrBadSplit) {
+		t.Fatalf("err = %v", err)
+	}
+	// Bill survives failed splits.
+	if _, err := m.Validate([]ECU{e}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateEmptyBatch(t *testing.T) {
+	m := NewMint()
+	if _, err := m.Validate(nil, nil); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRedemptionLog(t *testing.T) {
+	m := NewMint()
+	bills, _ := m.IssueMany(10, 20)
+	c := Commitment(bills)
+	if m.Redeemed(c) {
+		t.Fatal("commitment redeemed before validation")
+	}
+	if _, err := m.Validate(bills, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Redeemed(c) {
+		t.Fatal("commitment not recorded")
+	}
+}
+
+func TestCommitmentDeterministicAndOrderSensitive(t *testing.T) {
+	m := NewMint()
+	a, _ := m.Issue(1)
+	b, _ := m.Issue(2)
+	if Commitment([]ECU{a, b}) != Commitment([]ECU{a, b}) {
+		t.Fatal("commitment not deterministic")
+	}
+	if Commitment([]ECU{a, b}) == Commitment([]ECU{b, a}) {
+		t.Fatal("commitment ignores order (collision-prone)")
+	}
+}
+
+// Property: the money supply is conserved by any sequence of issues and
+// validations with random splits.
+func TestMoneySupplyInvariant(t *testing.T) {
+	prop := func(amounts []uint8) bool {
+		m := NewMint()
+		var bills []ECU
+		var supply int64
+		for _, a := range amounts {
+			if a == 0 {
+				continue
+			}
+			e, err := m.Issue(int64(a))
+			if err != nil {
+				return false
+			}
+			bills = append(bills, e)
+			supply += int64(a)
+		}
+		if len(bills) > 1 {
+			// Validate the first two as a batch.
+			if _, err := m.Validate(bills[:2], nil); err != nil {
+				return false
+			}
+		}
+		return m.Outstanding() == supply
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalletBasics(t *testing.T) {
+	m := NewMint()
+	w := NewWallet()
+	bills, _ := m.IssueMany(10, 20, 30)
+	w.Add(bills...)
+	if w.Balance() != 60 || w.Count() != 3 {
+		t.Fatalf("balance=%d count=%d", w.Balance(), w.Count())
+	}
+}
+
+func TestWalletDuplicateAdd(t *testing.T) {
+	m := NewMint()
+	w := NewWallet()
+	e, _ := m.Issue(10)
+	w.Add(e)
+	w.Add(e) // same bill twice collapses
+	if w.Balance() != 10 || w.Count() != 1 {
+		t.Fatalf("balance=%d count=%d", w.Balance(), w.Count())
+	}
+}
+
+func TestWalletWithdraw(t *testing.T) {
+	m := NewMint()
+	w := NewWallet()
+	bills, _ := m.IssueMany(50, 20, 5)
+	w.Add(bills...)
+	got, err := w.Withdraw(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Total(got) < 60 {
+		t.Fatalf("withdrew %d < 60", Total(got))
+	}
+	if w.Balance()+Total(got) != 75 {
+		t.Fatalf("value leaked: wallet=%d withdrawn=%d", w.Balance(), Total(got))
+	}
+}
+
+func TestWalletWithdrawInsufficient(t *testing.T) {
+	m := NewMint()
+	w := NewWallet()
+	e, _ := m.Issue(10)
+	w.Add(e)
+	if _, err := w.Withdraw(100); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v", err)
+	}
+	if w.Balance() != 10 {
+		t.Fatal("failed withdraw mutated wallet")
+	}
+	if _, err := w.Withdraw(0); err == nil {
+		t.Fatal("zero withdraw succeeded")
+	}
+}
+
+func TestWalletSnapshotSorted(t *testing.T) {
+	m := NewMint()
+	w := NewWallet()
+	bills, _ := m.IssueMany(1, 2, 3)
+	w.Add(bills...)
+	snap := w.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Serial >= snap[i].Serial {
+			t.Fatal("snapshot not sorted")
+		}
+	}
+}
+
+func TestStatementSignVerify(t *testing.T) {
+	keys := NewKeyRing()
+	k := keys.Enroll("alice")
+	st := Sign(k, "c1", "alice", PhasePay, "deadbeef")
+	if err := keys.Verify(st); err != nil {
+		t.Fatal(err)
+	}
+	// Tampering breaks verification.
+	bad := st
+	bad.Data = "cafebabe"
+	if err := keys.Verify(bad); err == nil {
+		t.Fatal("tampered statement verified")
+	}
+	// Unknown party fails.
+	other := Sign(k, "c1", "mallory", PhasePay, "x")
+	if err := keys.Verify(other); err == nil {
+		t.Fatal("unknown party verified")
+	}
+	// A party cannot sign for another: mallory with her own key claiming
+	// to be alice fails because the ring holds alice's real key.
+	mk := keys.Enroll("mallory")
+	forged := Sign(mk, "c1", "alice", PhasePay, "x")
+	if err := keys.Verify(forged); err == nil {
+		t.Fatal("forged authorship verified")
+	}
+}
+
+func TestStatementEncodeDecode(t *testing.T) {
+	keys := NewKeyRing()
+	k := keys.Enroll("bob")
+	st := Sign(k, "contract-9", "bob", PhaseDelivered, "hash123")
+	back, err := DecodeStatement(st.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != st {
+		t.Fatalf("round trip: %+v vs %+v", back, st)
+	}
+	if _, err := DecodeStatement("not|enough"); err == nil {
+		t.Fatal("malformed statement decoded")
+	}
+	if !strings.Contains(st.Encode(), "contract-9") {
+		t.Fatal("encoding lost contract id")
+	}
+}

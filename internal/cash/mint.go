@@ -1,0 +1,185 @@
+package cash
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+)
+
+// Mint is the issuing authority for ECUs. It remembers which serials are
+// outstanding (valid, unspent) and which have been retired. It records
+// no identity information whatsoever: a serial maps only to an amount, so
+// funds transfers remain untraceable.
+//
+// The mint also keeps a redemption log of *payment commitments*: when a
+// batch of ECUs is validated, the SHA-256 hash of the batch is recorded.
+// A commitment reveals nothing about the parties; it exists so that an
+// auditor, handed a signed statement "I paid, commitment H", can check
+// whether H was in fact redeemed. This is the cryptographic documentation
+// the paper's audit scheme relies on.
+type Mint struct {
+	mu       sync.Mutex
+	valid    map[string]int64 // serial -> amount, outstanding bills
+	retired  map[string]bool  // serials seen and withdrawn from circulation
+	redeemed map[string]bool  // payment commitments validated
+	issued   int64            // total value ever issued
+	frauds   int64            // rejected validation attempts
+}
+
+// NewMint creates an empty mint.
+func NewMint() *Mint {
+	return &Mint{
+		valid:    make(map[string]int64),
+		retired:  make(map[string]bool),
+		redeemed: make(map[string]bool),
+	}
+}
+
+// Issue mints a new ECU of the given amount.
+func (m *Mint) Issue(amount int64) (ECU, error) {
+	if amount <= 0 {
+		return ECU{}, fmt.Errorf("cash: cannot issue non-positive amount %d", amount)
+	}
+	e := ECU{Amount: amount, Serial: newSerial()}
+	m.mu.Lock()
+	m.valid[e.Serial] = e.Amount
+	m.issued += amount
+	m.mu.Unlock()
+	return e, nil
+}
+
+// IssueMany mints one ECU per amount.
+func (m *Mint) IssueMany(amounts ...int64) ([]ECU, error) {
+	out := make([]ECU, 0, len(amounts))
+	for _, a := range amounts {
+		e, err := m.Issue(a)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Commitment returns the untraceable redemption commitment for a batch of
+// ECUs: the hash of their canonical encoding.
+func Commitment(ecus []ECU) string {
+	h := sha256.New()
+	for _, s := range FormatECUs(ecus) {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Validate checks a batch of ECUs, retires their serials, and returns an
+// equivalent batch with fresh serials — "effectively retiring an old bill
+// and replacing it by a new one". If split is non-empty, the fresh batch
+// uses those denominations instead (they must sum to the batch value).
+//
+// Validation is all-or-nothing: if any bill is invalid or already spent,
+// no bill in the batch is retired and the whole batch is rejected. The
+// rejected attempt is counted but not attributed — the mint does not know
+// who presented it.
+func (m *Mint) Validate(ecus []ECU, split []int64) ([]ECU, error) {
+	if len(ecus) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrInvalid)
+	}
+	total := Total(ecus)
+	if len(split) > 0 {
+		var want int64
+		for _, a := range split {
+			if a <= 0 {
+				return nil, fmt.Errorf("%w: non-positive denomination %d", ErrBadSplit, a)
+			}
+			want += a
+		}
+		if want != total {
+			return nil, fmt.Errorf("%w: batch is %d, split sums to %d", ErrBadSplit, total, want)
+		}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Phase 1: check everything before touching state.
+	seen := make(map[string]bool, len(ecus))
+	for _, e := range ecus {
+		if seen[e.Serial] {
+			m.frauds++
+			return nil, fmt.Errorf("%w: serial presented twice in one batch", ErrSpent)
+		}
+		seen[e.Serial] = true
+		amt, ok := m.valid[e.Serial]
+		if !ok {
+			if m.retired[e.Serial] {
+				m.frauds++
+				return nil, fmt.Errorf("%w: serial %s…", ErrSpent, e.Serial[:8])
+			}
+			m.frauds++
+			return nil, fmt.Errorf("%w: serial %s…", ErrInvalid, e.Serial[:8])
+		}
+		if amt != e.Amount {
+			m.frauds++
+			return nil, fmt.Errorf("%w: amount forged on serial %s…", ErrInvalid, e.Serial[:8])
+		}
+	}
+	// Phase 2: retire and reissue.
+	for _, e := range ecus {
+		delete(m.valid, e.Serial)
+		m.retired[e.Serial] = true
+	}
+	m.redeemed[commitmentLocked(ecus)] = true
+
+	denoms := split
+	if len(denoms) == 0 {
+		denoms = make([]int64, len(ecus))
+		for i, e := range ecus {
+			denoms[i] = e.Amount
+		}
+	}
+	fresh := make([]ECU, 0, len(denoms))
+	for _, a := range denoms {
+		e := ECU{Amount: a, Serial: newSerial()}
+		m.valid[e.Serial] = a
+		fresh = append(fresh, e)
+	}
+	return fresh, nil
+}
+
+func commitmentLocked(ecus []ECU) string { return Commitment(ecus) }
+
+// Redeemed reports whether a payment commitment has been validated. Only
+// auditors consult this; it exposes no identities.
+func (m *Mint) Redeemed(commitment string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.redeemed[commitment]
+}
+
+// Outstanding returns the total value of unspent bills — the money-supply
+// invariant checked by tests: issuing conserves it, validation preserves
+// it, and fraud attempts never change it.
+func (m *Mint) Outstanding() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var t int64
+	for _, a := range m.valid {
+		t += a
+	}
+	return t
+}
+
+// Issued returns the total value ever issued.
+func (m *Mint) Issued() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.issued
+}
+
+// Frauds returns the number of rejected validation attempts.
+func (m *Mint) Frauds() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.frauds
+}

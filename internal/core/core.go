@@ -1,0 +1,349 @@
+// Package core implements the TACOMA kernel: sites, agents, and the meet
+// operation. meet is the system's only IPC primitive — "services for
+// agents — communication, synchronization, and so on — are provided
+// directly by other agents". Migration, couriers, diffusion, brokers,
+// electronic cash, and rear guards are all agents reached through meet.
+//
+// A Site hosts agents. Local meets are function calls that share a
+// briefcase by reference; remote meets serialize the briefcase, perform one
+// request/response exchange over the site's network endpoint, and fold the
+// mutated briefcase back into the caller's. Agents written in TacL arrive
+// as source code in their briefcase's CODE folder and are executed by the
+// ag_tacl system agent, so a "running agent" never needs to be serialized:
+// state travels in the briefcase and execution restarts at the destination.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/folder"
+	"repro/internal/vnet"
+)
+
+// Kernel-level errors.
+var (
+	// ErrNoAgent is returned by meet when the named agent is not
+	// registered at the site.
+	ErrNoAgent = errors.New("core: no such agent")
+	// ErrMeetDepth bounds transitive meet recursion.
+	ErrMeetDepth = errors.New("core: meet nesting too deep")
+	// ErrRefused is returned when a site's admission policy rejects a meet.
+	ErrRefused = errors.New("core: admission refused")
+)
+
+// maxMeetDepth bounds transitive meets (agent meets agent meets agent ...),
+// protecting a site from mutually recursive agents.
+const maxMeetDepth = 64
+
+// Agent is anything that can be met. System agents and application services
+// are implemented natively; roaming agents are TacL scripts executed by the
+// ag_tacl Agent.
+type Agent interface {
+	// Meet executes the agent at mc.Site with the given briefcase. The
+	// briefcase is shared: mutations are the agent's way of returning
+	// results to the initiator.
+	Meet(mc *MeetContext, bc *folder.Briefcase) error
+}
+
+// AgentFunc adapts a function to the Agent interface.
+type AgentFunc func(mc *MeetContext, bc *folder.Briefcase) error
+
+// Meet calls f.
+func (f AgentFunc) Meet(mc *MeetContext, bc *folder.Briefcase) error { return f(mc, bc) }
+
+// MeetContext carries the execution context of one meet.
+type MeetContext struct {
+	// Ctx is the cancellation context for the whole agent computation.
+	Ctx context.Context
+	// Site is where the agent is executing.
+	Site *Site
+	// From names the agent that initiated the meet ("" for external
+	// clients injecting an agent into the system).
+	From string
+	// Agent names the agent being met.
+	Agent string
+	// Depth counts transitive meets.
+	Depth int
+}
+
+// child derives the context for a nested meet.
+func (mc *MeetContext) child(agent string) *MeetContext {
+	return &MeetContext{
+		Ctx:   mc.Ctx,
+		Site:  mc.Site,
+		From:  mc.Agent,
+		Agent: agent,
+		Depth: mc.Depth + 1,
+	}
+}
+
+// SiteConfig tunes a site's autonomy policies.
+type SiteConfig struct {
+	// MaxSteps bounds TacL steps per agent activation (0 = default).
+	MaxSteps int
+	// Admission, if non-nil, is consulted before every meet; returning an
+	// error refuses the visiting agent. Sites are autonomous: their
+	// administrators control the resources they offer.
+	Admission func(agent, from string) error
+	// StepHookFactory, if non-nil, builds a per-activation hook invoked on
+	// every TacL step of a visiting agent. Returning an error from the
+	// hook aborts the agent. The cash package uses this to charge
+	// electronic cash for cycles, the paper's mechanism for limiting the
+	// damage a runaway agent can do.
+	StepHookFactory func(agent, from string) func() error
+	// Seed seeds the site-local deterministic RNG exposed to agents.
+	Seed int64
+}
+
+// defaultMaxSteps bounds runaway agents when the site does not configure a
+// budget of its own.
+const defaultMaxSteps = 1 << 20
+
+// Site is one autonomous node in a TACOMA system: a place where agents
+// execute, with its own agent registry and file cabinet.
+type Site struct {
+	id       vnet.SiteID
+	endpoint vnet.Endpoint
+	cabinet  *folder.FileCabinet
+	cfg      SiteConfig
+
+	mu     sync.RWMutex
+	agents map[string]Agent
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	activations atomic.Int64 // total meets served
+	running     atomic.Int64 // currently executing meets
+	bg          sync.WaitGroup
+}
+
+// NewSite creates a site bound to the given endpoint and installs the
+// system agents (ag_tacl, rexec, courier, diffusion). The endpoint's
+// incoming-call handler is taken over by the site.
+func NewSite(ep vnet.Endpoint, cfg SiteConfig) *Site {
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = defaultMaxSteps
+	}
+	s := &Site{
+		id:       ep.ID(),
+		endpoint: ep,
+		cabinet:  folder.NewCabinet(),
+		cfg:      cfg,
+		agents:   make(map[string]Agent),
+		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+	registerSystemAgents(s)
+	ep.SetHandler(s.handleCall)
+	return s
+}
+
+// ID returns the site's name.
+func (s *Site) ID() vnet.SiteID { return s.id }
+
+// Cabinet returns the site-local file cabinet.
+func (s *Site) Cabinet() *folder.FileCabinet { return s.cabinet }
+
+// Endpoint returns the site's network attachment.
+func (s *Site) Endpoint() vnet.Endpoint { return s.endpoint }
+
+// Register installs an agent under the given name, replacing any previous
+// registration.
+func (s *Site) Register(name string, a Agent) {
+	s.mu.Lock()
+	s.agents[name] = a
+	s.mu.Unlock()
+}
+
+// Unregister removes a named agent.
+func (s *Site) Unregister(name string) {
+	s.mu.Lock()
+	delete(s.agents, name)
+	s.mu.Unlock()
+}
+
+// Lookup returns the named agent.
+func (s *Site) Lookup(name string) (Agent, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.agents[name]
+	return a, ok
+}
+
+// AgentNames lists registered agents in sorted order.
+func (s *Site) AgentNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.agents))
+	for n := range s.agents {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Activations reports the total number of meets served by this site.
+func (s *Site) Activations() int64 { return s.activations.Load() }
+
+// Load reports the number of currently executing meets; the scheduling
+// monitor agent reports it to brokers.
+func (s *Site) Load() int64 { return s.running.Load() }
+
+// Rand returns a deterministic site-local random int in [0, n).
+func (s *Site) Rand(n int64) int64 {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	return s.rng.Int63n(n)
+}
+
+// Wait blocks until detached background work (async couriers, diffusion
+// clones) spawned by this site has finished. Tests and benchmarks use it to
+// quiesce the system.
+func (s *Site) Wait() { s.bg.Wait() }
+
+// Meet executes the named agent locally with the briefcase. It implements
+// the paper's "meet B with bc": the caller blocks until B terminates the
+// meet; information is exchanged through the shared briefcase.
+func (s *Site) Meet(mc *MeetContext, agent string, bc *folder.Briefcase) error {
+	if mc == nil {
+		mc = &MeetContext{Ctx: context.Background()}
+	}
+	if mc.Ctx == nil {
+		mc.Ctx = context.Background()
+	}
+	if mc.Depth >= maxMeetDepth {
+		return fmt.Errorf("%w (%d)", ErrMeetDepth, mc.Depth)
+	}
+	if err := mc.Ctx.Err(); err != nil {
+		return err
+	}
+	// The requester of this meet is the currently executing agent
+	// (mc.Agent); for network arrivals that is "rexec@<origin>".
+	if s.cfg.Admission != nil {
+		if err := s.cfg.Admission(agent, mc.Agent); err != nil {
+			return fmt.Errorf("%w: %s at %s: %v", ErrRefused, agent, s.id, err)
+		}
+	}
+	a, ok := s.Lookup(agent)
+	if !ok {
+		return fmt.Errorf("%w: %q at site %s", ErrNoAgent, agent, s.id)
+	}
+
+	sub := &MeetContext{Ctx: mc.Ctx, Site: s, From: mc.Agent, Agent: agent, Depth: mc.Depth + 1}
+	s.activations.Add(1)
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	return a.Meet(sub, bc)
+}
+
+// MeetClient starts a computation from outside the agent system: it meets
+// the named local agent with a fresh context.
+func (s *Site) MeetClient(ctx context.Context, agent string, bc *folder.Briefcase) error {
+	return s.Meet(&MeetContext{Ctx: ctx}, agent, bc)
+}
+
+// RemoteMeet executes the named agent at another site, sending the
+// briefcase there and folding the mutated briefcase back on success. This
+// is the primitive under rexec; ordinary agents use the rexec agent.
+func (s *Site) RemoteMeet(ctx context.Context, dest vnet.SiteID, agent string, bc *folder.Briefcase) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if dest == s.id {
+		// A meet addressed to the local site short-circuits the network.
+		return s.Meet(&MeetContext{Ctx: ctx}, agent, bc)
+	}
+	payload := encodeMeetRequest(agent, string(s.id), bc)
+	resp, err := s.endpoint.Call(ctx, dest, msgMeet, payload)
+	if err != nil {
+		return fmt.Errorf("core: remote meet %s at %s: %w", agent, dest, err)
+	}
+	out, err := folder.DecodeBriefcase(resp)
+	if err != nil {
+		return fmt.Errorf("core: remote meet %s at %s: bad reply: %w", agent, dest, err)
+	}
+	bc.ReplaceAll(out)
+	return nil
+}
+
+// Go runs fn detached from the current meet, tracked so Wait can quiesce.
+// Detached work is how an agent "continues executing concurrently" after
+// terminating a meet.
+func (s *Site) Go(fn func()) {
+	s.bg.Add(1)
+	go func() {
+		defer s.bg.Done()
+		fn()
+	}()
+}
+
+// Message kinds on the wire.
+const (
+	msgMeet = "meet"
+	msgPing = "ping"
+)
+
+// handleCall serves incoming network calls.
+func (s *Site) handleCall(from vnet.SiteID, kind string, payload []byte) ([]byte, error) {
+	switch kind {
+	case msgPing:
+		return []byte(strconv.FormatInt(s.endpoint.Incarnation(), 10)), nil
+	case msgMeet:
+		agent, origin, bc, err := decodeMeetRequest(payload)
+		if err != nil {
+			return nil, err
+		}
+		// Meet derives the activation's From from mc.Agent, so the network
+		// caller's identity goes there: agents arriving over the wire are
+		// "rexec@<origin>" to the destination's policies (admission,
+		// billing).
+		mc := &MeetContext{
+			Ctx:   context.Background(),
+			Site:  s,
+			Agent: "rexec@" + origin,
+			Depth: 0,
+		}
+		if err := s.Meet(mc, agent, bc); err != nil {
+			return nil, err
+		}
+		return folder.EncodeBriefcase(bc), nil
+	default:
+		return nil, fmt.Errorf("core: site %s: unknown message kind %q", s.id, kind)
+	}
+}
+
+// Ping checks reachability of another site.
+func (s *Site) Ping(ctx context.Context, dest vnet.SiteID, timeout time.Duration) error {
+	_, err := s.PingIncarnation(ctx, dest, timeout)
+	return err
+}
+
+// PingIncarnation checks reachability and returns the destination's boot
+// incarnation. The rear-guard failure detector compares incarnations across
+// probes: a changed incarnation means the site crashed and restarted — and
+// took the agents executing on it down — even if no individual probe ever
+// failed.
+func (s *Site) PingIncarnation(ctx context.Context, dest vnet.SiteID, timeout time.Duration) (int64, error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	resp, err := s.endpoint.Call(ctx, dest, msgPing, nil)
+	if err != nil {
+		return 0, err
+	}
+	inc, err := strconv.ParseInt(string(resp), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("core: bad ping reply from %s: %w", dest, err)
+	}
+	return inc, nil
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"repro/internal/folder"
+	"repro/internal/tacl"
+)
+
+// runTacL executes a TacL agent script with the TACOMA host commands bound
+// to the current site and briefcase. The script sees:
+//
+//	Briefcase:    bc_push bc_pop bc_dequeue bc_peek bc_get bc_set bc_len
+//	              bc_has bc_del bc_names bc_list bc_putlist
+//	File cabinet: cab_append cab_contains cab_visit cab_len cab_list
+//	              cab_dequeue
+//	Kernel:       meet jump spawn host from neighbors rand log
+//
+// plus globals $host (site name) and $from (initiating agent).
+func runTacL(mc *MeetContext, bc *folder.Briefcase, src string) error {
+	in := tacl.New()
+	in.MaxSteps = mc.Site.cfg.MaxSteps
+	if f := mc.Site.cfg.StepHookFactory; f != nil {
+		in.StepHook = f(mc.Agent, mc.From)
+	}
+	bindHost(in, mc, bc, src)
+	_, err := in.Eval(src)
+	if _, ok := tacl.IsJump(err); ok {
+		return nil // the agent continues elsewhere; this activation is done
+	}
+	return err
+}
+
+func bindHost(in *tacl.Interp, mc *MeetContext, bc *folder.Briefcase, src string) {
+	site := mc.Site
+	in.SetGlobal("host", string(site.ID()))
+	in.SetGlobal("from", mc.From)
+
+	need := func(args []string, n int, usage string) error {
+		if len(args) != n {
+			return fmt.Errorf("wrong # args: should be %q", usage)
+		}
+		return nil
+	}
+
+	// --- briefcase commands ---
+
+	in.Register("bc_push", func(_ *tacl.Interp, args []string) (string, error) {
+		if err := need(args, 2, "bc_push folder value"); err != nil {
+			return "", err
+		}
+		bc.Ensure(args[0]).PushString(args[1])
+		return "", nil
+	})
+	in.Register("bc_pop", func(_ *tacl.Interp, args []string) (string, error) {
+		if err := need(args, 1, "bc_pop folder"); err != nil {
+			return "", err
+		}
+		f, err := bc.Folder(args[0])
+		if err != nil {
+			return "", err
+		}
+		return f.PopString()
+	})
+	in.Register("bc_dequeue", func(_ *tacl.Interp, args []string) (string, error) {
+		if err := need(args, 1, "bc_dequeue folder"); err != nil {
+			return "", err
+		}
+		f, err := bc.Folder(args[0])
+		if err != nil {
+			return "", err
+		}
+		return f.DequeueString()
+	})
+	in.Register("bc_peek", func(_ *tacl.Interp, args []string) (string, error) {
+		if err := need(args, 1, "bc_peek folder"); err != nil {
+			return "", err
+		}
+		f, err := bc.Folder(args[0])
+		if err != nil {
+			return "", err
+		}
+		b, err := f.Peek()
+		return string(b), err
+	})
+	in.Register("bc_get", func(_ *tacl.Interp, args []string) (string, error) {
+		if err := need(args, 2, "bc_get folder index"); err != nil {
+			return "", err
+		}
+		f, err := bc.Folder(args[0])
+		if err != nil {
+			return "", err
+		}
+		i, err := strconv.Atoi(args[1])
+		if err != nil {
+			return "", fmt.Errorf("bad index %q", args[1])
+		}
+		return f.StringAt(i)
+	})
+	in.Register("bc_set", func(_ *tacl.Interp, args []string) (string, error) {
+		if err := need(args, 3, "bc_set folder index value"); err != nil {
+			return "", err
+		}
+		f, err := bc.Folder(args[0])
+		if err != nil {
+			return "", err
+		}
+		i, err := strconv.Atoi(args[1])
+		if err != nil {
+			return "", fmt.Errorf("bad index %q", args[1])
+		}
+		return "", f.Set(i, []byte(args[2]))
+	})
+	in.Register("bc_len", func(_ *tacl.Interp, args []string) (string, error) {
+		if err := need(args, 1, "bc_len folder"); err != nil {
+			return "", err
+		}
+		f, err := bc.Folder(args[0])
+		if err != nil {
+			return "0", nil
+		}
+		return strconv.Itoa(f.Len()), nil
+	})
+	in.Register("bc_has", func(_ *tacl.Interp, args []string) (string, error) {
+		if err := need(args, 1, "bc_has folder"); err != nil {
+			return "", err
+		}
+		return tacl.FormatBool(bc.Has(args[0])), nil
+	})
+	in.Register("bc_del", func(_ *tacl.Interp, args []string) (string, error) {
+		if err := need(args, 1, "bc_del folder"); err != nil {
+			return "", err
+		}
+		bc.Delete(args[0])
+		return "", nil
+	})
+	in.Register("bc_names", func(_ *tacl.Interp, args []string) (string, error) {
+		return tacl.FormatList(bc.Names()), nil
+	})
+	in.Register("bc_list", func(_ *tacl.Interp, args []string) (string, error) {
+		if err := need(args, 1, "bc_list folder"); err != nil {
+			return "", err
+		}
+		f, err := bc.Folder(args[0])
+		if err != nil {
+			return "", nil
+		}
+		return tacl.FormatList(f.Strings()), nil
+	})
+	in.Register("bc_putlist", func(_ *tacl.Interp, args []string) (string, error) {
+		if err := need(args, 2, "bc_putlist folder list"); err != nil {
+			return "", err
+		}
+		elems, err := tacl.ParseList(args[1])
+		if err != nil {
+			return "", err
+		}
+		bc.Put(args[0], folder.OfStrings(elems...))
+		return "", nil
+	})
+
+	// --- file cabinet commands ---
+
+	in.Register("cab_append", func(_ *tacl.Interp, args []string) (string, error) {
+		if err := need(args, 2, "cab_append folder value"); err != nil {
+			return "", err
+		}
+		site.Cabinet().AppendString(args[0], args[1])
+		return "", nil
+	})
+	in.Register("cab_contains", func(_ *tacl.Interp, args []string) (string, error) {
+		if err := need(args, 2, "cab_contains folder value"); err != nil {
+			return "", err
+		}
+		return tacl.FormatBool(site.Cabinet().ContainsString(args[0], args[1])), nil
+	})
+	in.Register("cab_visit", func(_ *tacl.Interp, args []string) (string, error) {
+		if err := need(args, 2, "cab_visit folder value"); err != nil {
+			return "", err
+		}
+		return tacl.FormatBool(site.Cabinet().TestAndAppendString(args[0], args[1])), nil
+	})
+	in.Register("cab_len", func(_ *tacl.Interp, args []string) (string, error) {
+		if err := need(args, 1, "cab_len folder"); err != nil {
+			return "", err
+		}
+		return strconv.Itoa(site.Cabinet().FolderLen(args[0])), nil
+	})
+	in.Register("cab_list", func(_ *tacl.Interp, args []string) (string, error) {
+		if err := need(args, 1, "cab_list folder"); err != nil {
+			return "", err
+		}
+		return tacl.FormatList(site.Cabinet().Snapshot(args[0]).Strings()), nil
+	})
+	in.Register("cab_dequeue", func(_ *tacl.Interp, args []string) (string, error) {
+		if err := need(args, 1, "cab_dequeue folder"); err != nil {
+			return "", err
+		}
+		b, err := site.Cabinet().Dequeue(args[0])
+		if err != nil {
+			return "", err
+		}
+		return string(b), nil
+	})
+
+	// --- kernel commands ---
+
+	in.Register("meet", func(_ *tacl.Interp, args []string) (string, error) {
+		if err := need(args, 1, "meet agent"); err != nil {
+			return "", err
+		}
+		return "", site.Meet(mc, args[0], bc)
+	})
+	in.Register("host", func(_ *tacl.Interp, args []string) (string, error) {
+		return string(site.ID()), nil
+	})
+	in.Register("from", func(_ *tacl.Interp, args []string) (string, error) {
+		return mc.From, nil
+	})
+	in.Register("neighbors", func(_ *tacl.Interp, args []string) (string, error) {
+		return tacl.FormatList(site.Cabinet().Snapshot(folder.SitesFolder).Strings()), nil
+	})
+	in.Register("rand", func(_ *tacl.Interp, args []string) (string, error) {
+		if err := need(args, 1, "rand n"); err != nil {
+			return "", err
+		}
+		n, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil || n <= 0 {
+			return "", fmt.Errorf("rand needs a positive integer, got %q", args[0])
+		}
+		return strconv.FormatInt(site.Rand(n), 10), nil
+	})
+	in.Register("log", func(_ *tacl.Interp, args []string) (string, error) {
+		if err := need(args, 1, "log message"); err != nil {
+			return "", err
+		}
+		site.Cabinet().AppendString("LOG", fmt.Sprintf("[%s] %s", mc.Agent, args[0]))
+		return "", nil
+	})
+
+	// jump moves the agent to another site: the current source is pushed
+	// back onto CODE so the destination's ag_tacl can pop and run it, the
+	// briefcase travels via rexec, and execution here stops. State that
+	// must survive the move belongs in the briefcase; variables do not
+	// travel — this is restart-style migration, as in the paper.
+	in.Register("jump", func(_ *tacl.Interp, args []string) (string, error) {
+		if err := need(args, 1, "jump site"); err != nil {
+			return "", err
+		}
+		bc.Ensure(folder.CodeFolder).PushString(src)
+		bc.PutString(folder.HostFolder, args[0])
+		bc.PutString(folder.ContactFolder, AgTacl)
+		if err := site.Meet(mc, AgRexec, bc); err != nil {
+			// The move failed; the agent is still here and may handle it.
+			if f, ferr := bc.Folder(folder.CodeFolder); ferr == nil {
+				_, _ = f.Pop() // undo the re-pushed source
+			}
+			return "", err
+		}
+		return "", tacl.JumpSignal(args[0])
+	})
+
+	// spawn clones the agent at another site and continues locally: the
+	// flooding pattern. The clone starts with a copy of the briefcase as
+	// it is at spawn time.
+	in.Register("spawn", func(_ *tacl.Interp, args []string) (string, error) {
+		if err := need(args, 1, "spawn site"); err != nil {
+			return "", err
+		}
+		bc.Ensure(folder.CodeFolder).PushString(src)
+		bc.PutString(folder.HostFolder, args[0])
+		bc.PutString(folder.ContactFolder, AgTacl)
+		bc.PutString(DetachFolder, "1")
+		err := site.Meet(mc, AgRexec, bc)
+		// rexec consumed HOST/CONTACT/DETACH; remove the clone's code copy
+		// from the local briefcase.
+		if f, ferr := bc.Folder(folder.CodeFolder); ferr == nil {
+			_, _ = f.Pop()
+		}
+		return "", err
+	})
+}
+
+// RunScript is a convenience for injecting a TacL agent into the system
+// from Go: it wraps src into a CODE folder on bc (creating bc when nil) and
+// meets ag_tacl at the site as an external client.
+func RunScript(ctx context.Context, s *Site, src string, bc *folder.Briefcase) (*folder.Briefcase, error) {
+	if bc == nil {
+		bc = folder.NewBriefcase()
+	}
+	bc.Ensure(folder.CodeFolder).PushString(src)
+	return bc, s.MeetClient(ctx, AgTacl, bc)
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/folder"
+)
+
+// Meet request wire format:
+//
+//	request := agentLen:uvarint agent originLen:uvarint origin briefcase
+//
+// The response to a meet is simply the encoded mutated briefcase.
+
+func encodeMeetRequest(agent, origin string, bc *folder.Briefcase) []byte {
+	buf := make([]byte, 0, 16+len(agent)+len(origin)+folder.EncodedSize(bc))
+	buf = binary.AppendUvarint(buf, uint64(len(agent)))
+	buf = append(buf, agent...)
+	buf = binary.AppendUvarint(buf, uint64(len(origin)))
+	buf = append(buf, origin...)
+	buf = append(buf, folder.EncodeBriefcase(bc)...)
+	return buf
+}
+
+func decodeMeetRequest(data []byte) (agent, origin string, bc *folder.Briefcase, err error) {
+	agent, data, err = takeString(data)
+	if err != nil {
+		return "", "", nil, fmt.Errorf("core: meet request agent: %w", err)
+	}
+	origin, data, err = takeString(data)
+	if err != nil {
+		return "", "", nil, fmt.Errorf("core: meet request origin: %w", err)
+	}
+	bc, err = folder.DecodeBriefcase(data)
+	if err != nil {
+		return "", "", nil, fmt.Errorf("core: meet request briefcase: %w", err)
+	}
+	return agent, origin, bc, nil
+}
+
+func takeString(data []byte) (string, []byte, error) {
+	n, used := binary.Uvarint(data)
+	if used <= 0 || uint64(len(data[used:])) < n {
+		return "", nil, fmt.Errorf("truncated string field")
+	}
+	return string(data[used : used+int(n)]), data[used+int(n):], nil
+}

@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestE1AgentWinsAtLargeRecords(t *testing.T) {
+	row, err := E1Bandwidth(context.Background(), 4, 40, 2048, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Ratio() < 2 {
+		t.Fatalf("ratio = %.2f (agent %d vs client %d), want >= 2",
+			row.Ratio(), row.AgentBytes, row.ClientBytes)
+	}
+	if row.Matches == 0 {
+		t.Fatal("no matches found")
+	}
+}
+
+func TestE1ClientWinsAtTinyRecords(t *testing.T) {
+	// With tiny records the agent's code+itinerary overhead dominates:
+	// the crossover is real and must be visible.
+	row, err := E1Bandwidth(context.Background(), 4, 3, 16, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Ratio() > 1 {
+		t.Fatalf("expected client-server to win at tiny records, ratio=%.2f", row.Ratio())
+	}
+}
+
+func TestE2NaiveGrowsMarkingDoesNot(t *testing.T) {
+	ctx := context.Background()
+	naive4, err := E2Flood(ctx, "naive", "ring", 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive6, err := E2Flood(ctx, "naive", "ring", 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive6.Activations < naive4.Activations*3 {
+		t.Fatalf("naive flood not growing: ttl4=%d ttl6=%d", naive4.Activations, naive6.Activations)
+	}
+	marking, err := E2Flood(ctx, "marking", "ring", 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if marking.Delivered != 8 || marking.Duplicates != 0 {
+		t.Fatalf("marking flood: %+v", marking)
+	}
+	if marking.Activations >= naive6.Activations {
+		t.Fatalf("marking (%d) should use far fewer activations than naive (%d)",
+			marking.Activations, naive6.Activations)
+	}
+	diffusion, err := E2Flood(ctx, "diffusion", "ring", 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffusion.Delivered != 8 || diffusion.Duplicates != 0 {
+		t.Fatalf("diffusion: %+v", diffusion)
+	}
+}
+
+func TestE2BriefcaseAblation(t *testing.T) {
+	// Carrying the visited set in the briefcase terminates but moves more
+	// bytes than site-local marking.
+	ctx := context.Background()
+	briefcase, err := E2Flood(ctx, "briefcase", "ring", 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marking, err := E2Flood(ctx, "marking", "ring", 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if briefcase.Delivered != 8 {
+		t.Fatalf("briefcase variant delivered %d", briefcase.Delivered)
+	}
+	if briefcase.Bytes <= marking.Bytes {
+		t.Fatalf("briefcase (%d bytes) should move more than marking (%d bytes)",
+			briefcase.Bytes, marking.Bytes)
+	}
+}
+
+func TestE2UnknownInputs(t *testing.T) {
+	ctx := context.Background()
+	if _, err := E2Flood(ctx, "bogus", "ring", 4, 0); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+	if _, err := E2Flood(ctx, "marking", "bogus", 4, 0); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+	if _, err := E2Flood(ctx, "marking", "grid", 7, 0); err == nil {
+		t.Fatal("non-square grid accepted")
+	}
+}
+
+func TestE5ValidatorStopsAllDoubleSpends(t *testing.T) {
+	row, err := E5DoubleSpend(context.Background(), 300, 0.3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.WithValidator != 0 {
+		t.Fatalf("validator accepted %d double spends", row.WithValidator)
+	}
+	if row.Naive == 0 {
+		t.Fatal("naive acceptance saw no double spends — adversary broken")
+	}
+	if row.FraudsCaught == 0 {
+		t.Fatal("no frauds recorded at the mint")
+	}
+}
+
+func TestE6AuditAlwaysCorrect(t *testing.T) {
+	rows, err := E6AuditMatrix(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.Correct != row.Runs {
+			t.Fatalf("%s: %d/%d correct", row.Behavior, row.Correct, row.Runs)
+		}
+	}
+}
+
+func TestE7BrokerBeatsRandom(t *testing.T) {
+	caps := []int64{8, 4, 2, 1, 1}
+	brokerRow, err := E7Placement("broker", 400, caps, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	randomRow, err := E7Placement("random", 400, caps, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrRow, err := E7Placement("round-robin", 400, caps, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brokerRow.Imbalance >= randomRow.Imbalance {
+		t.Fatalf("broker %.2f not better than random %.2f", brokerRow.Imbalance, randomRow.Imbalance)
+	}
+	if brokerRow.Imbalance >= rrRow.Imbalance {
+		t.Fatalf("broker %.2f not better than round-robin %.2f", brokerRow.Imbalance, rrRow.Imbalance)
+	}
+}
+
+func TestE7StalenessDegrades(t *testing.T) {
+	caps := []int64{8, 4, 2, 1, 1}
+	fresh, err := E7Placement("broker", 400, caps, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, err := E7Placement("broker", 400, caps, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale.Imbalance < fresh.Imbalance {
+		t.Fatalf("staleness improved placement? fresh=%.2f stale=%.2f",
+			fresh.Imbalance, stale.Imbalance)
+	}
+}
+
+func TestE7UnknownPolicy(t *testing.T) {
+	if _, err := E7Placement("bogus", 10, []int64{1}, 0, 1); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestE8GuardsImproveSurvival(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based experiment")
+	}
+	ctx := context.Background()
+	guarded, err := E8Survival(ctx, 10, 4, 1.0, true, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unguarded, err := E8Survival(ctx, 10, 4, 1.0, false, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guarded.Completed <= unguarded.Completed {
+		t.Fatalf("guards did not help: guarded %d/%d vs unguarded %d/%d",
+			guarded.Completed, guarded.Trials, unguarded.Completed, unguarded.Trials)
+	}
+	if guarded.Completed < 9 {
+		t.Fatalf("guarded completion too low: %d/10", guarded.Completed)
+	}
+}
+
+func TestE8IntervalAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based experiment")
+	}
+	rows, err := E8IntervalAblation(context.Background(), 3, 4,
+		[]time.Duration{5 * time.Millisecond, 40 * time.Millisecond}, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.Completed != row.Trials {
+			t.Fatalf("interval %v: %d/%d completed", row.Interval, row.Completed, row.Trials)
+		}
+	}
+	// Slower detection must mean slower recovery.
+	if rows[1].MeanTime < rows[0].MeanTime {
+		t.Fatalf("recovery faster with slower detection? %v vs %v",
+			rows[0].MeanTime, rows[1].MeanTime)
+	}
+}
+
+func TestE9WindowCrossover(t *testing.T) {
+	ctx := context.Background()
+	small, err := E9StormCast(ctx, 3, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := E9StormCast(ctx, 3, 3, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !small.Agree || !large.Agree {
+		t.Fatal("strategies disagree on the forecast")
+	}
+	// Agent bytes are roughly flat; pull bytes grow with the window.
+	if large.AgentBytes >= large.PullBytes {
+		t.Fatalf("large window: agent %d >= pull %d", large.AgentBytes, large.PullBytes)
+	}
+	if large.PullBytes < small.PullBytes*5 {
+		t.Fatalf("pull bytes did not scale with window: %d vs %d", large.PullBytes, small.PullBytes)
+	}
+}
+
+func TestE10MailDeliversAll(t *testing.T) {
+	row, err := E10Mail(context.Background(), 4, 24, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Delivered != 24 {
+		t.Fatalf("delivered %d/24", row.Delivered)
+	}
+	withReceipts, err := E10Mail(context.Background(), 4, 12, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withReceipts.Delivered != 12 {
+		t.Fatalf("delivered %d/12 with receipts", withReceipts.Delivered)
+	}
+}

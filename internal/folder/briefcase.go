@@ -1,0 +1,165 @@
+package folder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Well-known folder names used by the TACOMA system agents, as in the paper.
+const (
+	// CodeFolder carries the agent's source code (the paper's CODE folder).
+	CodeFolder = "CODE"
+	// HostFolder names the destination site for rexec (the paper's HOST folder).
+	HostFolder = "HOST"
+	// ContactFolder names the agent to execute at the destination (CONTACT).
+	ContactFolder = "CONTACT"
+	// SitesFolder lists sites, used by the diffusion agent (SITES).
+	SitesFolder = "SITES"
+	// ResultFolder is the conventional folder for meet results.
+	ResultFolder = "RESULT"
+	// ErrorFolder is the conventional folder for meet error reports.
+	ErrorFolder = "ERROR"
+)
+
+// Briefcase is a collection of named folders that accompanies an agent so
+// that its future actions can depend on its past ones. A briefcase passed to
+// meet is analogous to an argument list, with each folder holding the value
+// of one argument.
+//
+// The zero value is an empty briefcase ready to use.
+type Briefcase struct {
+	folders map[string]*Folder
+}
+
+// NewBriefcase returns an empty briefcase.
+func NewBriefcase() *Briefcase { return &Briefcase{} }
+
+// ensureMap lazily allocates the folder map so the zero value works.
+func (b *Briefcase) ensureMap() {
+	if b.folders == nil {
+		b.folders = make(map[string]*Folder)
+	}
+}
+
+// Len reports the number of folders in the briefcase.
+func (b *Briefcase) Len() int { return len(b.folders) }
+
+// Has reports whether a folder with the given name exists.
+func (b *Briefcase) Has(name string) bool {
+	_, ok := b.folders[name]
+	return ok
+}
+
+// Folder returns the named folder, or ErrNoFolder if absent.
+// The returned folder is shared, not copied: mutations are visible to the
+// briefcase, which is how meet participants exchange information.
+func (b *Briefcase) Folder(name string) (*Folder, error) {
+	f, ok := b.folders[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoFolder, name)
+	}
+	return f, nil
+}
+
+// Ensure returns the named folder, creating it if absent.
+func (b *Briefcase) Ensure(name string) *Folder {
+	b.ensureMap()
+	f, ok := b.folders[name]
+	if !ok {
+		f = New()
+		b.folders[name] = f
+	}
+	return f
+}
+
+// Put installs a folder under the given name, replacing any existing one.
+// The folder is stored by reference.
+func (b *Briefcase) Put(name string, f *Folder) {
+	b.ensureMap()
+	if f == nil {
+		f = New()
+	}
+	b.folders[name] = f
+}
+
+// PutString is a convenience that installs a single-element folder.
+func (b *Briefcase) PutString(name, value string) {
+	b.Put(name, OfStrings(value))
+}
+
+// GetString returns the first element of the named folder as a string.
+// It is the common way to read a scalar argument.
+func (b *Briefcase) GetString(name string) (string, error) {
+	f, err := b.Folder(name)
+	if err != nil {
+		return "", err
+	}
+	return f.StringAt(0)
+}
+
+// Delete removes the named folder. Deleting an absent folder is a no-op.
+func (b *Briefcase) Delete(name string) { delete(b.folders, name) }
+
+// Names returns the folder names in sorted order.
+func (b *Briefcase) Names() []string {
+	names := make([]string, 0, len(b.folders))
+	for name := range b.folders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Size reports total payload bytes across all folders.
+func (b *Briefcase) Size() int {
+	n := 0
+	for _, f := range b.folders {
+		n += f.Size()
+	}
+	return n
+}
+
+// Clone returns a deep copy of the briefcase.
+func (b *Briefcase) Clone() *Briefcase {
+	c := NewBriefcase()
+	for name, f := range b.folders {
+		c.Put(name, f.Clone())
+	}
+	return c
+}
+
+// ReplaceAll makes b's contents identical to other (deep copy). The kernel
+// uses it to fold the briefcase returned by a remote meet back into the
+// caller's briefcase, preserving the caller's reference.
+func (b *Briefcase) ReplaceAll(other *Briefcase) {
+	b.folders = make(map[string]*Folder, other.Len())
+	for name, f := range other.folders {
+		b.folders[name] = f.Clone()
+	}
+}
+
+// Merge copies every folder of other into b, replacing same-named folders.
+func (b *Briefcase) Merge(other *Briefcase) {
+	for name, f := range other.folders {
+		b.Put(name, f.Clone())
+	}
+}
+
+// Equal reports whether two briefcases hold identical folders.
+func (b *Briefcase) Equal(other *Briefcase) bool {
+	if b.Len() != other.Len() {
+		return false
+	}
+	for name, f := range b.folders {
+		g, ok := other.folders[name]
+		if !ok || !f.Equal(g) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a short diagnostic description.
+func (b *Briefcase) String() string {
+	return fmt.Sprintf("Briefcase(%d folders, %d bytes)", b.Len(), b.Size())
+}

@@ -1,0 +1,167 @@
+package folder
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestBriefcaseZeroValue(t *testing.T) {
+	var b Briefcase
+	if b.Len() != 0 {
+		t.Fatalf("zero briefcase len = %d", b.Len())
+	}
+	if _, err := b.Folder("X"); !errors.Is(err, ErrNoFolder) {
+		t.Fatalf("Folder on empty = %v, want ErrNoFolder", err)
+	}
+	b.PutString("X", "v")
+	got, err := b.GetString("X")
+	if err != nil || got != "v" {
+		t.Fatalf("GetString = %q, %v", got, err)
+	}
+}
+
+func TestBriefcaseEnsureCreates(t *testing.T) {
+	b := NewBriefcase()
+	f := b.Ensure("NEW")
+	f.PushString("payload")
+	g, err := b.Folder("NEW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Ensure folder not shared: len=%d", g.Len())
+	}
+	// Ensure on an existing folder returns the same folder.
+	if b.Ensure("NEW") != f {
+		t.Fatal("Ensure created a second folder")
+	}
+}
+
+func TestBriefcaseFolderShared(t *testing.T) {
+	b := NewBriefcase()
+	b.PutString("ARG", "1")
+	f, _ := b.Folder("ARG")
+	f.PushString("2")
+	g, _ := b.Folder("ARG")
+	if g.Len() != 2 {
+		t.Fatalf("folder not shared by reference: len=%d", g.Len())
+	}
+}
+
+func TestBriefcasePutNil(t *testing.T) {
+	b := NewBriefcase()
+	b.Put("EMPTY", nil)
+	f, err := b.Folder("EMPTY")
+	if err != nil || f.Len() != 0 {
+		t.Fatalf("Put(nil) = %v, %v", f, err)
+	}
+}
+
+func TestBriefcaseDelete(t *testing.T) {
+	b := NewBriefcase()
+	b.PutString("A", "x")
+	b.Delete("A")
+	b.Delete("NONEXISTENT") // must not panic
+	if b.Has("A") {
+		t.Fatal("A survived Delete")
+	}
+}
+
+func TestBriefcaseNamesSorted(t *testing.T) {
+	b := NewBriefcase()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		b.PutString(n, "v")
+	}
+	names := b.Names()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestBriefcaseCloneDeep(t *testing.T) {
+	b := NewBriefcase()
+	b.PutString("F", "orig")
+	c := b.Clone()
+	f, _ := c.Folder("F")
+	f.PushString("added")
+	orig, _ := b.Folder("F")
+	if orig.Len() != 1 {
+		t.Fatalf("clone mutated original: len=%d", orig.Len())
+	}
+	if !b.Equal(b.Clone()) {
+		t.Fatal("clone not equal")
+	}
+}
+
+func TestBriefcaseMerge(t *testing.T) {
+	b := NewBriefcase()
+	b.PutString("KEEP", "a")
+	b.PutString("OVERWRITE", "old")
+	o := NewBriefcase()
+	o.PutString("OVERWRITE", "new")
+	o.PutString("ADDED", "x")
+	b.Merge(o)
+	if got, _ := b.GetString("OVERWRITE"); got != "new" {
+		t.Fatalf("OVERWRITE = %q", got)
+	}
+	if got, _ := b.GetString("KEEP"); got != "a" {
+		t.Fatalf("KEEP = %q", got)
+	}
+	if !b.Has("ADDED") {
+		t.Fatal("ADDED missing after merge")
+	}
+	// Merge copies: mutating the source later must not affect b.
+	f, _ := o.Folder("ADDED")
+	f.PushString("later")
+	bf, _ := b.Folder("ADDED")
+	if bf.Len() != 1 {
+		t.Fatal("merge did not deep-copy")
+	}
+}
+
+func TestBriefcaseEqual(t *testing.T) {
+	a := NewBriefcase()
+	a.PutString("X", "1")
+	b := NewBriefcase()
+	b.PutString("X", "1")
+	if !a.Equal(b) {
+		t.Fatal("equal briefcases not Equal")
+	}
+	b.PutString("Y", "2")
+	if a.Equal(b) {
+		t.Fatal("different lengths reported Equal")
+	}
+	c := NewBriefcase()
+	c.PutString("X", "2")
+	if a.Equal(c) {
+		t.Fatal("different contents reported Equal")
+	}
+	d := NewBriefcase()
+	d.PutString("Z", "1")
+	if a.Equal(d) {
+		t.Fatal("different names reported Equal")
+	}
+}
+
+func TestBriefcaseSize(t *testing.T) {
+	b := NewBriefcase()
+	b.Put("A", Of([]byte("12"), []byte("345")))
+	b.Put("B", Of([]byte("6")))
+	if b.Size() != 6 {
+		t.Fatalf("Size = %d, want 6", b.Size())
+	}
+}
+
+func TestBriefcaseGetStringErrors(t *testing.T) {
+	b := NewBriefcase()
+	if _, err := b.GetString("MISSING"); !errors.Is(err, ErrNoFolder) {
+		t.Fatalf("missing folder err = %v", err)
+	}
+	b.Put("EMPTY", New())
+	if _, err := b.GetString("EMPTY"); !errors.Is(err, ErrBadIndex) {
+		t.Fatalf("empty folder err = %v", err)
+	}
+}

@@ -1,0 +1,219 @@
+package folder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// FileCabinet groups site-local folders. Unlike a briefcase, a cabinet is
+// bound to one site and rarely (never, in this implementation) moves, so it
+// may be implemented with structures that optimize access time even when
+// they would make the cabinet expensive to transfer: a cabinet keeps a
+// per-folder element index keyed by element content so membership tests are
+// O(1) instead of O(n), which is what flooding agents rely on when they
+// check "was this site already visited?".
+//
+// Cabinets are shared by every agent executing at a site and are safe for
+// concurrent use. They support the same operations as briefcases plus
+// indexed membership, atomic test-and-set, and Flush/Load for permanence.
+type FileCabinet struct {
+	mu      sync.RWMutex
+	folders map[string]*Folder
+	index   map[string]map[string]int // folder name -> element content -> count
+}
+
+// NewCabinet returns an empty file cabinet.
+func NewCabinet() *FileCabinet {
+	return &FileCabinet{
+		folders: make(map[string]*Folder),
+		index:   make(map[string]map[string]int),
+	}
+}
+
+// Append adds an element to the named folder, creating the folder if needed.
+func (c *FileCabinet) Append(name string, e []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.appendLocked(name, e)
+}
+
+// AppendString adds a string element to the named folder.
+func (c *FileCabinet) AppendString(name, s string) { c.Append(name, []byte(s)) }
+
+func (c *FileCabinet) appendLocked(name string, e []byte) {
+	f, ok := c.folders[name]
+	if !ok {
+		f = New()
+		c.folders[name] = f
+		c.index[name] = make(map[string]int)
+	}
+	f.Push(e)
+	c.index[name][string(e)]++
+}
+
+// Contains reports whether the named folder holds an element equal to e.
+// The lookup uses the cabinet's index and costs O(1).
+func (c *FileCabinet) Contains(name string, e []byte) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	idx, ok := c.index[name]
+	if !ok {
+		return false
+	}
+	return idx[string(e)] > 0
+}
+
+// ContainsString reports whether the named folder holds the string s.
+func (c *FileCabinet) ContainsString(name, s string) bool {
+	return c.Contains(name, []byte(s))
+}
+
+// TestAndAppend atomically checks membership and appends if absent.
+// It returns true when the element was newly added, false when it was
+// already present. This is the primitive the paper's flooding example
+// needs: "record its visit in a site-local folder" must be atomic with
+// checking whether the site was already visited.
+func (c *FileCabinet) TestAndAppend(name string, e []byte) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if idx, ok := c.index[name]; ok && idx[string(e)] > 0 {
+		return false
+	}
+	c.appendLocked(name, e)
+	return true
+}
+
+// TestAndAppendString is TestAndAppend for string elements.
+func (c *FileCabinet) TestAndAppendString(name, s string) bool {
+	return c.TestAndAppend(name, []byte(s))
+}
+
+// Snapshot returns a deep copy of the named folder, or an empty folder if
+// it does not exist. Agents receive copies so that cabinet internals never
+// escape the lock.
+func (c *FileCabinet) Snapshot(name string) *Folder {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	f, ok := c.folders[name]
+	if !ok {
+		return New()
+	}
+	return f.Clone()
+}
+
+// Put replaces the named folder with a deep copy of f.
+func (c *FileCabinet) Put(name string, f *Folder) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp := f.Clone()
+	c.folders[name] = cp
+	idx := make(map[string]int, cp.Len())
+	for _, e := range cp.elems {
+		idx[string(e)]++
+	}
+	c.index[name] = idx
+}
+
+// Dequeue removes and returns the first element of the named folder.
+// It returns ErrNoFolder if the folder is absent and ErrEmpty if empty.
+// Dequeue is how queued meeting requests are drained by brokers.
+func (c *FileCabinet) Dequeue(name string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.folders[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoFolder, name)
+	}
+	e, err := f.Dequeue()
+	if err != nil {
+		return nil, err
+	}
+	idx := c.index[name]
+	if idx[string(e)] <= 1 {
+		delete(idx, string(e))
+	} else {
+		idx[string(e)]--
+	}
+	return e, nil
+}
+
+// Delete removes the named folder entirely.
+func (c *FileCabinet) Delete(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.folders, name)
+	delete(c.index, name)
+}
+
+// Len reports the number of folders in the cabinet.
+func (c *FileCabinet) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.folders)
+}
+
+// FolderLen reports the number of elements in the named folder (0 if absent).
+func (c *FileCabinet) FolderLen(name string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	f, ok := c.folders[name]
+	if !ok {
+		return 0
+	}
+	return f.Len()
+}
+
+// Names returns the folder names in sorted order.
+func (c *FileCabinet) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.folders))
+	for name := range c.folders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Flush writes the entire cabinet to w in the wire format, providing the
+// paper's "file cabinets can be flushed to disk when permanence is
+// required".
+func (c *FileCabinet) Flush(w io.Writer) error {
+	c.mu.RLock()
+	b := NewBriefcase()
+	for name, f := range c.folders {
+		b.Put(name, f.Clone())
+	}
+	c.mu.RUnlock()
+	_, err := w.Write(EncodeBriefcase(b))
+	return err
+}
+
+// Load replaces the cabinet contents with folders read from r.
+func (c *FileCabinet) Load(r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	b, err := DecodeBriefcase(data)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.folders = make(map[string]*Folder)
+	c.index = make(map[string]map[string]int)
+	for _, name := range b.Names() {
+		f, _ := b.Folder(name)
+		cp := f.Clone()
+		c.folders[name] = cp
+		idx := make(map[string]int, cp.Len())
+		for _, e := range cp.elems {
+			idx[string(e)]++
+		}
+		c.index[name] = idx
+	}
+	return nil
+}

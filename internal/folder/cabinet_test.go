@@ -1,0 +1,218 @@
+package folder
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCabinetAppendContains(t *testing.T) {
+	c := NewCabinet()
+	c.AppendString("SITES", "tromso")
+	if !c.ContainsString("SITES", "tromso") {
+		t.Fatal("missing appended element")
+	}
+	if c.ContainsString("SITES", "ithaca") {
+		t.Fatal("phantom element")
+	}
+	if c.ContainsString("NOFOLDER", "x") {
+		t.Fatal("phantom folder")
+	}
+}
+
+func TestCabinetTestAndAppend(t *testing.T) {
+	c := NewCabinet()
+	if !c.TestAndAppendString("VISITED", "a") {
+		t.Fatal("first TestAndAppend should add")
+	}
+	if c.TestAndAppendString("VISITED", "a") {
+		t.Fatal("second TestAndAppend should not add")
+	}
+	if c.FolderLen("VISITED") != 1 {
+		t.Fatalf("len = %d, want 1", c.FolderLen("VISITED"))
+	}
+}
+
+func TestCabinetTestAndAppendConcurrent(t *testing.T) {
+	// Exactly one of N concurrent agents may win the visit race per site.
+	c := NewCabinet()
+	const n = 64
+	wins := make(chan bool, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wins <- c.TestAndAppendString("VISITED", "site-1")
+		}()
+	}
+	wg.Wait()
+	close(wins)
+	won := 0
+	for w := range wins {
+		if w {
+			won++
+		}
+	}
+	if won != 1 {
+		t.Fatalf("winners = %d, want exactly 1", won)
+	}
+}
+
+func TestCabinetSnapshotIsolated(t *testing.T) {
+	c := NewCabinet()
+	c.AppendString("F", "v")
+	snap := c.Snapshot("F")
+	snap.PushString("local-only")
+	if c.FolderLen("F") != 1 {
+		t.Fatal("snapshot mutation leaked into cabinet")
+	}
+	empty := c.Snapshot("ABSENT")
+	if empty.Len() != 0 {
+		t.Fatal("absent snapshot not empty")
+	}
+}
+
+func TestCabinetPutReplacesAndReindexes(t *testing.T) {
+	c := NewCabinet()
+	c.AppendString("F", "old")
+	c.Put("F", OfStrings("new1", "new2"))
+	if c.ContainsString("F", "old") {
+		t.Fatal("old element survived Put")
+	}
+	if !c.ContainsString("F", "new1") || !c.ContainsString("F", "new2") {
+		t.Fatal("new elements not indexed")
+	}
+	// Put deep-copies its argument.
+	src := OfStrings("x")
+	c.Put("G", src)
+	src.PushString("y")
+	if c.FolderLen("G") != 1 {
+		t.Fatal("Put did not copy")
+	}
+}
+
+func TestCabinetDequeue(t *testing.T) {
+	c := NewCabinet()
+	c.AppendString("Q", "first")
+	c.AppendString("Q", "second")
+	e, err := c.Dequeue("Q")
+	if err != nil || string(e) != "first" {
+		t.Fatalf("Dequeue = %q, %v", e, err)
+	}
+	if c.ContainsString("Q", "first") {
+		t.Fatal("dequeued element still indexed")
+	}
+	if !c.ContainsString("Q", "second") {
+		t.Fatal("remaining element lost from index")
+	}
+	if _, err := c.Dequeue("MISSING"); !errors.Is(err, ErrNoFolder) {
+		t.Fatalf("Dequeue missing = %v", err)
+	}
+	c.Dequeue("Q")
+	if _, err := c.Dequeue("Q"); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Dequeue empty = %v", err)
+	}
+}
+
+func TestCabinetDequeueDuplicateIndex(t *testing.T) {
+	// Two identical elements: dequeuing one must keep the other indexed.
+	c := NewCabinet()
+	c.AppendString("Q", "dup")
+	c.AppendString("Q", "dup")
+	if _, err := c.Dequeue("Q"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.ContainsString("Q", "dup") {
+		t.Fatal("index dropped surviving duplicate")
+	}
+	if _, err := c.Dequeue("Q"); err != nil {
+		t.Fatal(err)
+	}
+	if c.ContainsString("Q", "dup") {
+		t.Fatal("index kept fully-drained element")
+	}
+}
+
+func TestCabinetDelete(t *testing.T) {
+	c := NewCabinet()
+	c.AppendString("F", "v")
+	c.Delete("F")
+	if c.Len() != 0 || c.ContainsString("F", "v") {
+		t.Fatal("Delete left residue")
+	}
+}
+
+func TestCabinetNames(t *testing.T) {
+	c := NewCabinet()
+	c.AppendString("b", "1")
+	c.AppendString("a", "1")
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestCabinetFlushLoadRoundTrip(t *testing.T) {
+	c := NewCabinet()
+	c.AppendString("WEATHER", "obs1")
+	c.AppendString("WEATHER", "obs2")
+	c.AppendString("VISITED", "siteA")
+	var buf bytes.Buffer
+	if err := c.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d := NewCabinet()
+	d.AppendString("STALE", "should vanish")
+	if err := d.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if d.ContainsString("STALE", "should vanish") {
+		t.Fatal("Load did not replace contents")
+	}
+	if d.FolderLen("WEATHER") != 2 || !d.ContainsString("VISITED", "siteA") {
+		t.Fatalf("round trip lost data: %v", d.Names())
+	}
+	// Index must be rebuilt: membership and duplicates work post-Load.
+	if !d.TestAndAppendString("VISITED", "siteB") {
+		t.Fatal("index broken after load")
+	}
+	if d.TestAndAppendString("VISITED", "siteA") {
+		t.Fatal("loaded element not found in rebuilt index")
+	}
+}
+
+func TestCabinetLoadGarbage(t *testing.T) {
+	c := NewCabinet()
+	if err := c.Load(bytes.NewReader([]byte{0xDE, 0xAD})); err == nil {
+		t.Fatal("Load accepted garbage")
+	}
+}
+
+func TestCabinetConcurrentMixedOps(t *testing.T) {
+	c := NewCabinet()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("F%d", i%4)
+			for j := 0; j < 50; j++ {
+				c.AppendString(name, fmt.Sprintf("e%d-%d", i, j))
+				c.ContainsString(name, "e0-0")
+				c.Snapshot(name)
+				c.FolderLen(name)
+			}
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range c.Names() {
+		total += c.FolderLen(n)
+	}
+	if total != 16*50 {
+		t.Fatalf("lost appends: total=%d want %d", total, 16*50)
+	}
+}

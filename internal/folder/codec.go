@@ -1,0 +1,153 @@
+package folder
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire format. Folders must be easy to transfer between sites, so the codec
+// is a flat, index-free byte layout:
+//
+//	folder    := magicF count:uvarint { len:uvarint bytes }*
+//	briefcase := magicB count:uvarint { nameLen:uvarint name folder }*
+//
+// The format is recursive by construction: a folder element may itself be an
+// encoded briefcase or folder, which is what lets brokers store queued
+// (agent, briefcase) pairs inside ordinary folders.
+const (
+	magicFolder    = 0xF0
+	magicBriefcase = 0xB0
+	codecVersion   = 1
+)
+
+// ErrCodec is wrapped by all decode failures.
+var ErrCodec = errors.New("folder: malformed encoding")
+
+// EncodeFolder serializes f.
+func EncodeFolder(f *Folder) []byte {
+	buf := make([]byte, 0, 16+f.Size())
+	buf = append(buf, magicFolder, codecVersion)
+	buf = binary.AppendUvarint(buf, uint64(f.Len()))
+	for _, e := range f.elems {
+		buf = binary.AppendUvarint(buf, uint64(len(e)))
+		buf = append(buf, e...)
+	}
+	return buf
+}
+
+// DecodeFolder parses an encoded folder, consuming the entire input.
+func DecodeFolder(data []byte) (*Folder, error) {
+	f, rest, err := decodeFolder(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after folder", ErrCodec, len(rest))
+	}
+	return f, nil
+}
+
+func decodeFolder(data []byte) (*Folder, []byte, error) {
+	if len(data) < 2 || data[0] != magicFolder {
+		return nil, nil, fmt.Errorf("%w: missing folder magic", ErrCodec)
+	}
+	if data[1] != codecVersion {
+		return nil, nil, fmt.Errorf("%w: unsupported folder version %d", ErrCodec, data[1])
+	}
+	data = data[2:]
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("%w: bad folder count", ErrCodec)
+	}
+	data = data[n:]
+	f := New()
+	for i := uint64(0); i < count; i++ {
+		elen, n := binary.Uvarint(data)
+		if n <= 0 || uint64(len(data[n:])) < elen {
+			return nil, nil, fmt.Errorf("%w: bad element %d length", ErrCodec, i)
+		}
+		data = data[n:]
+		f.Push(data[:elen])
+		data = data[elen:]
+	}
+	return f, data, nil
+}
+
+// EncodeBriefcase serializes b. Folders are emitted in sorted name order so
+// the encoding is deterministic; two equal briefcases always encode to the
+// same bytes, which audit records depend on.
+func EncodeBriefcase(b *Briefcase) []byte {
+	buf := make([]byte, 0, 32+b.Size())
+	buf = append(buf, magicBriefcase, codecVersion)
+	names := b.Names()
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, name := range names {
+		buf = binary.AppendUvarint(buf, uint64(len(name)))
+		buf = append(buf, name...)
+		f, _ := b.Folder(name)
+		buf = append(buf, EncodeFolder(f)...)
+	}
+	return buf
+}
+
+// DecodeBriefcase parses an encoded briefcase, consuming the entire input.
+func DecodeBriefcase(data []byte) (*Briefcase, error) {
+	if len(data) < 2 || data[0] != magicBriefcase {
+		return nil, fmt.Errorf("%w: missing briefcase magic", ErrCodec)
+	}
+	if data[1] != codecVersion {
+		return nil, fmt.Errorf("%w: unsupported briefcase version %d", ErrCodec, data[1])
+	}
+	data = data[2:]
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: bad briefcase count", ErrCodec)
+	}
+	data = data[n:]
+	b := NewBriefcase()
+	for i := uint64(0); i < count; i++ {
+		nlen, n := binary.Uvarint(data)
+		if n <= 0 || uint64(len(data[n:])) < nlen {
+			return nil, fmt.Errorf("%w: bad folder name %d", ErrCodec, i)
+		}
+		data = data[n:]
+		name := string(data[:nlen])
+		data = data[nlen:]
+		f, rest, err := decodeFolder(data)
+		if err != nil {
+			return nil, fmt.Errorf("folder %q: %w", name, err)
+		}
+		b.Put(name, f)
+		data = rest
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after briefcase", ErrCodec, len(data))
+	}
+	return b, nil
+}
+
+// EncodedSize returns the exact wire size of the briefcase without
+// allocating the encoding; the network simulator uses it for byte
+// accounting.
+func EncodedSize(b *Briefcase) int {
+	size := 2 + uvarintLen(uint64(b.Len()))
+	for _, name := range b.Names() {
+		size += uvarintLen(uint64(len(name))) + len(name)
+		f, _ := b.Folder(name)
+		size += 2 + uvarintLen(uint64(f.Len()))
+		for _, e := range f.elems {
+			size += uvarintLen(uint64(len(e))) + len(e)
+		}
+	}
+	return size
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

@@ -1,0 +1,199 @@
+package folder
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestFolderCodecRoundTrip(t *testing.T) {
+	f := Of([]byte("alpha"), nil, []byte{0, 1, 2, 255}, []byte("末尾"))
+	enc := EncodeFolder(f)
+	g, err := DecodeFolder(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Equal(g) {
+		t.Fatalf("round trip mismatch: %v vs %v", f.Strings(), g.Strings())
+	}
+}
+
+func TestFolderCodecEmpty(t *testing.T) {
+	g, err := DecodeFolder(EncodeFolder(New()))
+	if err != nil || g.Len() != 0 {
+		t.Fatalf("empty round trip: %v, %v", g, err)
+	}
+}
+
+func TestBriefcaseCodecRoundTrip(t *testing.T) {
+	b := NewBriefcase()
+	b.Put("CODE", OfStrings("proc main {} { return 1 }"))
+	b.Put("HOST", OfStrings("site-7"))
+	b.Put("DATA", Of([]byte{0xFF, 0x00}, []byte("binary\x00stuff")))
+	b.Put("EMPTY", New())
+	enc := EncodeBriefcase(b)
+	c, err := DecodeBriefcase(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Equal(c) {
+		t.Fatal("briefcase round trip mismatch")
+	}
+}
+
+func TestBriefcaseCodecDeterministic(t *testing.T) {
+	// Same logical contents inserted in different orders encode identically.
+	a := NewBriefcase()
+	a.PutString("X", "1")
+	a.PutString("Y", "2")
+	b := NewBriefcase()
+	b.PutString("Y", "2")
+	b.PutString("X", "1")
+	if !bytes.Equal(EncodeBriefcase(a), EncodeBriefcase(b)) {
+		t.Fatal("encoding depends on insertion order")
+	}
+}
+
+func TestCodecRecursive(t *testing.T) {
+	// A folder element may itself be an encoded briefcase (broker queuing).
+	inner := NewBriefcase()
+	inner.PutString("AGENT", "queued-agent-code")
+	outer := NewBriefcase()
+	outer.Put("PENDING", Of(EncodeBriefcase(inner)))
+
+	enc := EncodeBriefcase(outer)
+	dec, err := DecodeBriefcase(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending, _ := dec.Folder("PENDING")
+	raw, _ := pending.At(0)
+	inner2, err := DecodeBriefcase(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := inner2.GetString("AGENT")
+	if got != "queued-agent-code" {
+		t.Fatalf("nested briefcase lost: %q", got)
+	}
+}
+
+func TestDecodeFolderErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty input":     {},
+		"bad magic":       {0x00, codecVersion},
+		"bad version":     {magicFolder, 99},
+		"truncated count": {magicFolder, codecVersion},
+		"short element":   EncodeFolder(Of([]byte("abcdef")))[:6],
+	}
+	for name, data := range cases {
+		if _, err := DecodeFolder(data); !errors.Is(err, ErrCodec) {
+			t.Errorf("%s: err = %v, want ErrCodec", name, err)
+		}
+	}
+}
+
+func TestDecodeBriefcaseErrors(t *testing.T) {
+	good := EncodeBriefcase(func() *Briefcase {
+		b := NewBriefcase()
+		b.PutString("F", "v")
+		return b
+	}())
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   {magicFolder, codecVersion}, // folder magic where briefcase expected
+		"bad version": {magicBriefcase, 42},
+		"truncated":   good[:len(good)-3],
+		"trailing":    append(append([]byte{}, good...), 0xAB),
+	}
+	for name, data := range cases {
+		if _, err := DecodeBriefcase(data); !errors.Is(err, ErrCodec) {
+			t.Errorf("%s: err = %v, want ErrCodec", name, err)
+		}
+	}
+}
+
+func TestDecodeFolderTrailing(t *testing.T) {
+	enc := append(EncodeFolder(OfStrings("a")), 0x01)
+	if _, err := DecodeFolder(enc); !errors.Is(err, ErrCodec) {
+		t.Fatalf("trailing bytes accepted: %v", err)
+	}
+}
+
+func TestEncodedSizeExact(t *testing.T) {
+	b := NewBriefcase()
+	b.Put("CODE", OfStrings("some code", ""))
+	b.Put("N", Of(bytes.Repeat([]byte{7}, 300))) // forces multi-byte uvarint
+	if got, want := EncodedSize(b), len(EncodeBriefcase(b)); got != want {
+		t.Fatalf("EncodedSize = %d, actual encoding = %d", got, want)
+	}
+}
+
+// Property: encode/decode is the identity on folders.
+func TestFolderCodecProperty(t *testing.T) {
+	prop := func(elems [][]byte) bool {
+		f := New()
+		for _, e := range elems {
+			f.Push(e)
+		}
+		g, err := DecodeFolder(EncodeFolder(f))
+		return err == nil && f.Equal(g)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encode/decode is the identity on briefcases, and EncodedSize is
+// always exact.
+func TestBriefcaseCodecProperty(t *testing.T) {
+	prop := func(names []string, payloads [][]byte) bool {
+		b := NewBriefcase()
+		for i, name := range names {
+			f := New()
+			if i < len(payloads) {
+				f.Push(payloads[i])
+			}
+			b.Put(name, f)
+		}
+		enc := EncodeBriefcase(b)
+		if len(enc) != EncodedSize(b) {
+			return false
+		}
+		c, err := DecodeBriefcase(enc)
+		return err == nil && b.Equal(c)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeBriefcase(b *testing.B) {
+	bc := NewBriefcase()
+	payload := bytes.Repeat([]byte("x"), 1024)
+	for i := 0; i < 8; i++ {
+		bc.Put(string(rune('A'+i)), Of(payload))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeBriefcase(bc)
+	}
+}
+
+func BenchmarkDecodeBriefcase(b *testing.B) {
+	bc := NewBriefcase()
+	payload := bytes.Repeat([]byte("x"), 1024)
+	for i := 0; i < 8; i++ {
+		bc.Put(string(rune('A'+i)), Of(payload))
+	}
+	enc := EncodeBriefcase(bc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeBriefcase(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

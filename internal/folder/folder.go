@@ -1,0 +1,247 @@
+// Package folder implements the TACOMA data abstractions that accompany
+// mobile agents: folders, briefcases, and file cabinets.
+//
+// A Folder is a list of uninterpreted byte elements. Because it is a list it
+// can be used as a stack or as a queue, mirroring how paper documents are
+// grouped. Folders are the only data representation agents exchange: agent
+// code, arguments, results, queued meeting requests, and even whole
+// serialized briefcases are all folder elements. Folders must be cheap to
+// serialize and move, since moving them between sites is the common case.
+//
+// A Briefcase groups named folders and travels with an agent. A FileCabinet
+// groups named folders bound to a site; it never moves, so it may spend
+// memory on indexes that speed up access.
+//
+// Folders and Briefcases are owned by a single agent at a time and are not
+// safe for concurrent use. FileCabinets are shared by every agent on a site
+// and are safe for concurrent use.
+package folder
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+// Common errors returned by folder operations.
+var (
+	// ErrEmpty is returned when popping or dequeuing from an empty folder.
+	ErrEmpty = errors.New("folder: empty")
+	// ErrNoFolder is returned when a named folder does not exist.
+	ErrNoFolder = errors.New("folder: no such folder")
+	// ErrBadIndex is returned for out-of-range element access.
+	ErrBadIndex = errors.New("folder: index out of range")
+)
+
+// Folder is an ordered list of uninterpreted byte elements.
+// The zero value is an empty folder ready to use.
+type Folder struct {
+	elems [][]byte
+}
+
+// New returns an empty folder.
+func New() *Folder { return &Folder{} }
+
+// Of returns a folder containing the given elements, copied.
+func Of(elems ...[]byte) *Folder {
+	f := New()
+	for _, e := range elems {
+		f.Push(e)
+	}
+	return f
+}
+
+// OfStrings returns a folder whose elements are the given strings.
+func OfStrings(elems ...string) *Folder {
+	f := New()
+	for _, e := range elems {
+		f.PushString(e)
+	}
+	return f
+}
+
+// Len reports the number of elements in the folder.
+func (f *Folder) Len() int { return len(f.elems) }
+
+// Size reports the total number of payload bytes across all elements.
+func (f *Folder) Size() int {
+	n := 0
+	for _, e := range f.elems {
+		n += len(e)
+	}
+	return n
+}
+
+// At returns the i'th element without removing it. The returned slice is a
+// copy; mutating it does not affect the folder.
+func (f *Folder) At(i int) ([]byte, error) {
+	if i < 0 || i >= len(f.elems) {
+		return nil, fmt.Errorf("%w: %d of %d", ErrBadIndex, i, len(f.elems))
+	}
+	return clone(f.elems[i]), nil
+}
+
+// StringAt returns the i'th element as a string.
+func (f *Folder) StringAt(i int) (string, error) {
+	b, err := f.At(i)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Push appends an element to the end of the folder (stack push / enqueue).
+// The element is copied.
+func (f *Folder) Push(e []byte) { f.elems = append(f.elems, clone(e)) }
+
+// PushString appends a string element.
+func (f *Folder) PushString(s string) { f.elems = append(f.elems, []byte(s)) }
+
+// Pop removes and returns the last element (stack discipline).
+func (f *Folder) Pop() ([]byte, error) {
+	if len(f.elems) == 0 {
+		return nil, ErrEmpty
+	}
+	e := f.elems[len(f.elems)-1]
+	f.elems[len(f.elems)-1] = nil
+	f.elems = f.elems[:len(f.elems)-1]
+	return e, nil
+}
+
+// PopString removes and returns the last element as a string.
+func (f *Folder) PopString() (string, error) {
+	b, err := f.Pop()
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Dequeue removes and returns the first element (queue discipline).
+func (f *Folder) Dequeue() ([]byte, error) {
+	if len(f.elems) == 0 {
+		return nil, ErrEmpty
+	}
+	e := f.elems[0]
+	f.elems[0] = nil
+	f.elems = f.elems[1:]
+	return e, nil
+}
+
+// DequeueString removes and returns the first element as a string.
+func (f *Folder) DequeueString() (string, error) {
+	b, err := f.Dequeue()
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Peek returns the last element without removing it.
+func (f *Folder) Peek() ([]byte, error) {
+	if len(f.elems) == 0 {
+		return nil, ErrEmpty
+	}
+	return clone(f.elems[len(f.elems)-1]), nil
+}
+
+// Front returns the first element without removing it.
+func (f *Folder) Front() ([]byte, error) {
+	if len(f.elems) == 0 {
+		return nil, ErrEmpty
+	}
+	return clone(f.elems[0]), nil
+}
+
+// Set replaces the i'th element.
+func (f *Folder) Set(i int, e []byte) error {
+	if i < 0 || i >= len(f.elems) {
+		return fmt.Errorf("%w: %d of %d", ErrBadIndex, i, len(f.elems))
+	}
+	f.elems[i] = clone(e)
+	return nil
+}
+
+// Remove deletes the i'th element, preserving order.
+func (f *Folder) Remove(i int) error {
+	if i < 0 || i >= len(f.elems) {
+		return fmt.Errorf("%w: %d of %d", ErrBadIndex, i, len(f.elems))
+	}
+	copy(f.elems[i:], f.elems[i+1:])
+	f.elems[len(f.elems)-1] = nil
+	f.elems = f.elems[:len(f.elems)-1]
+	return nil
+}
+
+// Clear removes all elements.
+func (f *Folder) Clear() { f.elems = nil }
+
+// Contains reports whether any element equals e byte-for-byte.
+func (f *Folder) Contains(e []byte) bool {
+	for _, x := range f.elems {
+		if bytes.Equal(x, e) {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsString reports whether any element equals s.
+func (f *Folder) ContainsString(s string) bool { return f.Contains([]byte(s)) }
+
+// Strings returns all elements as strings, in order.
+func (f *Folder) Strings() []string {
+	out := make([]string, len(f.elems))
+	for i, e := range f.elems {
+		out[i] = string(e)
+	}
+	return out
+}
+
+// Elements returns a deep copy of all elements, in order.
+func (f *Folder) Elements() [][]byte {
+	out := make([][]byte, len(f.elems))
+	for i, e := range f.elems {
+		out[i] = clone(e)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the folder.
+func (f *Folder) Clone() *Folder {
+	return &Folder{elems: f.Elements()}
+}
+
+// Equal reports whether two folders hold identical element sequences.
+func (f *Folder) Equal(g *Folder) bool {
+	if f.Len() != g.Len() {
+		return false
+	}
+	for i := range f.elems {
+		if !bytes.Equal(f.elems[i], g.elems[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Append moves nothing: it copies every element of g onto the end of f.
+func (f *Folder) Append(g *Folder) {
+	for _, e := range g.elems {
+		f.Push(e)
+	}
+}
+
+// String renders a short diagnostic description.
+func (f *Folder) String() string {
+	return fmt.Sprintf("Folder(%d elems, %d bytes)", f.Len(), f.Size())
+}
+
+func clone(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	c := make([]byte, len(b))
+	copy(c, b)
+	return c
+}

@@ -1,0 +1,244 @@
+package folder
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestFolderZeroValue(t *testing.T) {
+	var f Folder
+	if f.Len() != 0 || f.Size() != 0 {
+		t.Fatalf("zero folder not empty: len=%d size=%d", f.Len(), f.Size())
+	}
+	if _, err := f.Pop(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Pop on empty = %v, want ErrEmpty", err)
+	}
+	if _, err := f.Dequeue(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Dequeue on empty = %v, want ErrEmpty", err)
+	}
+	f.Push([]byte("x"))
+	if f.Len() != 1 {
+		t.Fatalf("len after push = %d", f.Len())
+	}
+}
+
+func TestFolderStackDiscipline(t *testing.T) {
+	f := OfStrings("a", "b", "c")
+	got, err := f.PopString()
+	if err != nil || got != "c" {
+		t.Fatalf("Pop = %q, %v; want c", got, err)
+	}
+	got, _ = f.PopString()
+	if got != "b" {
+		t.Fatalf("second Pop = %q, want b", got)
+	}
+	if f.Len() != 1 {
+		t.Fatalf("len = %d, want 1", f.Len())
+	}
+}
+
+func TestFolderQueueDiscipline(t *testing.T) {
+	f := OfStrings("a", "b", "c")
+	got, err := f.DequeueString()
+	if err != nil || got != "a" {
+		t.Fatalf("Dequeue = %q, %v; want a", got, err)
+	}
+	got, _ = f.DequeueString()
+	if got != "b" {
+		t.Fatalf("second Dequeue = %q, want b", got)
+	}
+}
+
+func TestFolderMixedStackQueue(t *testing.T) {
+	f := OfStrings("1", "2", "3", "4")
+	front, _ := f.DequeueString()
+	back, _ := f.PopString()
+	if front != "1" || back != "4" {
+		t.Fatalf("got front=%q back=%q", front, back)
+	}
+	if f.Len() != 2 {
+		t.Fatalf("len = %d, want 2", f.Len())
+	}
+}
+
+func TestFolderPushCopies(t *testing.T) {
+	src := []byte("mutable")
+	f := New()
+	f.Push(src)
+	src[0] = 'X'
+	got, _ := f.StringAt(0)
+	if got != "mutable" {
+		t.Fatalf("push did not copy: %q", got)
+	}
+}
+
+func TestFolderAtCopies(t *testing.T) {
+	f := OfStrings("abc")
+	b, _ := f.At(0)
+	b[0] = 'X'
+	got, _ := f.StringAt(0)
+	if got != "abc" {
+		t.Fatalf("At did not copy: %q", got)
+	}
+}
+
+func TestFolderAtOutOfRange(t *testing.T) {
+	f := OfStrings("a")
+	for _, i := range []int{-1, 1, 99} {
+		if _, err := f.At(i); !errors.Is(err, ErrBadIndex) {
+			t.Errorf("At(%d) err = %v, want ErrBadIndex", i, err)
+		}
+	}
+}
+
+func TestFolderSetRemove(t *testing.T) {
+	f := OfStrings("a", "b", "c")
+	if err := f.Set(1, []byte("B")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Remove(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"B", "c"}
+	got := f.Strings()
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if err := f.Remove(5); !errors.Is(err, ErrBadIndex) {
+		t.Fatalf("Remove(5) = %v, want ErrBadIndex", err)
+	}
+	if err := f.Set(-1, nil); !errors.Is(err, ErrBadIndex) {
+		t.Fatalf("Set(-1) = %v, want ErrBadIndex", err)
+	}
+}
+
+func TestFolderPeekFront(t *testing.T) {
+	f := OfStrings("first", "last")
+	p, err := f.Peek()
+	if err != nil || string(p) != "last" {
+		t.Fatalf("Peek = %q, %v", p, err)
+	}
+	fr, err := f.Front()
+	if err != nil || string(fr) != "first" {
+		t.Fatalf("Front = %q, %v", fr, err)
+	}
+	if f.Len() != 2 {
+		t.Fatalf("peek/front must not consume; len=%d", f.Len())
+	}
+	empty := New()
+	if _, err := empty.Peek(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Peek empty = %v", err)
+	}
+	if _, err := empty.Front(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Front empty = %v", err)
+	}
+}
+
+func TestFolderContains(t *testing.T) {
+	f := OfStrings("x", "y")
+	if !f.ContainsString("x") || f.ContainsString("z") {
+		t.Fatalf("Contains wrong: %v", f.Strings())
+	}
+}
+
+func TestFolderCloneIndependence(t *testing.T) {
+	f := OfStrings("a", "b")
+	g := f.Clone()
+	g.PushString("c")
+	if f.Len() != 2 || g.Len() != 3 {
+		t.Fatalf("clone not independent: f=%d g=%d", f.Len(), g.Len())
+	}
+	if !f.Equal(f.Clone()) {
+		t.Fatal("clone not equal to original")
+	}
+	if f.Equal(g) {
+		t.Fatal("diverged folders reported equal")
+	}
+}
+
+func TestFolderAppend(t *testing.T) {
+	f := OfStrings("a")
+	g := OfStrings("b", "c")
+	f.Append(g)
+	if f.Len() != 3 {
+		t.Fatalf("len = %d", f.Len())
+	}
+	if g.Len() != 2 {
+		t.Fatalf("append must not consume source; len=%d", g.Len())
+	}
+}
+
+func TestFolderClear(t *testing.T) {
+	f := OfStrings("a", "b")
+	f.Clear()
+	if f.Len() != 0 {
+		t.Fatalf("len after clear = %d", f.Len())
+	}
+}
+
+func TestFolderSize(t *testing.T) {
+	f := Of([]byte("ab"), []byte("cde"))
+	if f.Size() != 5 {
+		t.Fatalf("Size = %d, want 5", f.Size())
+	}
+}
+
+// Property: pushing then popping n elements returns them in reverse order.
+func TestFolderLIFOProperty(t *testing.T) {
+	prop := func(elems [][]byte) bool {
+		f := New()
+		for _, e := range elems {
+			f.Push(e)
+		}
+		for i := len(elems) - 1; i >= 0; i-- {
+			got, err := f.Pop()
+			if err != nil {
+				return false
+			}
+			if string(got) != string(elems[i]) {
+				return false
+			}
+		}
+		return f.Len() == 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: enqueue then dequeue preserves order (FIFO).
+func TestFolderFIFOProperty(t *testing.T) {
+	prop := func(elems [][]byte) bool {
+		f := New()
+		for _, e := range elems {
+			f.Push(e)
+		}
+		for i := range elems {
+			got, err := f.Dequeue()
+			if err != nil || string(got) != string(elems[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Size is the sum of element lengths and Len the count.
+func TestFolderSizeLenProperty(t *testing.T) {
+	prop := func(elems [][]byte) bool {
+		f := New()
+		total := 0
+		for _, e := range elems {
+			f.Push(e)
+			total += len(e)
+		}
+		return f.Size() == total && f.Len() == len(elems)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,253 @@
+// Package mail implements the paper's second evaluation application: "an
+// interactive mail system where messages are implemented by agents".
+//
+// A message is a TacL agent that carries its own headers and body in its
+// briefcase, jumps to the recipient's site, deposits itself in the
+// recipient's mailbox (a site-local file cabinet folder), and — because a
+// message is an agent, not inert data — optionally travels back to the
+// sender's site to deposit a delivery receipt. Mailboxes are served by a
+// mailbox agent; user programs read mail by meeting it.
+package mail
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/folder"
+	"repro/internal/vnet"
+)
+
+// AgMailbox is the mailbox agent registered at every mail site.
+const AgMailbox = "mailbox"
+
+// Mailbox briefcase protocol folders.
+const (
+	OpFolder      = "OP"      // deposit | list | fetch | delete | receipt
+	UserFolder    = "USER"    // mailbox owner
+	MsgFolder     = "MSG"     // encoded message (deposit) or fetched copy
+	IndexFolder   = "INDEX"   // message index for fetch/delete
+	HeadersFolder = "HEADERS" // list results
+)
+
+// Message is one piece of agent mail.
+type Message struct {
+	From    string // user@site
+	To      string // user@site
+	Subject string
+	Body    string
+}
+
+// Encode renders the message as a single folder element. The body may
+// contain any characters; it is stored after headers as the tail.
+func (m Message) Encode() string {
+	return strings.Join([]string{m.From, m.To, m.Subject, m.Body}, "\x1f")
+}
+
+// ParseMessage decodes an encoded message.
+func ParseMessage(s string) (Message, error) {
+	parts := strings.SplitN(s, "\x1f", 4)
+	if len(parts) != 4 {
+		return Message{}, fmt.Errorf("mail: malformed message %q", s)
+	}
+	return Message{From: parts[0], To: parts[1], Subject: parts[2], Body: parts[3]}, nil
+}
+
+// Address splits "user@site".
+func Address(addr string) (user string, site vnet.SiteID, err error) {
+	u, s, ok := strings.Cut(addr, "@")
+	if !ok || u == "" || s == "" {
+		return "", "", fmt.Errorf("mail: bad address %q", addr)
+	}
+	return u, vnet.SiteID(s), nil
+}
+
+func mboxFolder(user string) string    { return "MBOX:" + user }
+func receiptFolder(user string) string { return "RECEIPTS:" + user }
+
+// InstallMailbox registers the mailbox agent at a site.
+func InstallMailbox(site *core.Site) {
+	site.Register(AgMailbox, core.AgentFunc(func(mc *core.MeetContext, bc *folder.Briefcase) error {
+		op, err := bc.GetString(OpFolder)
+		if err != nil {
+			return fmt.Errorf("mailbox: missing OP: %w", err)
+		}
+		user, err := bc.GetString(UserFolder)
+		if err != nil {
+			return fmt.Errorf("mailbox: missing USER: %w", err)
+		}
+		cab := mc.Site.Cabinet()
+		switch op {
+		case "deposit":
+			raw, err := bc.GetString(MsgFolder)
+			if err != nil {
+				return fmt.Errorf("mailbox: missing MSG: %w", err)
+			}
+			if _, err := ParseMessage(raw); err != nil {
+				return err
+			}
+			cab.AppendString(mboxFolder(user), raw)
+			return nil
+		case "receipt":
+			raw, err := bc.GetString(MsgFolder)
+			if err != nil {
+				return fmt.Errorf("mailbox: missing MSG: %w", err)
+			}
+			cab.AppendString(receiptFolder(user), raw)
+			return nil
+		case "list":
+			headers := folder.New()
+			for i, raw := range cab.Snapshot(mboxFolder(user)).Strings() {
+				m, err := ParseMessage(raw)
+				if err != nil {
+					continue
+				}
+				headers.PushString(fmt.Sprintf("%d: %s: %s", i, m.From, m.Subject))
+			}
+			bc.Put(HeadersFolder, headers)
+			return nil
+		case "fetch":
+			idx, err := mboxIndex(bc)
+			if err != nil {
+				return err
+			}
+			msgs := cab.Snapshot(mboxFolder(user))
+			raw, err := msgs.StringAt(idx)
+			if err != nil {
+				return fmt.Errorf("mailbox: no message %d for %s: %w", idx, user, err)
+			}
+			bc.PutString(MsgFolder, raw)
+			return nil
+		case "delete":
+			idx, err := mboxIndex(bc)
+			if err != nil {
+				return err
+			}
+			msgs := cab.Snapshot(mboxFolder(user))
+			if err := msgs.Remove(idx); err != nil {
+				return fmt.Errorf("mailbox: no message %d for %s: %w", idx, user, err)
+			}
+			cab.Put(mboxFolder(user), msgs)
+			return nil
+		default:
+			return fmt.Errorf("mailbox: unknown op %q", op)
+		}
+	}))
+}
+
+func mboxIndex(bc *folder.Briefcase) (int, error) {
+	s, err := bc.GetString(IndexFolder)
+	if err != nil {
+		return 0, fmt.Errorf("mailbox: missing INDEX: %w", err)
+	}
+	idx, err := strconv.Atoi(s)
+	if err != nil || idx < 0 {
+		return 0, fmt.Errorf("mailbox: bad INDEX %q", s)
+	}
+	return idx, nil
+}
+
+// messageScript is the mail agent: jump to the recipient's site, deposit
+// the carried message, then (if a receipt was requested) travel on to the
+// sender's site and deposit a receipt. The message is code + data moving
+// itself — not a payload pushed by infrastructure.
+const messageScript = `
+	if {[bc_get PHASE 0] eq "outbound"} {
+		bc_set PHASE 0 deliver
+		jump [bc_get DEST 0]
+	}
+	if {[bc_get PHASE 0] eq "deliver"} {
+		bc_push OP deposit
+		meet mailbox
+		bc_del OP
+		if {[bc_get WANTRECEIPT 0] eq "1"} {
+			bc_set PHASE 0 receipt
+			jump [bc_get HOME 0]
+		}
+	}
+	if {[bc_get PHASE 0] eq "receipt"} {
+		bc_push OP receipt
+		bc_set USER 0 [bc_get SENDER 0]
+		meet mailbox
+		bc_del OP
+	}
+`
+
+// Send mails a message: it builds the message agent and injects it at the
+// sender's site, from which it migrates itself. Send is synchronous: it
+// returns once the message agent has finished its journey (including the
+// receipt leg when requested).
+func Send(ctx context.Context, from *core.Site, msg Message, wantReceipt bool) error {
+	fromUser, fromSite, err := Address(msg.From)
+	if err != nil {
+		return err
+	}
+	if fromSite != from.ID() {
+		return fmt.Errorf("mail: sender %s is not at site %s", msg.From, from.ID())
+	}
+	toUser, toSite, err := Address(msg.To)
+	if err != nil {
+		return err
+	}
+	bc := folder.NewBriefcase()
+	bc.PutString("PHASE", "outbound")
+	bc.PutString("DEST", string(toSite))
+	bc.PutString("HOME", string(fromSite))
+	bc.PutString(UserFolder, toUser)
+	bc.PutString("SENDER", fromUser)
+	bc.PutString(MsgFolder, msg.Encode())
+	receipt := "0"
+	if wantReceipt {
+		receipt = "1"
+	}
+	bc.PutString("WANTRECEIPT", receipt)
+	_, err = core.RunScript(ctx, from, messageScript, bc)
+	return err
+}
+
+// List returns the headers in a user's mailbox at a site.
+func List(ctx context.Context, client *core.Site, user string, at vnet.SiteID) ([]string, error) {
+	bc := folder.NewBriefcase()
+	bc.PutString(OpFolder, "list")
+	bc.PutString(UserFolder, user)
+	if err := client.RemoteMeet(ctx, at, AgMailbox, bc); err != nil {
+		return nil, err
+	}
+	h, err := bc.Folder(HeadersFolder)
+	if err != nil {
+		return nil, err
+	}
+	return h.Strings(), nil
+}
+
+// Fetch retrieves message idx from a user's mailbox.
+func Fetch(ctx context.Context, client *core.Site, user string, at vnet.SiteID, idx int) (Message, error) {
+	bc := folder.NewBriefcase()
+	bc.PutString(OpFolder, "fetch")
+	bc.PutString(UserFolder, user)
+	bc.PutString(IndexFolder, strconv.Itoa(idx))
+	if err := client.RemoteMeet(ctx, at, AgMailbox, bc); err != nil {
+		return Message{}, err
+	}
+	raw, err := bc.GetString(MsgFolder)
+	if err != nil {
+		return Message{}, err
+	}
+	return ParseMessage(raw)
+}
+
+// Delete removes message idx from a user's mailbox.
+func Delete(ctx context.Context, client *core.Site, user string, at vnet.SiteID, idx int) error {
+	bc := folder.NewBriefcase()
+	bc.PutString(OpFolder, "delete")
+	bc.PutString(UserFolder, user)
+	bc.PutString(IndexFolder, strconv.Itoa(idx))
+	return client.RemoteMeet(ctx, at, AgMailbox, bc)
+}
+
+// Receipts returns the delivery receipts deposited for a sender at a site.
+func Receipts(site *core.Site, user string) []string {
+	return site.Cabinet().Snapshot(receiptFolder(user)).Strings()
+}

@@ -1,0 +1,749 @@
+package tacl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// evalExpr evaluates a TacL expression. Like Tcl's expr, it performs its
+// own $variable and [command] substitution, so conditions can be passed in
+// braces and re-evaluated on every loop iteration.
+func evalExpr(in *Interp, src string) (string, error) {
+	p := &exprParser{in: in, src: src}
+	v, err := p.parseTernary()
+	if err != nil {
+		return "", fmt.Errorf("expr %q: %w", src, err)
+	}
+	p.skipWS()
+	if p.pos < len(p.src) {
+		return "", fmt.Errorf("expr %q: trailing garbage at %d", src, p.pos)
+	}
+	return v.text(), nil
+}
+
+// exprVal is an expression operand: a number, a string, or both (strings
+// that look numeric are promoted on demand).
+type exprVal struct {
+	s     string
+	isInt bool
+	i     int64
+	isFlt bool
+	f     float64
+}
+
+func numVal(i int64) exprVal {
+	return exprVal{s: strconv.FormatInt(i, 10), isInt: true, i: i, isFlt: true, f: float64(i)}
+}
+
+func fltVal(f float64) exprVal {
+	return exprVal{s: formatFloat(f), isFlt: true, f: f}
+}
+
+func strVal(s string) exprVal {
+	v := exprVal{s: s}
+	if i, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64); err == nil {
+		v.isInt, v.i = true, i
+		v.isFlt, v.f = true, float64(i)
+	} else if f, err := strconv.ParseFloat(strings.TrimSpace(s), 64); err == nil {
+		v.isFlt, v.f = true, f
+	}
+	return v
+}
+
+func boolVal(b bool) exprVal {
+	if b {
+		return numVal(1)
+	}
+	return numVal(0)
+}
+
+func formatFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return strconv.FormatFloat(f, 'f', 1, 64)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func (v exprVal) text() string { return v.s }
+
+func (v exprVal) truthy() (bool, error) {
+	if v.isFlt {
+		return v.f != 0, nil
+	}
+	return Truthy(v.s)
+}
+
+func (v exprVal) needNum() error {
+	if !v.isFlt {
+		return fmt.Errorf("expected number, got %q", v.s)
+	}
+	return nil
+}
+
+type exprParser struct {
+	in  *Interp
+	src string
+	pos int
+}
+
+func (p *exprParser) skipWS() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			p.pos++
+		case c == '\\' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '\n':
+			p.pos += 2 // line continuation inside a braced expression
+		default:
+			return
+		}
+	}
+}
+
+func (p *exprParser) peekOp(ops ...string) string {
+	p.skipWS()
+	for _, op := range ops {
+		if strings.HasPrefix(p.src[p.pos:], op) {
+			return op
+		}
+	}
+	return ""
+}
+
+func (p *exprParser) parseTernary() (exprVal, error) {
+	cond, err := p.parseOr()
+	if err != nil {
+		return exprVal{}, err
+	}
+	if p.peekOp("?") == "" {
+		return cond, nil
+	}
+	p.pos++
+	ok, err := cond.truthy()
+	if err != nil {
+		return exprVal{}, err
+	}
+	thenV, err := p.parseTernary()
+	if err != nil {
+		return exprVal{}, err
+	}
+	if p.peekOp(":") == "" {
+		return exprVal{}, errors.New("expected : in ternary")
+	}
+	p.pos++
+	elseV, err := p.parseTernary()
+	if err != nil {
+		return exprVal{}, err
+	}
+	if ok {
+		return thenV, nil
+	}
+	return elseV, nil
+}
+
+func (p *exprParser) parseOr() (exprVal, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return exprVal{}, err
+	}
+	for p.peekOp("||") != "" {
+		p.pos += 2
+		lb, err := left.truthy()
+		if err != nil {
+			return exprVal{}, err
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return exprVal{}, err
+		}
+		rb, err := right.truthy()
+		if err != nil {
+			return exprVal{}, err
+		}
+		left = boolVal(lb || rb)
+	}
+	return left, nil
+}
+
+func (p *exprParser) parseAnd() (exprVal, error) {
+	left, err := p.parseEquality()
+	if err != nil {
+		return exprVal{}, err
+	}
+	for p.peekOp("&&") != "" {
+		p.pos += 2
+		lb, err := left.truthy()
+		if err != nil {
+			return exprVal{}, err
+		}
+		right, err := p.parseEquality()
+		if err != nil {
+			return exprVal{}, err
+		}
+		rb, err := right.truthy()
+		if err != nil {
+			return exprVal{}, err
+		}
+		left = boolVal(lb && rb)
+	}
+	return left, nil
+}
+
+func (p *exprParser) parseEquality() (exprVal, error) {
+	left, err := p.parseRelational()
+	if err != nil {
+		return exprVal{}, err
+	}
+	for {
+		op := p.peekOp("==", "!=", "eq ", "ne ")
+		if op == "" {
+			// eq/ne at end of string (no trailing space)
+			if p.peekOp("eq", "ne") != "" && p.pos+2 >= len(p.src) {
+				op = p.src[p.pos : p.pos+2]
+			} else {
+				return left, nil
+			}
+		}
+		op = strings.TrimSpace(op)
+		p.pos += len(op)
+		right, err := p.parseRelational()
+		if err != nil {
+			return exprVal{}, err
+		}
+		switch op {
+		case "eq":
+			left = boolVal(left.s == right.s)
+		case "ne":
+			left = boolVal(left.s != right.s)
+		case "==":
+			if left.isFlt && right.isFlt {
+				left = boolVal(left.f == right.f)
+			} else {
+				left = boolVal(left.s == right.s)
+			}
+		case "!=":
+			if left.isFlt && right.isFlt {
+				left = boolVal(left.f != right.f)
+			} else {
+				left = boolVal(left.s != right.s)
+			}
+		}
+	}
+}
+
+func (p *exprParser) parseRelational() (exprVal, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return exprVal{}, err
+	}
+	for {
+		op := p.peekOp("<=", ">=", "<", ">")
+		if op == "" {
+			return left, nil
+		}
+		p.pos += len(op)
+		right, err := p.parseAdditive()
+		if err != nil {
+			return exprVal{}, err
+		}
+		var res bool
+		if left.isFlt && right.isFlt {
+			switch op {
+			case "<":
+				res = left.f < right.f
+			case "<=":
+				res = left.f <= right.f
+			case ">":
+				res = left.f > right.f
+			case ">=":
+				res = left.f >= right.f
+			}
+		} else {
+			c := strings.Compare(left.s, right.s)
+			switch op {
+			case "<":
+				res = c < 0
+			case "<=":
+				res = c <= 0
+			case ">":
+				res = c > 0
+			case ">=":
+				res = c >= 0
+			}
+		}
+		left = boolVal(res)
+	}
+}
+
+func (p *exprParser) parseAdditive() (exprVal, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return exprVal{}, err
+	}
+	for {
+		op := p.peekOp("+", "-")
+		if op == "" {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return exprVal{}, err
+		}
+		if err := left.needNum(); err != nil {
+			return exprVal{}, err
+		}
+		if err := right.needNum(); err != nil {
+			return exprVal{}, err
+		}
+		if left.isInt && right.isInt {
+			if op == "+" {
+				left = numVal(left.i + right.i)
+			} else {
+				left = numVal(left.i - right.i)
+			}
+		} else {
+			if op == "+" {
+				left = fltVal(left.f + right.f)
+			} else {
+				left = fltVal(left.f - right.f)
+			}
+		}
+	}
+}
+
+func (p *exprParser) parseMultiplicative() (exprVal, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return exprVal{}, err
+	}
+	for {
+		op := p.peekOp("*", "/", "%")
+		if op == "" {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseUnary()
+		if err != nil {
+			return exprVal{}, err
+		}
+		if err := left.needNum(); err != nil {
+			return exprVal{}, err
+		}
+		if err := right.needNum(); err != nil {
+			return exprVal{}, err
+		}
+		switch op {
+		case "*":
+			if left.isInt && right.isInt {
+				left = numVal(left.i * right.i)
+			} else {
+				left = fltVal(left.f * right.f)
+			}
+		case "/":
+			if left.isInt && right.isInt {
+				if right.i == 0 {
+					return exprVal{}, errors.New("division by zero")
+				}
+				left = numVal(floorDiv(left.i, right.i))
+			} else {
+				if right.f == 0 {
+					return exprVal{}, errors.New("division by zero")
+				}
+				left = fltVal(left.f / right.f)
+			}
+		case "%":
+			if !left.isInt || !right.isInt {
+				return exprVal{}, errors.New("%% requires integers")
+			}
+			if right.i == 0 {
+				return exprVal{}, errors.New("division by zero")
+			}
+			left = numVal(floorMod(left.i, right.i))
+		}
+	}
+}
+
+// floorDiv and floorMod implement Tcl's flooring integer semantics.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func floorMod(a, b int64) int64 {
+	m := a % b
+	if m != 0 && ((a < 0) != (b < 0)) {
+		m += b
+	}
+	return m
+}
+
+func (p *exprParser) parseUnary() (exprVal, error) {
+	p.skipWS()
+	if p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '!':
+			p.pos++
+			v, err := p.parseUnary()
+			if err != nil {
+				return exprVal{}, err
+			}
+			b, err := v.truthy()
+			if err != nil {
+				return exprVal{}, err
+			}
+			return boolVal(!b), nil
+		case '-':
+			p.pos++
+			v, err := p.parseUnary()
+			if err != nil {
+				return exprVal{}, err
+			}
+			if err := v.needNum(); err != nil {
+				return exprVal{}, err
+			}
+			if v.isInt {
+				return numVal(-v.i), nil
+			}
+			return fltVal(-v.f), nil
+		case '+':
+			p.pos++
+			return p.parseUnary()
+		}
+	}
+	return p.parsePrimary()
+}
+
+func (p *exprParser) parsePrimary() (exprVal, error) {
+	p.skipWS()
+	if p.pos >= len(p.src) {
+		return exprVal{}, errors.New("unexpected end of expression")
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '(':
+		p.pos++
+		v, err := p.parseTernary()
+		if err != nil {
+			return exprVal{}, err
+		}
+		p.skipWS()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return exprVal{}, errors.New("missing )")
+		}
+		p.pos++
+		return v, nil
+	case c == '$':
+		name, err := p.scanVarName()
+		if err != nil {
+			return exprVal{}, err
+		}
+		v, err := p.in.getVar(name)
+		if err != nil {
+			return exprVal{}, err
+		}
+		return strVal(v), nil
+	case c == '[':
+		script, err := p.scanBracketed()
+		if err != nil {
+			return exprVal{}, err
+		}
+		res, err := p.in.Eval(script)
+		if err != nil {
+			return exprVal{}, err
+		}
+		return strVal(res), nil
+	case c == '"':
+		s, err := p.scanQuoted()
+		if err != nil {
+			return exprVal{}, err
+		}
+		return strVal(s), nil
+	case c == '{':
+		s, err := p.scanBraced()
+		if err != nil {
+			return exprVal{}, err
+		}
+		return exprVal{s: s}, nil // braced operands stay strings
+	case c >= '0' && c <= '9' || c == '.':
+		return p.scanNumber()
+	case isAlpha(c):
+		return p.scanIdentOrFunc()
+	default:
+		return exprVal{}, fmt.Errorf("unexpected character %q", c)
+	}
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func (p *exprParser) scanVarName() (string, error) {
+	p.pos++ // '$'
+	if p.pos < len(p.src) && p.src[p.pos] == '{' {
+		end := strings.IndexByte(p.src[p.pos:], '}')
+		if end < 0 {
+			return "", errors.New("missing } in variable name")
+		}
+		name := p.src[p.pos+1 : p.pos+end]
+		p.pos += end + 1
+		return name, nil
+	}
+	start := p.pos
+	for p.pos < len(p.src) && isVarChar(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", errors.New("bad variable reference")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *exprParser) scanBracketed() (string, error) {
+	start := p.pos + 1
+	nest := 0
+	for i := p.pos; i < len(p.src); i++ {
+		switch p.src[i] {
+		case '[':
+			nest++
+		case ']':
+			nest--
+			if nest == 0 {
+				p.pos = i + 1
+				return p.src[start:i], nil
+			}
+		}
+	}
+	return "", errors.New("missing ]")
+}
+
+func (p *exprParser) scanQuoted() (string, error) {
+	var sb strings.Builder
+	i := p.pos + 1
+	for i < len(p.src) {
+		c := p.src[i]
+		if c == '"' {
+			p.pos = i + 1
+			return sb.String(), nil
+		}
+		if c == '\\' && i+1 < len(p.src) {
+			i++
+			sb.WriteByte(unescapeChar(p.src[i]))
+		} else {
+			sb.WriteByte(c)
+		}
+		i++
+	}
+	return "", errors.New("missing close quote")
+}
+
+func (p *exprParser) scanBraced() (string, error) {
+	nest := 0
+	start := p.pos + 1
+	for i := p.pos; i < len(p.src); i++ {
+		switch p.src[i] {
+		case '{':
+			nest++
+		case '}':
+			nest--
+			if nest == 0 {
+				p.pos = i + 1
+				return p.src[start:i], nil
+			}
+		}
+	}
+	return "", errors.New("missing close brace")
+}
+
+func (p *exprParser) scanNumber() (exprVal, error) {
+	start := p.pos
+	seenDot, seenExp := false, false
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c >= '0' && c <= '9':
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+		case (c == 'e' || c == 'E') && !seenExp && p.pos > start:
+			seenExp = true
+			if p.pos+1 < len(p.src) && (p.src[p.pos+1] == '+' || p.src[p.pos+1] == '-') {
+				p.pos++
+			}
+		default:
+			goto done
+		}
+		p.pos++
+	}
+done:
+	tok := p.src[start:p.pos]
+	if !seenDot && !seenExp {
+		i, err := strconv.ParseInt(tok, 10, 64)
+		if err != nil {
+			return exprVal{}, fmt.Errorf("bad integer %q", tok)
+		}
+		return numVal(i), nil
+	}
+	f, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return exprVal{}, fmt.Errorf("bad number %q", tok)
+	}
+	return fltVal(f), nil
+}
+
+// scanIdentOrFunc handles bare identifiers: true/false, math functions with
+// call syntax like sqrt(2), and eq/ne handled upstream. Any other bare word
+// is a plain string operand.
+func (p *exprParser) scanIdentOrFunc() (exprVal, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isVarChar(p.src[p.pos]) {
+		p.pos++
+	}
+	ident := p.src[start:p.pos]
+	p.skipWS()
+	if p.pos < len(p.src) && p.src[p.pos] == '(' {
+		return p.parseFuncCall(ident)
+	}
+	switch ident {
+	case "true", "yes", "on":
+		return boolVal(true), nil
+	case "false", "no", "off":
+		return boolVal(false), nil
+	}
+	return exprVal{s: ident}, nil
+}
+
+func (p *exprParser) parseFuncCall(name string) (exprVal, error) {
+	p.pos++ // '('
+	var args []exprVal
+	p.skipWS()
+	if p.pos < len(p.src) && p.src[p.pos] == ')' {
+		p.pos++
+	} else {
+		for {
+			v, err := p.parseTernary()
+			if err != nil {
+				return exprVal{}, err
+			}
+			args = append(args, v)
+			p.skipWS()
+			if p.pos >= len(p.src) {
+				return exprVal{}, fmt.Errorf("missing ) in call to %s", name)
+			}
+			if p.src[p.pos] == ',' {
+				p.pos++
+				continue
+			}
+			if p.src[p.pos] == ')' {
+				p.pos++
+				break
+			}
+			return exprVal{}, fmt.Errorf("bad argument list for %s", name)
+		}
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s expects %d args, got %d", name, n, len(args))
+		}
+		for _, a := range args {
+			if err := a.needNum(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch name {
+	case "abs":
+		if err := need(1); err != nil {
+			return exprVal{}, err
+		}
+		if args[0].isInt {
+			if args[0].i < 0 {
+				return numVal(-args[0].i), nil
+			}
+			return args[0], nil
+		}
+		return fltVal(math.Abs(args[0].f)), nil
+	case "int":
+		if err := need(1); err != nil {
+			return exprVal{}, err
+		}
+		return numVal(int64(args[0].f)), nil
+	case "double":
+		if err := need(1); err != nil {
+			return exprVal{}, err
+		}
+		return fltVal(args[0].f), nil
+	case "round":
+		if err := need(1); err != nil {
+			return exprVal{}, err
+		}
+		return numVal(int64(math.Round(args[0].f))), nil
+	case "floor":
+		if err := need(1); err != nil {
+			return exprVal{}, err
+		}
+		return fltVal(math.Floor(args[0].f)), nil
+	case "ceil":
+		if err := need(1); err != nil {
+			return exprVal{}, err
+		}
+		return fltVal(math.Ceil(args[0].f)), nil
+	case "sqrt":
+		if err := need(1); err != nil {
+			return exprVal{}, err
+		}
+		if args[0].f < 0 {
+			return exprVal{}, errors.New("sqrt of negative number")
+		}
+		return fltVal(math.Sqrt(args[0].f)), nil
+	case "pow":
+		if err := need(2); err != nil {
+			return exprVal{}, err
+		}
+		return fltVal(math.Pow(args[0].f, args[1].f)), nil
+	case "min":
+		if len(args) == 0 {
+			return exprVal{}, errors.New("min needs arguments")
+		}
+		best := args[0]
+		for _, a := range args[1:] {
+			if err := a.needNum(); err != nil {
+				return exprVal{}, err
+			}
+			if a.f < best.f {
+				best = a
+			}
+		}
+		return best, nil
+	case "max":
+		if len(args) == 0 {
+			return exprVal{}, errors.New("max needs arguments")
+		}
+		best := args[0]
+		for _, a := range args[1:] {
+			if err := a.needNum(); err != nil {
+				return exprVal{}, err
+			}
+			if a.f > best.f {
+				best = a
+			}
+		}
+		return best, nil
+	case "fmod":
+		if err := need(2); err != nil {
+			return exprVal{}, err
+		}
+		if args[1].f == 0 {
+			return exprVal{}, errors.New("division by zero")
+		}
+		return fltVal(math.Mod(args[0].f, args[1].f)), nil
+	default:
+		return exprVal{}, fmt.Errorf("unknown function %q", name)
+	}
+}

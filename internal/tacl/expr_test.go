@@ -1,0 +1,178 @@
+package tacl
+
+import (
+	"strings"
+	"testing"
+)
+
+func exprCases(t *testing.T, cases map[string]string) {
+	t.Helper()
+	for src, want := range cases {
+		in := New()
+		got, err := in.Eval(`expr {` + src + `}`)
+		if err != nil {
+			t.Errorf("expr {%s} error: %v", src, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("expr {%s} = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestExprArithmetic(t *testing.T) {
+	exprCases(t, map[string]string{
+		`1 + 2`:       "3",
+		`10 - 4`:      "6",
+		`6 * 7`:       "42",
+		`7 / 2`:       "3",
+		`-7 / 2`:      "-4", // Tcl floors integer division
+		`7 % 3`:       "1",
+		`-7 % 3`:      "2", // flooring mod
+		`2 + 3 * 4`:   "14",
+		`(2 + 3) * 4`: "20",
+		`-5 + 3`:      "-2",
+		`+5`:          "5",
+		`2.5 + 1.5`:   "4.0",
+		`1 + 2.5`:     "3.5",
+		`10 / 4.0`:    "2.5",
+	})
+}
+
+func TestExprComparison(t *testing.T) {
+	exprCases(t, map[string]string{
+		`1 < 2`:          "1",
+		`2 < 1`:          "0",
+		`2 <= 2`:         "1",
+		`3 > 2`:          "1",
+		`3 >= 4`:         "0",
+		`1 == 1`:         "1",
+		`1 == 1.0`:       "1",
+		`1 != 2`:         "1",
+		`abc eq abc`:     "1",
+		`abc eq abd`:     "0",
+		`abc ne abd`:     "1",
+		`apple < banana`: "1", // string comparison for non-numbers
+	})
+}
+
+func TestExprLogical(t *testing.T) {
+	exprCases(t, map[string]string{
+		`1 && 1`:         "1",
+		`1 && 0`:         "0",
+		`0 || 1`:         "1",
+		`0 || 0`:         "0",
+		`!0`:             "1",
+		`!1`:             "0",
+		`!!5`:            "1",
+		`1 < 2 && 3 < 4`: "1",
+		`true && true`:   "1",
+		`false || true`:  "1",
+	})
+}
+
+func TestExprTernary(t *testing.T) {
+	exprCases(t, map[string]string{
+		`1 ? 10 : 20`:       "10",
+		`0 ? 10 : 20`:       "20",
+		`2 > 1 ? 5 : 6`:     "5",
+		`0 ? 1 : 0 ? 2 : 3`: "3", // right-associative
+	})
+}
+
+func TestExprFunctions(t *testing.T) {
+	exprCases(t, map[string]string{
+		`abs(-5)`:         "5",
+		`abs(5)`:          "5",
+		`abs(-2.5)`:       "2.5",
+		`int(3.9)`:        "3",
+		`round(3.5)`:      "4",
+		`round(3.4)`:      "3",
+		`floor(3.9)`:      "3.0",
+		`ceil(3.1)`:       "4.0",
+		`sqrt(16)`:        "4.0",
+		`pow(2, 10)`:      "1024.0",
+		`min(3, 1, 2)`:    "1",
+		`max(3, 1, 2)`:    "3",
+		`double(5)`:       "5.0",
+		`fmod(7.5, 2)`:    "1.5",
+		`abs(min(-3, 2))`: "3",
+	})
+}
+
+func TestExprVariables(t *testing.T) {
+	in := New()
+	got, err := in.Eval(`set x 4; expr {$x * $x + 1}`)
+	if err != nil || got != "17" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestExprCommandSubstitution(t *testing.T) {
+	in := New()
+	got, err := in.Eval(`proc two {} {return 2}; expr {[two] + 3}`)
+	if err != nil || got != "5" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestExprQuotedStrings(t *testing.T) {
+	exprCases(t, map[string]string{
+		`"abc" eq "abc"`: "1",
+		`"a b" eq "a b"`: "1",
+		`"5" + 3`:        "8",
+	})
+}
+
+func TestExprErrors(t *testing.T) {
+	bad := []string{
+		`1 +`,
+		`1 / 0`,
+		`7 % 0`,
+		`abc + 1`,
+		`(1 + 2`,
+		`sqrt(-1)`,
+		`nosuchfn(1)`,
+		`1 ? 2`,
+		`fmod(1, 0)`,
+		``,
+	}
+	for _, src := range bad {
+		in := New()
+		if _, err := in.Eval(`expr {` + src + `}`); err == nil {
+			t.Errorf("expr {%s} succeeded, want error", src)
+		}
+	}
+}
+
+func TestExprDivisionByZeroMessage(t *testing.T) {
+	in := New()
+	_, err := in.Eval(`expr {1 / 0}`)
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExprScientificNotation(t *testing.T) {
+	exprCases(t, map[string]string{
+		`1e3 + 0`:   "1000.0",
+		`1.5e2 + 0`: "150.0",
+		`2e-1 + 0`:  "0.2",
+	})
+}
+
+func TestExprUnbracedArgs(t *testing.T) {
+	// expr joins multiple args with spaces.
+	in := New()
+	got, err := in.Eval(`expr 1 + 2`)
+	if err != nil || got != "3" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestExprLargeIntegers(t *testing.T) {
+	exprCases(t, map[string]string{
+		`1000000000 * 4`:       "4000000000",
+		`9007199254740993 + 0`: "9007199254740993", // beyond float53 precision
+	})
+}

@@ -1,0 +1,370 @@
+package tacl
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Interp executes TacL scripts. Each agent activation gets a fresh
+// interpreter; host commands (briefcase access, meet, migration) are
+// registered by the kernel before the agent runs.
+//
+// An Interp is not safe for concurrent use; the kernel gives each agent
+// activation its own.
+type Interp struct {
+	globals  map[string]string
+	frames   []*frame
+	procs    map[string]*procDef
+	commands map[string]CmdFunc
+
+	// MaxSteps bounds the number of command evaluations (0 = unlimited).
+	// Exceeding it aborts the script with ErrBudget: TACOMA sites are
+	// autonomous and must be able to bound what a visiting agent consumes.
+	MaxSteps int
+	// Steps counts command evaluations so far.
+	Steps int
+	// StepHook, if set, is invoked on every command evaluation; it can
+	// return an error to abort the agent (used to charge electronic cash
+	// for cycles).
+	StepHook func() error
+	// Out receives the output of puts.
+	Out io.Writer
+
+	depth int
+}
+
+// CmdFunc implements a command. args excludes the command name.
+type CmdFunc func(in *Interp, args []string) (string, error)
+
+type procDef struct {
+	name   string
+	params []procParam
+	body   *Script
+}
+
+type procParam struct {
+	name     string
+	def      string
+	hasDef   bool
+	variadic bool
+}
+
+type frame struct {
+	vars    map[string]string
+	global  map[string]bool   // names linked to globals via the global command
+	aliases map[string]varRef // names linked by upvar
+}
+
+// varRef names a variable in another scope: frame == nil means globals.
+type varRef struct {
+	frame *frame
+	name  string
+}
+
+func ensureAliases(f *frame) map[string]varRef {
+	if f.aliases == nil {
+		f.aliases = make(map[string]varRef)
+	}
+	return f.aliases
+}
+
+// Interpreter-level errors.
+var (
+	// ErrBudget reports that the agent exceeded its step budget.
+	ErrBudget = errors.New("tacl: step budget exhausted")
+	// ErrDepth reports runaway recursion.
+	ErrDepth = errors.New("tacl: recursion too deep")
+)
+
+// maxDepth bounds proc recursion and eval nesting.
+const maxDepth = 200
+
+// Control-flow signals travel as errors.
+var (
+	errBreak    = errors.New("tacl: break outside loop")
+	errContinue = errors.New("tacl: continue outside loop")
+)
+
+type returnSignal struct{ value string }
+
+func (r *returnSignal) Error() string { return "tacl: return outside proc" }
+
+// jumpSignal aborts script execution after a successful migration; the
+// kernel's jump command raises it so no code after jump runs at the origin.
+type jumpSignal struct{ dest string }
+
+func (j *jumpSignal) Error() string { return "tacl: agent jumped to " + j.dest }
+
+// IsJump reports whether err is the post-migration stop signal and, if so,
+// the destination site.
+func IsJump(err error) (string, bool) {
+	var js *jumpSignal
+	if errors.As(err, &js) {
+		return js.dest, true
+	}
+	return "", false
+}
+
+// JumpSignal constructs the stop signal for a migration to dest. Only the
+// kernel's migration commands should raise it.
+func JumpSignal(dest string) error { return &jumpSignal{dest: dest} }
+
+// New creates an interpreter with the full builtin command set.
+func New() *Interp {
+	in := &Interp{
+		globals:  make(map[string]string),
+		procs:    make(map[string]*procDef),
+		commands: make(map[string]CmdFunc),
+		Out:      io.Discard,
+	}
+	registerBuiltins(in)
+	return in
+}
+
+// Register installs (or replaces) a host command.
+func (in *Interp) Register(name string, fn CmdFunc) { in.commands[name] = fn }
+
+// Commands returns the names of all registered commands, sorted.
+func (in *Interp) Commands() []string {
+	names := make([]string, 0, len(in.commands))
+	for n := range in.commands {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SetGlobal sets a global variable.
+func (in *Interp) SetGlobal(name, value string) { in.globals[name] = value }
+
+// Global reads a global variable.
+func (in *Interp) Global(name string) (string, bool) {
+	v, ok := in.globals[name]
+	return v, ok
+}
+
+// Eval parses and runs a script, returning the result of its last command.
+func (in *Interp) Eval(src string) (string, error) {
+	s, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return in.EvalScript(s)
+}
+
+// EvalScript runs a previously parsed script.
+func (in *Interp) EvalScript(s *Script) (string, error) {
+	var result string
+	for i := range s.cmds {
+		r, err := in.evalCommand(&s.cmds[i])
+		if err != nil {
+			return "", err
+		}
+		result = r
+	}
+	return result, nil
+}
+
+func (in *Interp) evalCommand(c *command) (string, error) {
+	in.Steps++
+	if in.MaxSteps > 0 && in.Steps > in.MaxSteps {
+		return "", fmt.Errorf("%w after %d steps (line %d)", ErrBudget, in.Steps-1, c.line)
+	}
+	if in.StepHook != nil {
+		if err := in.StepHook(); err != nil {
+			return "", fmt.Errorf("tacl: line %d: %w", c.line, err)
+		}
+	}
+	args := make([]string, 0, len(c.words))
+	for i := range c.words {
+		v, err := in.evalWord(&c.words[i])
+		if err != nil {
+			return "", err
+		}
+		args = append(args, v)
+	}
+	if len(args) == 0 {
+		return "", nil
+	}
+	name, rest := args[0], args[1:]
+	if p, ok := in.procs[name]; ok {
+		return in.callProc(p, rest, c.line)
+	}
+	if fn, ok := in.commands[name]; ok {
+		res, err := fn(in, rest)
+		if err != nil && !isControl(err) {
+			return "", decorate(err, name, c.line)
+		}
+		return res, err
+	}
+	return "", fmt.Errorf("tacl: line %d: unknown command %q", c.line, name)
+}
+
+// decorate adds command/line context to an error once, leaving sentinel
+// wrapping intact for errors.Is.
+func decorate(err error, name string, line int) error {
+	var pe *ParseError
+	if errors.As(err, &pe) {
+		return err
+	}
+	var ue *userError
+	if errors.As(err, &ue) {
+		return err
+	}
+	if strings.HasPrefix(err.Error(), "tacl: line ") {
+		return err
+	}
+	return fmt.Errorf("tacl: line %d: %s: %w", line, name, err)
+}
+
+func isControl(err error) bool {
+	if err == errBreak || err == errContinue {
+		return true
+	}
+	var rs *returnSignal
+	var js *jumpSignal
+	return errors.As(err, &rs) || errors.As(err, &js)
+}
+
+func (in *Interp) evalWord(w *word) (string, error) {
+	if len(w.segs) == 1 && w.segs[0].kind == segLit {
+		return w.segs[0].text, nil
+	}
+	var sb strings.Builder
+	for i := range w.segs {
+		seg := &w.segs[i]
+		switch seg.kind {
+		case segLit:
+			sb.WriteString(seg.text)
+		case segVar:
+			v, err := in.getVar(seg.text)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(v)
+		case segCmd:
+			in.depth++
+			if in.depth > maxDepth {
+				in.depth--
+				return "", ErrDepth
+			}
+			v, err := in.EvalScript(seg.script)
+			in.depth--
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(v)
+		}
+	}
+	return sb.String(), nil
+}
+
+// currentFrame returns the active proc frame, or nil at top level (where
+// variables are globals).
+func (in *Interp) currentFrame() *frame {
+	if len(in.frames) == 0 {
+		return nil
+	}
+	return in.frames[len(in.frames)-1]
+}
+
+// parentFrame returns the frame below the current one (nil = top level,
+// where variables are globals).
+func (in *Interp) parentFrame() *frame {
+	if len(in.frames) < 2 {
+		return nil
+	}
+	return in.frames[len(in.frames)-2]
+}
+
+// resolve follows upvar aliases and global links to the map and key that
+// actually store a name in frame f (nil map means the interpreter globals).
+func (in *Interp) resolve(f *frame, name string) (map[string]string, string) {
+	for depth := 0; f != nil && depth < maxDepth; depth++ {
+		if ref, ok := f.aliases[name]; ok {
+			f, name = ref.frame, ref.name
+			continue
+		}
+		if f.global[name] {
+			return in.globals, name
+		}
+		return f.vars, name
+	}
+	return in.globals, name
+}
+
+func (in *Interp) getVar(name string) (string, error) {
+	vars, key := in.resolve(in.currentFrame(), name)
+	if v, ok := vars[key]; ok {
+		return v, nil
+	}
+	return "", fmt.Errorf("tacl: no such variable %q", name)
+}
+
+func (in *Interp) setVar(name, value string) {
+	vars, key := in.resolve(in.currentFrame(), name)
+	vars[key] = value
+}
+
+func (in *Interp) unsetVar(name string) error {
+	vars, key := in.resolve(in.currentFrame(), name)
+	if _, ok := vars[key]; !ok {
+		return fmt.Errorf("tacl: no such variable %q", name)
+	}
+	delete(vars, key)
+	return nil
+}
+
+func (in *Interp) varExists(name string) bool {
+	vars, key := in.resolve(in.currentFrame(), name)
+	_, ok := vars[key]
+	return ok
+}
+
+func (in *Interp) callProc(p *procDef, args []string, line int) (string, error) {
+	in.depth++
+	if in.depth > maxDepth {
+		in.depth--
+		return "", fmt.Errorf("%w calling %q", ErrDepth, p.name)
+	}
+	defer func() { in.depth-- }()
+
+	f := &frame{vars: make(map[string]string), global: make(map[string]bool)}
+	i := 0
+	for pi, param := range p.params {
+		switch {
+		case param.variadic:
+			f.vars[param.name] = FormatList(args[i:])
+			i = len(args)
+		case i < len(args):
+			f.vars[param.name] = args[i]
+			i++
+		case param.hasDef:
+			f.vars[param.name] = param.def
+		default:
+			return "", fmt.Errorf("tacl: line %d: proc %q missing argument %q", line, p.name, p.params[pi].name)
+		}
+	}
+	if i < len(args) {
+		return "", fmt.Errorf("tacl: line %d: proc %q given %d args, takes %d", line, p.name, len(args), len(p.params))
+	}
+
+	in.frames = append(in.frames, f)
+	defer func() { in.frames = in.frames[:len(in.frames)-1] }()
+
+	res, err := in.EvalScript(p.body)
+	var rs *returnSignal
+	switch {
+	case err == nil:
+		return res, nil
+	case errors.As(err, &rs):
+		return rs.value, nil
+	case err == errBreak || err == errContinue:
+		return "", fmt.Errorf("tacl: %v escaped proc %q", err, p.name)
+	default:
+		return "", err
+	}
+}

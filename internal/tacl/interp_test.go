@@ -1,0 +1,570 @@
+package tacl
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func mustEval(t *testing.T, src string) string {
+	t.Helper()
+	in := New()
+	got, err := in.Eval(src)
+	if err != nil {
+		t.Fatalf("Eval(%q) error: %v", src, err)
+	}
+	return got
+}
+
+func evalCases(t *testing.T, cases map[string]string) {
+	t.Helper()
+	for src, want := range cases {
+		in := New()
+		got, err := in.Eval(src)
+		if err != nil {
+			t.Errorf("Eval(%q) error: %v", src, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("Eval(%q) = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestSetAndGet(t *testing.T) {
+	evalCases(t, map[string]string{
+		`set x 5`:                          "5",
+		`set x 5; set x`:                   "5",
+		`set x hello; set y $x; set y`:     "hello",
+		`set x 1; set y 2; expr {$x + $y}`: "3",
+	})
+}
+
+func TestUnknownVariable(t *testing.T) {
+	in := New()
+	_, err := in.Eval(`set y $missing`)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	in := New()
+	_, err := in.Eval(`frobnicate 1 2`)
+	if err == nil || !strings.Contains(err.Error(), "unknown command") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnset(t *testing.T) {
+	in := New()
+	if _, err := in.Eval(`set x 1; unset x`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Eval(`set y $x`); err == nil {
+		t.Fatal("x survived unset")
+	}
+	if _, err := in.Eval(`unset nope`); err == nil {
+		t.Fatal("unset of missing variable succeeded")
+	}
+}
+
+func TestIncr(t *testing.T) {
+	evalCases(t, map[string]string{
+		`set x 5; incr x`:            "6",
+		`set x 5; incr x 10`:         "15",
+		`set x 5; incr x -7`:         "-2",
+		`incr fresh`:                 "1", // auto-initializes to 0
+		`incr fresh 3; incr fresh 3`: "6",
+	})
+	in := New()
+	if _, err := in.Eval(`set x abc; incr x`); err == nil {
+		t.Fatal("incr of non-integer succeeded")
+	}
+}
+
+func TestAppendCommand(t *testing.T) {
+	evalCases(t, map[string]string{
+		`append s a b c`:             "abc",
+		`set s x; append s y; set s`: "xy",
+	})
+}
+
+func TestQuotedAndBracedWords(t *testing.T) {
+	evalCases(t, map[string]string{
+		`set x "hello world"`:         "hello world",
+		`set x {no $subst here}`:      "no $subst here",
+		`set v 5; set x "v is $v"`:    "v is 5",
+		`set v 5; set x "v is ${v}x"`: "v is 5x",
+		`set x "tab\there"`:           "tab\there",
+		`set x {nested {braces} ok}`:  "nested {braces} ok",
+	})
+}
+
+func TestCommandSubstitution(t *testing.T) {
+	evalCases(t, map[string]string{
+		`set x [expr {2 + 3}]`:                         "5",
+		`set x "result: [expr {1 + 1}]"`:               "result: 2",
+		`set a 2; set x [expr {$a * [expr {$a + 1}]}]`: "6",
+	})
+}
+
+func TestIfElse(t *testing.T) {
+	evalCases(t, map[string]string{
+		`if {1} {set r yes}`:                                                      "yes",
+		`if {0} {set r yes} else {set r no}`:                                      "no",
+		`set x 5; if {$x > 3} {set r big} else {set r small}`:                     "big",
+		`set x 2; if {$x > 3} {set r a} elseif {$x > 1} {set r b} else {set r c}`: "b",
+		`set x 0; if {$x > 3} {set r a} elseif {$x > 1} {set r b} else {set r c}`: "c",
+		`if {0} {set r yes}`:                                                      "",
+	})
+}
+
+func TestWhileLoop(t *testing.T) {
+	got := mustEval(t, `
+		set sum 0
+		set i 1
+		while {$i <= 10} {
+			set sum [expr {$sum + $i}]
+			incr i
+		}
+		set sum
+	`)
+	if got != "55" {
+		t.Fatalf("sum = %q, want 55", got)
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	got := mustEval(t, `
+		set fact 1
+		for {set i 1} {$i <= 5} {incr i} {
+			set fact [expr {$fact * $i}]
+		}
+		set fact
+	`)
+	if got != "120" {
+		t.Fatalf("fact = %q, want 120", got)
+	}
+}
+
+func TestForeach(t *testing.T) {
+	got := mustEval(t, `
+		set total 0
+		foreach x {3 1 4 1 5} {
+			set total [expr {$total + $x}]
+		}
+		set total
+	`)
+	if got != "14" {
+		t.Fatalf("total = %q", got)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	got := mustEval(t, `
+		set r {}
+		foreach x {1 2 3 4 5} {
+			if {$x == 2} { continue }
+			if {$x == 4} { break }
+			lappend r $x
+		}
+		set r
+	`)
+	if got != "1 3" {
+		t.Fatalf("r = %q, want '1 3'", got)
+	}
+}
+
+func TestBreakOutsideLoop(t *testing.T) {
+	in := New()
+	if _, err := in.Eval(`break`); err == nil {
+		t.Fatal("bare break succeeded")
+	}
+}
+
+func TestProcBasics(t *testing.T) {
+	got := mustEval(t, `
+		proc add {a b} { return [expr {$a + $b}] }
+		add 2 3
+	`)
+	if got != "5" {
+		t.Fatalf("add = %q", got)
+	}
+}
+
+func TestProcDefaultArgs(t *testing.T) {
+	got := mustEval(t, `
+		proc greet {name {greeting hello}} { return "$greeting $name" }
+		set a [greet world]
+		set b [greet world hi]
+		list $a $b
+	`)
+	if got != `{hello world} {hi world}` {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestProcVariadic(t *testing.T) {
+	got := mustEval(t, `
+		proc count {first args} { return [llength $args] }
+		count a b c d
+	`)
+	if got != "3" {
+		t.Fatalf("count = %q", got)
+	}
+}
+
+func TestProcArityErrors(t *testing.T) {
+	in := New()
+	if _, err := in.Eval(`proc f {a b} {}; f 1`); err == nil || !strings.Contains(err.Error(), "missing argument") {
+		t.Fatalf("missing arg err = %v", err)
+	}
+	if _, err := in.Eval(`proc f {a} {}; f 1 2`); err == nil || !strings.Contains(err.Error(), "takes") {
+		t.Fatalf("extra arg err = %v", err)
+	}
+}
+
+func TestProcLocalScope(t *testing.T) {
+	got := mustEval(t, `
+		set x global-value
+		proc f {} { set x local-value; return $x }
+		f
+		set x
+	`)
+	if got != "global-value" {
+		t.Fatalf("global x = %q (proc leaked locals)", got)
+	}
+}
+
+func TestGlobalCommand(t *testing.T) {
+	got := mustEval(t, `
+		set counter 0
+		proc bump {} { global counter; incr counter }
+		bump; bump; bump
+		set counter
+	`)
+	if got != "3" {
+		t.Fatalf("counter = %q", got)
+	}
+}
+
+func TestProcImplicitReturn(t *testing.T) {
+	got := mustEval(t, `
+		proc last {} { set a 1; set b 2 }
+		last
+	`)
+	if got != "2" {
+		t.Fatalf("implicit return = %q", got)
+	}
+}
+
+func TestProcEarlyReturn(t *testing.T) {
+	got := mustEval(t, `
+		proc f {x} {
+			if {$x > 0} { return pos }
+			return nonpos
+		}
+		list [f 5] [f -5]
+	`)
+	if got != "pos nonpos" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	got := mustEval(t, `
+		proc fib {n} {
+			if {$n < 2} { return $n }
+			return [expr {[fib [expr {$n - 1}]] + [fib [expr {$n - 2}]]}]
+		}
+		fib 10
+	`)
+	if got != "55" {
+		t.Fatalf("fib(10) = %q", got)
+	}
+}
+
+func TestRunawayRecursionBounded(t *testing.T) {
+	in := New()
+	_, err := in.Eval(`proc f {} { f }; f`)
+	if !errors.Is(err, ErrDepth) {
+		t.Fatalf("err = %v, want ErrDepth", err)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	in := New()
+	in.MaxSteps = 100
+	_, err := in.Eval(`while {1} { set x 1 }`)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestStepBudgetNotCatchable(t *testing.T) {
+	in := New()
+	in.MaxSteps = 50
+	_, err := in.Eval(`catch { while {1} { set x 1 } } msg; set survived yes`)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("catch swallowed the budget error: %v", err)
+	}
+}
+
+func TestStepHook(t *testing.T) {
+	in := New()
+	calls := 0
+	in.StepHook = func() error {
+		calls++
+		if calls > 10 {
+			return errors.New("cycles not paid for")
+		}
+		return nil
+	}
+	_, err := in.Eval(`while {1} {set x 1}`)
+	if err == nil || !strings.Contains(err.Error(), "not paid") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCatch(t *testing.T) {
+	evalCases(t, map[string]string{
+		`catch {error boom} msg; set msg`: "boom",
+		`catch {error boom}`:              "1",
+		`catch {set ok fine}`:             "0",
+		`catch {set ok fine} v; set v`:    "fine",
+		`catch {unknowncmd} m; string first "unknown command" $m; expr {[string first {unknown command} $m] >= 0}`: "1",
+	})
+}
+
+func TestErrorCommand(t *testing.T) {
+	in := New()
+	_, err := in.Eval(`error "something failed"`)
+	if err == nil || !strings.Contains(err.Error(), "something failed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEvalCommand(t *testing.T) {
+	evalCases(t, map[string]string{
+		`eval {set x 5}`:               "5",
+		`set cmd {set y 7}; eval $cmd`: "7",
+		`eval set z 9; set z`:          "9",
+	})
+}
+
+func TestPuts(t *testing.T) {
+	in := New()
+	var buf bytes.Buffer
+	in.Out = &buf
+	if _, err := in.Eval(`puts hello; puts -nonewline world`); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "hello\nworld" {
+		t.Fatalf("output = %q", buf.String())
+	}
+}
+
+func TestListCommands(t *testing.T) {
+	evalCases(t, map[string]string{
+		`list a b c`:                          "a b c",
+		`list "a b" c`:                        "{a b} c",
+		`llength {a b c}`:                     "3",
+		`llength {}`:                          "0",
+		`lindex {a b c} 1`:                    "b",
+		`lindex {a b c} end`:                  "c",
+		`lindex {a b c} end-1`:                "b",
+		`lindex {a b c} 99`:                   "",
+		`lappend v a; lappend v "b c"; set v`: "a {b c}",
+		`lrange {a b c d e} 1 3`:              "b c d",
+		`lrange {a b c d e} 3 end`:            "d e",
+		`lrange {a b c} 2 1`:                  "",
+		`lsearch {a b c} b`:                   "1",
+		`lsearch {a b c} z`:                   "-1",
+		`lreverse {1 2 3}`:                    "3 2 1",
+		`lsort {banana apple cherry}`:         "apple banana cherry",
+		`lsort -integer {10 2 33 4}`:          "2 4 10 33",
+		`join {a b c} -`:                      "a-b-c",
+		`join {a b c}`:                        "a b c",
+		`split a,b,c ,`:                       "a b c",
+		`split "a b  c"`:                      "a b c",
+		`concat {a b} {c d}`:                  "a b c d",
+	})
+}
+
+func TestNestedListRoundTrip(t *testing.T) {
+	got := mustEval(t, `
+		set inner [list "x y" z]
+		set outer [list $inner w]
+		lindex [lindex $outer 0] 0
+	`)
+	if got != "x y" {
+		t.Fatalf("nested list = %q", got)
+	}
+}
+
+func TestStringCommands(t *testing.T) {
+	evalCases(t, map[string]string{
+		`string length hello`:        "5",
+		`string tolower HeLLo`:       "hello",
+		`string toupper hello`:       "HELLO",
+		`string trim "  pad  "`:      "pad",
+		`string index hello 1`:       "e",
+		`string index hello end`:     "o",
+		`string index hello 99`:      "",
+		`string range hello 1 3`:     "ell",
+		`string range hello 0 end`:   "hello",
+		`string repeat ab 3`:         "ababab",
+		`string equal a a`:           "1",
+		`string equal a b`:           "0",
+		`string compare a b`:         "-1",
+		`string first ll hello`:      "2",
+		`string first zz hello`:      "-1",
+		`string match "h*o" hello`:   "1",
+		`string match "h?llo" hello`: "1",
+		`string match "x*" hello`:    "0",
+	})
+}
+
+func TestFormatCommand(t *testing.T) {
+	evalCases(t, map[string]string{
+		`format "%d items" 42`:  "42 items",
+		`format "%05d" 42`:      "00042",
+		`format "%.2f" 3.14159`: "3.14",
+		`format "%s=%d" key 7`:  "key=7",
+		`format "100%%"`:        "100%",
+		`format "%x" 255`:       "ff",
+	})
+	in := New()
+	if _, err := in.Eval(`format "%d" notanumber`); err == nil {
+		t.Fatal("integer format verb accepted non-number")
+	}
+	if _, err := in.Eval(`format "%d"`); err == nil {
+		t.Fatal("format with missing args succeeded")
+	}
+}
+
+func TestInfoCommands(t *testing.T) {
+	evalCases(t, map[string]string{
+		`info exists x`:            "0",
+		`set x 1; info exists x`:   "1",
+		`proc p {} {}; info procs`: "p",
+	})
+	in := New()
+	out, err := in.Eval(`info commands`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "set") || !strings.Contains(out, "expr") {
+		t.Fatalf("info commands missing builtins: %q", out)
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := mustEval(t, `
+		# this is a comment
+		set x 1
+		# another; set x 99
+		set x
+	`)
+	if got != "1" {
+		t.Fatalf("x = %q", got)
+	}
+}
+
+func TestSemicolonSeparation(t *testing.T) {
+	got := mustEval(t, `set a 1; set b 2; expr {$a + $b}`)
+	if got != "3" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestLineContinuation(t *testing.T) {
+	got := mustEval(t, "set x [expr {1 + \\\n 2}]")
+	if got != "3" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRegisterHostCommand(t *testing.T) {
+	in := New()
+	in.Register("double", func(in *Interp, args []string) (string, error) {
+		if len(args) != 1 {
+			return "", errors.New("double takes one arg")
+		}
+		return args[0] + args[0], nil
+	})
+	got, err := in.Eval(`double ab`)
+	if err != nil || got != "abab" {
+		t.Fatalf("double = %q, %v", got, err)
+	}
+}
+
+func TestJumpSignalStopsScript(t *testing.T) {
+	in := New()
+	in.Register("jump", func(in *Interp, args []string) (string, error) {
+		return "", JumpSignal(args[0])
+	})
+	executed := false
+	in.Register("after_jump", func(in *Interp, args []string) (string, error) {
+		executed = true
+		return "", nil
+	})
+	_, err := in.Eval(`jump site-b; after_jump`)
+	dest, ok := IsJump(err)
+	if !ok || dest != "site-b" {
+		t.Fatalf("err = %v, want jump to site-b", err)
+	}
+	if executed {
+		t.Fatal("code after jump ran at origin")
+	}
+}
+
+func TestJumpNotCatchable(t *testing.T) {
+	in := New()
+	in.Register("jump", func(in *Interp, args []string) (string, error) {
+		return "", JumpSignal(args[0])
+	})
+	_, err := in.Eval(`catch {jump dest} m`)
+	if _, ok := IsJump(err); !ok {
+		t.Fatalf("catch swallowed jump: %v", err)
+	}
+}
+
+func TestStepsCounted(t *testing.T) {
+	in := New()
+	if _, err := in.Eval(`set a 1; set b 2; set c 3`); err != nil {
+		t.Fatal(err)
+	}
+	if in.Steps != 3 {
+		t.Fatalf("Steps = %d, want 3", in.Steps)
+	}
+}
+
+func TestGlobalsAPI(t *testing.T) {
+	in := New()
+	in.SetGlobal("host", "tromso")
+	got, err := in.Eval(`set host`)
+	if err != nil || got != "tromso" {
+		t.Fatalf("host = %q, %v", got, err)
+	}
+	if _, err := in.Eval(`set out done`); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := in.Global("out"); !ok || v != "done" {
+		t.Fatalf("Global(out) = %q, %v", v, ok)
+	}
+}
+
+func TestDeepWhileNotDepthLimited(t *testing.T) {
+	// Loops must not consume recursion depth.
+	got := mustEval(t, `
+		set i 0
+		while {$i < 1000} { incr i }
+		set i
+	`)
+	if got != "1000" {
+		t.Fatalf("i = %q", got)
+	}
+}

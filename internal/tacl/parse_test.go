@@ -1,0 +1,199 @@
+package tacl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"unclosed brace":     `set x {abc`,
+		"unclosed quote":     `set x "abc`,
+		"unclosed bracket":   `set x [expr 1`,
+		"chars after brace":  `set x {a}b`,
+		"chars after quote":  `set x "a"b`,
+		"trailing backslash": "set x \\",
+		"unclosed var brace": `set x ${name`,
+	}
+	for name, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: Parse(%q) succeeded", name, src)
+		} else {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Errorf("%s: error is not a ParseError: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestParseErrorLineNumbers(t *testing.T) {
+	src := "set a 1\nset b 2\nset c {unclosed"
+	_, err := Parse(src)
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v", err)
+	}
+	if pe.Line != 3 {
+		t.Fatalf("error line = %d, want 3", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "line 3") {
+		t.Fatalf("message lacks line: %q", pe.Error())
+	}
+}
+
+func TestParseEmptyAndComments(t *testing.T) {
+	for _, src := range []string{"", "   \n\n  ", "# just a comment", "# c1\n# c2\n"} {
+		s, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if len(s.cmds) != 0 {
+			t.Fatalf("Parse(%q) produced %d commands", src, len(s.cmds))
+		}
+	}
+}
+
+func TestParseSourcePreserved(t *testing.T) {
+	src := `set x 1`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Source() != src {
+		t.Fatalf("Source = %q", s.Source())
+	}
+}
+
+func TestParseEmptyWordForms(t *testing.T) {
+	in := New()
+	got, err := in.Eval(`set x ""; string length $x`)
+	if err != nil || got != "0" {
+		t.Fatalf("empty quoted word: %q, %v", got, err)
+	}
+	got, err = in.Eval(`set x {}; string length $x`)
+	if err != nil || got != "0" {
+		t.Fatalf("empty braced word: %q, %v", got, err)
+	}
+}
+
+func TestParseDollarLiterals(t *testing.T) {
+	in := New()
+	// A $ not followed by a name is literal.
+	got, err := in.Eval(`set x "cost: 5$"`)
+	if err != nil || got != "cost: 5$" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestParseEscapedDollar(t *testing.T) {
+	in := New()
+	got, err := in.Eval(`set x "\$notavar"`)
+	if err != nil || got != "$notavar" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestParseNestedBrackets(t *testing.T) {
+	in := New()
+	got, err := in.Eval(`set x [expr {[expr {1 + 1}] * [expr {2 + 1}]}]`)
+	if err != nil || got != "6" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestParseBracedPreservesNewlines(t *testing.T) {
+	in := New()
+	got, err := in.Eval("set body {line1\nline2}; string length $body")
+	if err != nil || got != "11" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestListFormatParseRoundTrip(t *testing.T) {
+	cases := [][]string{
+		{"a", "b", "c"},
+		{"with space", "plain"},
+		{"", "empty-first"},
+		{"tab\there"},
+		{"{inner}"},
+		{"mixed {brace", "x"},
+		{"trailing\\"},
+		{"$dollar", "[bracket]", "semi;colon"},
+		{`"quoted"`},
+		{},
+	}
+	for _, elems := range cases {
+		s := FormatList(elems)
+		back, err := ParseList(s)
+		if err != nil {
+			t.Errorf("ParseList(FormatList(%q)) error: %v", elems, err)
+			continue
+		}
+		if len(back) != len(elems) {
+			t.Errorf("round trip %q -> %q -> %q", elems, s, back)
+			continue
+		}
+		for i := range elems {
+			if back[i] != elems[i] {
+				t.Errorf("elem %d: %q -> %q (list %q)", i, elems[i], back[i], s)
+			}
+		}
+	}
+}
+
+func TestListRoundTripProperty(t *testing.T) {
+	prop := func(elems []string) bool {
+		// The list syntax cannot represent carriage returns portably in
+		// bare words; normalize the test inputs the way agents would.
+		for i := range elems {
+			elems[i] = strings.Map(func(r rune) rune {
+				if r == '\r' {
+					return ' '
+				}
+				return r
+			}, elems[i])
+		}
+		back, err := ParseList(FormatList(elems))
+		if err != nil || len(back) != len(elems) {
+			return false
+		}
+		for i := range elems {
+			if back[i] != elems[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseListErrors(t *testing.T) {
+	for _, src := range []string{"{unclosed", `"unclosed`, `{a}b`, `"a"b`} {
+		if _, err := ParseList(src); err == nil {
+			t.Errorf("ParseList(%q) succeeded", src)
+		}
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	trues := []string{"1", "true", "TRUE", "yes", "on", "2", "-1", "0.5"}
+	falses := []string{"0", "false", "no", "off", "", "0.0"}
+	for _, s := range trues {
+		if b, err := Truthy(s); err != nil || !b {
+			t.Errorf("Truthy(%q) = %v, %v; want true", s, b, err)
+		}
+	}
+	for _, s := range falses {
+		if b, err := Truthy(s); err != nil || b {
+			t.Errorf("Truthy(%q) = %v, %v; want false", s, b, err)
+		}
+	}
+	if _, err := Truthy("banana"); err == nil {
+		t.Error("Truthy(banana) succeeded")
+	}
+}

@@ -1,0 +1,139 @@
+package tacl
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+// Property: expr integer arithmetic matches Go's, with Tcl's flooring
+// division/modulo semantics.
+func TestExprIntegerArithmeticProperty(t *testing.T) {
+	in := New()
+	prop := func(a, b int32) bool {
+		src := fmt.Sprintf("expr {%d + %d * 2 - (%d - %d)}", a, b, b, a)
+		got, err := in.Eval(src)
+		if err != nil {
+			return false
+		}
+		want := int64(a) + int64(b)*2 - (int64(b) - int64(a))
+		return got == strconv.FormatInt(want, 10)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: flooring division identity a == (a/b)*b + a%b with sign of the
+// remainder following the divisor.
+func TestExprFlooringDivModProperty(t *testing.T) {
+	in := New()
+	prop := func(a int32, b int32) bool {
+		if b == 0 {
+			return true
+		}
+		q, err := in.Eval(fmt.Sprintf("expr {%d / %d}", a, b))
+		if err != nil {
+			return false
+		}
+		r, err := in.Eval(fmt.Sprintf("expr {%d %% %d}", a, b))
+		if err != nil {
+			return false
+		}
+		qi, _ := strconv.ParseInt(q, 10, 64)
+		ri, _ := strconv.ParseInt(r, 10, 64)
+		if qi*int64(b)+ri != int64(a) {
+			return false
+		}
+		// Remainder takes the divisor's sign (or is zero).
+		return ri == 0 || (ri > 0) == (b > 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: comparison operators agree with Go on random integers.
+func TestExprComparisonProperty(t *testing.T) {
+	in := New()
+	prop := func(a, b int16) bool {
+		for op, want := range map[string]bool{
+			"<":  a < b,
+			"<=": a <= b,
+			">":  a > b,
+			">=": a >= b,
+			"==": a == b,
+			"!=": a != b,
+		} {
+			got, err := in.Eval(fmt.Sprintf("expr {%d %s %d}", a, op, b))
+			if err != nil || got != FormatBool(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: set/get round-trips arbitrary strings through variables,
+// including braces, quotes, and dollars, when passed as data.
+func TestVariableRoundTripProperty(t *testing.T) {
+	prop := func(value string) bool {
+		in := New()
+		in.SetGlobal("v", value)
+		got, err := in.Eval(`set v`)
+		return err == nil && got == value
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: lappend then lindex retrieves every element unchanged (list
+// quoting is transparent), for newline-free strings.
+func TestLappendLindexProperty(t *testing.T) {
+	prop := func(elems []string) bool {
+		in := New()
+		for _, e := range elems {
+			in.SetGlobal("e", e)
+			if _, err := in.Eval(`lappend acc $e`); err != nil {
+				return false
+			}
+		}
+		if len(elems) == 0 {
+			return true
+		}
+		for i, e := range elems {
+			got, err := in.Eval(fmt.Sprintf(`lindex $acc %d`, i))
+			if err != nil || got != e {
+				return false
+			}
+		}
+		n, err := in.Eval(`llength $acc`)
+		return err == nil && n == strconv.Itoa(len(elems))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: string reverse is an involution and preserves length.
+func TestStringReverseProperty(t *testing.T) {
+	in := New()
+	prop := func(s string) bool {
+		in.SetGlobal("s", s)
+		once, err := in.Eval(`string reverse $s`)
+		if err != nil {
+			return false
+		}
+		in.SetGlobal("s", once)
+		twice, err := in.Eval(`string reverse $s`)
+		return err == nil && twice == s && len(once) == len(s)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

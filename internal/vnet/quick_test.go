@@ -1,0 +1,91 @@
+package vnet
+
+import (
+	"context"
+	"testing"
+	"testing/quick"
+)
+
+// Property: byte accounting is exact — after n calls with known payload
+// and reply sizes, BytesTotal equals the sum of payloads, replies, and
+// per-message framing overhead.
+func TestByteAccountingProperty(t *testing.T) {
+	prop := func(sizes []uint16) bool {
+		net := NewNetwork()
+		a := net.AddNode("a")
+		b := net.AddNode("b")
+		b.SetHandler(func(_ SiteID, _ string, payload []byte) ([]byte, error) {
+			// Reply with half the payload.
+			return payload[:len(payload)/2], nil
+		})
+		var want int64
+		for _, sz := range sizes {
+			n := int(sz % 4096)
+			payload := make([]byte, n)
+			if _, err := a.Call(context.Background(), "b", "k", payload); err != nil {
+				return false
+			}
+			want += int64(n + headerOverhead)   // request
+			want += int64(n/2 + headerOverhead) // reply
+		}
+		st := net.Stats()
+		return st.BytesTotal == want && st.Messages == int64(2*len(sizes))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: per-link counters sum to the global counter.
+func TestLinkBytesSumProperty(t *testing.T) {
+	prop := func(payloadSizes []uint8) bool {
+		net := NewNetwork()
+		a := net.AddNode("a")
+		b := net.AddNode("b")
+		c := net.AddNode("c")
+		for _, nd := range []*Node{b, c} {
+			nd.SetHandler(func(SiteID, string, []byte) ([]byte, error) { return []byte("ok"), nil })
+		}
+		for i, sz := range payloadSizes {
+			dest := SiteID("b")
+			if i%2 == 1 {
+				dest = "c"
+			}
+			if _, err := a.Call(context.Background(), dest, "k", make([]byte, int(sz))); err != nil {
+				return false
+			}
+		}
+		sum := net.LinkBytes("a", "b") + net.LinkBytes("b", "a") +
+			net.LinkBytes("a", "c") + net.LinkBytes("c", "a")
+		return sum == net.Stats().BytesTotal
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: restart always changes the incarnation, and crash alone never
+// does.
+func TestIncarnationProperty(t *testing.T) {
+	prop := func(restarts uint8) bool {
+		net := NewNetwork()
+		nd := net.AddNode("x")
+		prev := nd.Incarnation()
+		n := int(restarts % 20)
+		for i := 0; i < n; i++ {
+			net.Crash("x")
+			if nd.Incarnation() != prev {
+				return false // crash must not bump
+			}
+			net.Restart("x")
+			if nd.Incarnation() == prev {
+				return false // restart must bump
+			}
+			prev = nd.Incarnation()
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,231 @@
+package vnet
+
+import (
+	"bufio"
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPEndpoint implements Endpoint over real TCP sockets, so the same TACOMA
+// kernel that runs on the simulator runs between processes and machines
+// (cmd/tacomad). Each Call opens one connection, sends one request frame,
+// and reads one response frame; there is no connection pooling because site
+// daemons are long-lived and calls are coarse (whole briefcases).
+//
+// Frame layout, all lengths uvarint-prefixed:
+//
+//	request  := 'Q' from kind payload
+//	response := 'R' status(1: 0=ok, 1=error) payload-or-error-text
+type TCPEndpoint struct {
+	id          SiteID
+	incarnation int64
+
+	mu      sync.RWMutex
+	peers   map[SiteID]string // site -> host:port
+	handler HandlerFunc
+
+	ln     net.Listener
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+var _ Endpoint = (*TCPEndpoint)(nil)
+
+// NewTCPEndpoint starts a listener on addr (e.g. "127.0.0.1:0") serving
+// calls addressed to site id.
+func NewTCPEndpoint(id SiteID, addr string) (*TCPEndpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("vnet: listen %s: %w", addr, err)
+	}
+	var incb [8]byte
+	if _, err := rand.Read(incb[:]); err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("vnet: incarnation: %w", err)
+	}
+	ep := &TCPEndpoint{
+		id:          id,
+		incarnation: int64(binary.LittleEndian.Uint64(incb[:]) >> 1),
+		peers:       make(map[SiteID]string),
+		ln:          ln,
+		closed:      make(chan struct{}),
+	}
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// ID returns the site name.
+func (ep *TCPEndpoint) ID() SiteID { return ep.id }
+
+// Incarnation identifies this process's boot; a fresh daemon gets a fresh
+// random incarnation, which is what "restart" means for real processes.
+func (ep *TCPEndpoint) Incarnation() int64 { return ep.incarnation }
+
+// Addr returns the listener's actual address, useful with port 0.
+func (ep *TCPEndpoint) Addr() string { return ep.ln.Addr().String() }
+
+// AddPeer registers the network address of another site.
+func (ep *TCPEndpoint) AddPeer(id SiteID, addr string) {
+	ep.mu.Lock()
+	ep.peers[id] = addr
+	ep.mu.Unlock()
+}
+
+// SetHandler installs the serving function for incoming calls.
+func (ep *TCPEndpoint) SetHandler(h HandlerFunc) {
+	ep.mu.Lock()
+	ep.handler = h
+	ep.mu.Unlock()
+}
+
+// Close stops the listener and waits for in-flight handlers.
+func (ep *TCPEndpoint) Close() error {
+	select {
+	case <-ep.closed:
+		return nil
+	default:
+	}
+	close(ep.closed)
+	err := ep.ln.Close()
+	ep.wg.Wait()
+	return err
+}
+
+func (ep *TCPEndpoint) acceptLoop() {
+	defer ep.wg.Done()
+	for {
+		conn, err := ep.ln.Accept()
+		if err != nil {
+			select {
+			case <-ep.closed:
+				return
+			default:
+				continue
+			}
+		}
+		ep.wg.Add(1)
+		go func() {
+			defer ep.wg.Done()
+			defer conn.Close()
+			ep.serveConn(conn)
+		}()
+	}
+}
+
+func (ep *TCPEndpoint) serveConn(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	tag, err := r.ReadByte()
+	if err != nil || tag != 'Q' {
+		return
+	}
+	from, err := readChunk(r)
+	if err != nil {
+		return
+	}
+	kind, err := readChunk(r)
+	if err != nil {
+		return
+	}
+	payload, err := readChunk(r)
+	if err != nil {
+		return
+	}
+	ep.mu.RLock()
+	h := ep.handler
+	ep.mu.RUnlock()
+
+	var status byte
+	var resp []byte
+	if h == nil {
+		status, resp = 1, []byte(ErrNoHandler.Error())
+	} else if data, herr := h(SiteID(from), string(kind), payload); herr != nil {
+		status, resp = 1, []byte(herr.Error())
+	} else {
+		status, resp = 0, data
+	}
+	w := bufio.NewWriter(conn)
+	w.WriteByte('R')
+	w.WriteByte(status)
+	writeChunk(w, resp)
+	w.Flush()
+}
+
+// Call dials the peer registered for to and performs one exchange.
+func (ep *TCPEndpoint) Call(ctx context.Context, to SiteID, kind string, payload []byte) ([]byte, error) {
+	select {
+	case <-ep.closed:
+		return nil, ErrClosed
+	default:
+	}
+	ep.mu.RLock()
+	addr, ok := ep.peers[to]
+	ep.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSite, to)
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrTimeout, to, err)
+	}
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	}
+
+	w := bufio.NewWriter(conn)
+	w.WriteByte('Q')
+	writeChunk(w, []byte(ep.id))
+	writeChunk(w, []byte(kind))
+	writeChunk(w, payload)
+	if err := w.Flush(); err != nil {
+		return nil, fmt.Errorf("vnet: send to %s: %w", to, err)
+	}
+
+	r := bufio.NewReader(conn)
+	tag, err := r.ReadByte()
+	if err != nil || tag != 'R' {
+		return nil, fmt.Errorf("%w: bad response from %s", ErrTimeout, to)
+	}
+	status, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("vnet: read status from %s: %w", to, err)
+	}
+	body, err := readChunk(r)
+	if err != nil {
+		return nil, fmt.Errorf("vnet: read body from %s: %w", to, err)
+	}
+	if status != 0 {
+		return nil, fmt.Errorf("vnet: remote %s: %s", to, body)
+	}
+	return body, nil
+}
+
+func writeChunk(w *bufio.Writer, b []byte) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(b)))
+	w.Write(tmp[:n])
+	w.Write(b)
+}
+
+func readChunk(r *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	const maxChunk = 64 << 20 // refuse absurd frames rather than OOM
+	if n > maxChunk {
+		return nil, fmt.Errorf("vnet: chunk of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

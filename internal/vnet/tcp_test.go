@@ -1,0 +1,141 @@
+package vnet
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func tcpPair(t *testing.T) (*TCPEndpoint, *TCPEndpoint) {
+	t.Helper()
+	a, err := NewTCPEndpoint("a", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTCPEndpoint("b", "127.0.0.1:0")
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	a.AddPeer("b", b.Addr())
+	b.AddPeer("a", a.Addr())
+	a.SetHandler(echoHandler)
+	b.SetHandler(echoHandler)
+	return a, b
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	a, _ := tcpPair(t)
+	got, err := a.Call(context.Background(), "b", "meet", []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "a/meet:payload" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestTCPBothDirections(t *testing.T) {
+	a, b := tcpPair(t)
+	if _, err := a.Call(context.Background(), "b", "k", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Call(context.Background(), "a", "k", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	a, _ := tcpPair(t)
+	big := []byte(strings.Repeat("q", 1<<20))
+	got, err := a.Call(context.Background(), "b", "bulk", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(big)+len("a/bulk:") {
+		t.Fatalf("got %d bytes", len(got))
+	}
+}
+
+func TestTCPHandlerError(t *testing.T) {
+	a, b := tcpPair(t)
+	b.SetHandler(func(SiteID, string, []byte) ([]byte, error) {
+		return nil, errors.New("service refused")
+	})
+	_, err := a.Call(context.Background(), "b", "k", nil)
+	if err == nil || !strings.Contains(err.Error(), "service refused") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPNoHandler(t *testing.T) {
+	a, b := tcpPair(t)
+	b.SetHandler(nil)
+	_, err := a.Call(context.Background(), "b", "k", nil)
+	if err == nil || !strings.Contains(err.Error(), "no handler") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPUnknownPeer(t *testing.T) {
+	a, _ := tcpPair(t)
+	_, err := a.Call(context.Background(), "nowhere", "k", nil)
+	if !errors.Is(err, ErrUnknownSite) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPDeadPeer(t *testing.T) {
+	a, b := tcpPair(t)
+	addr := b.Addr()
+	b.Close()
+	a.AddPeer("b", addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if _, err := a.Call(ctx, "b", "k", nil); err == nil {
+		t.Fatal("call to closed peer succeeded")
+	}
+}
+
+func TestTCPClosedCallerFails(t *testing.T) {
+	a, _ := tcpPair(t)
+	a.Close()
+	if _, err := a.Call(context.Background(), "b", "k", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestTCPCloseIdempotent(t *testing.T) {
+	a, _ := tcpPair(t)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestTCPConcurrent(t *testing.T) {
+	a, _ := tcpPair(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 50)
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := a.Call(context.Background(), "b", "k", []byte("x"))
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

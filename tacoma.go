@@ -1,0 +1,143 @@
+// Package tacoma is the public API of this reproduction of "Operating
+// System Support for Mobile Agents" (Johansen, van Renesse, Schneider,
+// HotOS-V 1995) — the TACOMA system.
+//
+// TACOMA structures distributed computations as agents: processes that
+// migrate through a network to satisfy requests made by their clients.
+// The operating-system support consists of a small set of abstractions —
+// folders, briefcases, file cabinets, and the meet operation — on which
+// everything else (migration, couriers, diffusion, electronic cash,
+// brokers, rear guards) is built as ordinary agents.
+//
+// # Quick start
+//
+//	sys := tacoma.NewSystem(3, tacoma.SystemConfig{})
+//	bc, err := tacoma.RunScript(ctx, sys.SiteAt(0), `
+//	    bc_push TRAIL [host]
+//	    if {[host] eq "site-0"} { jump site-1 }
+//	    bc_push TRAIL [host]
+//	`, nil)
+//
+// Agents written in TacL (a small Tcl-like language, as in the paper's
+// Tcl-based prototype) carry their source in the briefcase CODE folder and
+// migrate by meeting the rexec agent; the jump command is sugar for that.
+// Native Go services implement the Agent interface and are registered at
+// sites with Site.Register.
+//
+// Subsystem entry points:
+//
+//   - electronic cash:  cash.NewBank, cash.Purchase, cash.NewCycleBilling
+//   - scheduling:       broker.Install, broker.NewMonitor, broker.InstallTicketAgent
+//   - fault tolerance:  rearguard.Install, Manager.Launch
+//   - applications:     stormcast.NewField, mail.Send
+//
+// Those packages live under internal/ in this module; the facade re-exports
+// the kernel types needed to use them together.
+package tacoma
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/folder"
+	"repro/internal/tacl"
+	"repro/internal/vnet"
+)
+
+// Core kernel types.
+type (
+	// Site is one autonomous TACOMA node: a place where agents execute.
+	Site = core.Site
+	// SiteConfig tunes a site's autonomy policies.
+	SiteConfig = core.SiteConfig
+	// System is a set of sites on one simulated network.
+	System = core.System
+	// SystemConfig configures a simulated system.
+	SystemConfig = core.SystemConfig
+	// Agent is anything that can be met.
+	Agent = core.Agent
+	// AgentFunc adapts a function to the Agent interface.
+	AgentFunc = core.AgentFunc
+	// MeetContext carries the execution context of one meet.
+	MeetContext = core.MeetContext
+)
+
+// Data abstractions.
+type (
+	// Folder is an ordered list of uninterpreted byte elements.
+	Folder = folder.Folder
+	// Briefcase is the collection of named folders that travels with an
+	// agent.
+	Briefcase = folder.Briefcase
+	// FileCabinet groups site-local folders.
+	FileCabinet = folder.FileCabinet
+)
+
+// Network types.
+type (
+	// SiteID names a site on the network.
+	SiteID = vnet.SiteID
+	// Network is the simulated network sites run on.
+	Network = vnet.Network
+	// LinkParams model one directed link.
+	LinkParams = vnet.LinkParams
+	// Endpoint abstracts a site's network attachment (simulated or TCP).
+	Endpoint = vnet.Endpoint
+)
+
+// Interp is a TacL interpreter, exposed for embedding TacL outside agents.
+type Interp = tacl.Interp
+
+// System agent names.
+const (
+	AgTacl      = core.AgTacl
+	AgRexec     = core.AgRexec
+	AgCourier   = core.AgCourier
+	AgDiffusion = core.AgDiffusion
+)
+
+// Well-known folder names.
+const (
+	CodeFolder    = folder.CodeFolder
+	HostFolder    = folder.HostFolder
+	ContactFolder = folder.ContactFolder
+	SitesFolder   = folder.SitesFolder
+	ResultFolder  = folder.ResultFolder
+	ErrorFolder   = folder.ErrorFolder
+)
+
+// NewSystem creates n sites named "site-0" .. "site-(n-1)" on a fresh
+// simulated network.
+func NewSystem(n int, cfg SystemConfig) *System { return core.NewSystem(n, cfg) }
+
+// NewNamedSystem creates sites with explicit names.
+func NewNamedSystem(names []SiteID, cfg SystemConfig) *System {
+	return core.NewNamedSystem(names, cfg)
+}
+
+// NewSite creates a single site on an endpoint (for TCP deployments).
+func NewSite(ep Endpoint, cfg SiteConfig) *Site { return core.NewSite(ep, cfg) }
+
+// NewNetwork creates an empty simulated network.
+func NewNetwork(opts ...vnet.Option) *Network { return vnet.NewNetwork(opts...) }
+
+// NewTCPEndpoint starts a TCP site endpoint (used by cmd/tacomad).
+func NewTCPEndpoint(id SiteID, addr string) (*vnet.TCPEndpoint, error) {
+	return vnet.NewTCPEndpoint(id, addr)
+}
+
+// NewBriefcase returns an empty briefcase.
+func NewBriefcase() *Briefcase { return folder.NewBriefcase() }
+
+// NewFolder returns an empty folder.
+func NewFolder() *Folder { return folder.New() }
+
+// RunScript injects a TacL agent at a site: the script goes into the CODE
+// folder of bc (created when nil) and ag_tacl is met.
+func RunScript(ctx context.Context, s *Site, src string, bc *Briefcase) (*Briefcase, error) {
+	return core.RunScript(ctx, s, src, bc)
+}
+
+// NewInterp creates a standalone TacL interpreter with the builtin
+// commands but no site bindings.
+func NewInterp() *Interp { return tacl.New() }
