@@ -335,6 +335,75 @@ func BenchmarkE10AgentMail(b *testing.B) {
 	}
 }
 
+// --- E11: guard interception overhead on the meet path (§3) ---
+
+// BenchmarkGuardedMeet quantifies what the security subsystem costs per
+// meet against the unguarded baseline (compare with E4 localMeet). The
+// guarded variants must stay within ~15% of unguarded: the per-meet check
+// is a SIG parse plus a capability lookup — no crypto, which happens once
+// per network arrival instead.
+func BenchmarkGuardedMeet(b *testing.B) {
+	noop := core.AgentFunc(func(*core.MeetContext, *folder.Briefcase) error { return nil })
+	run := func(b *testing.B, s *Site, bc *Briefcase) {
+		b.Helper()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.MeetClient(context.Background(), "noop", bc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("unguarded", func(b *testing.B) {
+		sys := core.NewSystem(1, core.SystemConfig{Seed: 4})
+		sys.SiteAt(0).Register("noop", noop)
+		run(b, sys.SiteAt(0), NewBriefcase())
+	})
+	b.Run("guarded-unsigned", func(b *testing.B) {
+		sys := core.NewSystem(1, core.SystemConfig{Seed: 4})
+		sys.SiteAt(0).Register("noop", noop)
+		InstallGuard(sys.SiteAt(0), NewGuard(nil, NewKeyring()))
+		run(b, sys.SiteAt(0), NewBriefcase())
+	})
+	b.Run("guarded-signed-acl", func(b *testing.B) {
+		sys := core.NewSystem(1, core.SystemConfig{Seed: 4})
+		sys.SiteAt(0).Register("noop", noop)
+		keys := NewKeyring()
+		keys.Enroll("alice")
+		policy := NewPolicy()
+		policy.Grant("alice", Capability{Meet: []string{"noop"}})
+		InstallGuard(sys.SiteAt(0), NewGuard(policy, keys))
+		bc := NewBriefcase()
+		bc.PutString("DATA", "payload")
+		if err := SignBriefcase(keys, "alice", bc, "DATA"); err != nil {
+			b.Fatal(err)
+		}
+		run(b, sys.SiteAt(0), bc)
+	})
+	b.Run("guarded-metered", func(b *testing.B) {
+		// The full accountability path: a signed, funded TacL activation
+		// under a meter, measured against taclAgentActivation in E4.
+		sys := core.NewSystem(1, core.SystemConfig{Seed: 4})
+		keys := NewKeyring()
+		keys.Enroll("alice")
+		g := NewGuard(NewPolicy(), keys)
+		g.Meter = NewMeter(1000, 0)
+		InstallGuard(sys.SiteAt(0), g)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bc, err := SignedScript(keys, "alice", "", `bc_push RESULT [expr {1 + 1}]`, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bc.Put(CashFolder, NewFolder())
+			if err := LaunchSigned(context.Background(), sys.SiteAt(0), bc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- Facade sanity: the public API drives a full roam over TCP too ---
 
 func BenchmarkFacadeRoamSimVsTCP(b *testing.B) {

@@ -27,6 +27,7 @@ func main() {
 	}{
 		{"e1", e1}, {"e2", e2}, {"e5", e5}, {"e6", e6},
 		{"e7", e7}, {"e8", e8}, {"e9", e9}, {"e10", e10},
+		{"e11", e11},
 	}
 	for _, r := range runs {
 		if *only != "" && !strings.EqualFold(*only, r.name) {
@@ -178,6 +179,23 @@ func e10(ctx context.Context) error {
 		}
 		fmt.Printf("| %d | %d | %v | %d | %.0f |\n",
 			row.Users, row.Messages, row.Receipts, row.Delivered, row.MsgPerSec)
+	}
+	return nil
+}
+
+func e11(ctx context.Context) error {
+	header("E11 — security & accountability: firewall sites, capability ACLs, metered meets (§3)")
+	rows, err := experiments.E11Sweep(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("| budget | unsigned rejected | forged rejected | ACL blocked | honest done | runaway killed | site earned | bills at home | money intact |\n")
+	fmt.Printf("|---|---|---|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		fmt.Printf("| %d | %v | %v | %v | %v | %v | %d | %d | %v |\n",
+			r.RunawayBudget, r.UnsignedRejected, r.ForgedRejected, r.ACLBlocked,
+			r.HonestCompleted, r.RunawayTerminated, r.SiteEarned, r.BillingAtHome,
+			r.MoneySupplyIntact)
 	}
 	return nil
 }

@@ -10,9 +10,20 @@
 // The daemon installs the standard system agents (ag_tacl, rexec, courier,
 // diffusion), a mailbox, and the rear-guard machinery, and registers each
 // -peer in the site-local SITES folder so diffusion agents can spread.
+//
+// Guard flags turn the daemon into a firewall site: -firewall rejects
+// unsigned inbound agents, -enroll name=hexkey installs signature keys,
+// -allow name=agents grants meet capabilities, -meter-steps/-activation-fee
+// charge visiting agents electronic cash for cycles, and -auth-secret adds
+// the HMAC handshake at the TCP transport layer:
+//
+//	tacomad -site fw -listen 127.0.0.1:7103 -firewall \
+//	        -enroll alice=$(openssl rand -hex 32) -allow 'alice=ag_*' \
+//	        -meter-steps 1000 -activation-fee 1 -auth-secret deadbeef
 package main
 
 import (
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"log"
@@ -23,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/folder"
+	"repro/internal/guard"
 	"repro/internal/mail"
 	"repro/internal/rearguard"
 	"repro/internal/vnet"
@@ -39,6 +51,18 @@ func (p *peerList) Set(v string) error {
 	return nil
 }
 
+// kvList collects repeatable name=value flags (-enroll, -allow).
+type kvList []string
+
+func (l *kvList) String() string { return strings.Join(*l, ",") }
+func (l *kvList) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("must be name=value, got %q", v)
+	}
+	*l = append(*l, v)
+	return nil
+}
+
 func main() {
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 	site := flag.String("site", "site-0", "this site's name")
@@ -47,15 +71,43 @@ func main() {
 	cabinetPath := flag.String("cabinet", "", "file to persist the site's file cabinet across restarts")
 	var peers peerList
 	flag.Var(&peers, "peer", "peer site as name=host:port (repeatable)")
+
+	// Guard subsystem flags. Any of them installs a guard at the site.
+	firewall := flag.Bool("firewall", false, "reject unsigned/unauthorized inbound agents at the network boundary")
+	requireCash := flag.Bool("require-cash", false, "firewall additionally rejects agents carrying no electronic cash")
+	authSecret := flag.String("auth-secret", "", "hex-encoded shared TCP authentication secret (HMAC handshake)")
+	meterSteps := flag.Int("meter-steps", 0, "charge visiting agents 1 ECU per this many TacL steps (0 = no metering)")
+	activationFee := flag.Int64("activation-fee", 0, "ECUs charged per metered activation")
+	var enrolls, allows kvList
+	flag.Var(&enrolls, "enroll", "principal=hexkey signature key (repeatable)")
+	flag.Var(&allows, "allow", "principal=agent1,agent2 meet capability, globs ok (repeatable)")
 	flag.Parse()
 
 	ep, err := vnet.NewTCPEndpoint(vnet.SiteID(*site), *listen)
 	if err != nil {
 		log.Fatalf("tacomad: %v", err)
 	}
+	if *authSecret != "" {
+		key, err := hex.DecodeString(*authSecret)
+		if err != nil {
+			log.Fatalf("tacomad: bad -auth-secret: %v", err)
+		}
+		ep.SetAuthKey(key)
+	}
 	s := core.NewSite(ep, core.SiteConfig{MaxSteps: *maxSteps})
 	mail.InstallMailbox(s)
 	rearguard.Install(s)
+
+	if *firewall || *requireCash || *meterSteps > 0 || *activationFee > 0 ||
+		len(enrolls) > 0 || len(allows) > 0 {
+		g, err := buildGuard(*firewall, *requireCash, *meterSteps, *activationFee, enrolls, allows)
+		if err != nil {
+			log.Fatalf("tacomad: %v", err)
+		}
+		guard.Install(s, g)
+		log.Printf("tacomad: guard installed (firewall=%v, metering=%v, principals=%v)",
+			*firewall, g.Meter != nil, g.Keys.Principals())
+	}
 
 	// "File cabinets can be flushed to disk when permanence is required."
 	if *cabinetPath != "" {
@@ -94,6 +146,37 @@ func main() {
 		}
 		log.Printf("tacomad: cabinet flushed to %s", *cabinetPath)
 	}
+}
+
+// buildGuard assembles the guard subsystem from the command-line flags.
+func buildGuard(firewall, requireCash bool, meterSteps int, activationFee int64, enrolls, allows kvList) (*guard.Guard, error) {
+	keys := guard.NewKeyring()
+	for _, e := range enrolls {
+		name, hexKey, _ := strings.Cut(e, "=")
+		key, err := hex.DecodeString(hexKey)
+		if err != nil {
+			return nil, fmt.Errorf("bad -enroll key for %q: %w", name, err)
+		}
+		keys.Add(name, key)
+	}
+	policy := guard.NewPolicy()
+	policy.SetFirewall(firewall)
+	policy.SetRequireCash(requireCash)
+	for _, a := range allows {
+		name, agents, _ := strings.Cut(a, "=")
+		var meet []string
+		if agents != "" {
+			meet = strings.Split(agents, ",")
+		} else {
+			meet = []string{}
+		}
+		policy.Grant(name, guard.Capability{Meet: meet})
+	}
+	g := guard.New(policy, keys)
+	if meterSteps > 0 || activationFee > 0 {
+		g.Meter = guard.NewMeter(meterSteps, activationFee)
+	}
+	return g, nil
 }
 
 // flushCabinet writes the cabinet atomically: temp file + rename.

@@ -11,11 +11,17 @@
 //
 //	tacsh -remote site-0 -peer site-0=127.0.0.1:7100 -script hello.tacl
 //
+// Guarded deployments: -auth-secret speaks the TCP handshake of daemons
+// started with the same secret, and -sign name=hexkey signs the agent's
+// briefcase so firewall daemons that enrolled the same key admit it
+// (-home names the site billing records should return to).
+//
 // The final briefcase is printed folder by folder.
 package main
 
 import (
 	"context"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/folder"
+	"repro/internal/guard"
 	"repro/internal/vnet"
 )
 
@@ -35,6 +42,9 @@ func main() {
 	script := flag.String("script", "", "script file ('-' or empty reads stdin)")
 	remote := flag.String("remote", "", "inject at this remote site instead of simulating")
 	timeout := flag.Duration("timeout", 30*time.Second, "overall deadline")
+	authSecret := flag.String("auth-secret", "", "hex-encoded shared TCP authentication secret (remote mode)")
+	sign := flag.String("sign", "", "principal=hexkey: sign the briefcase before injecting (remote mode)")
+	home := flag.String("home", "", "HOME site recorded in the signed briefcase (billing return address)")
 	var peers peerList
 	flag.Var(&peers, "peer", "peer site as name=host:port (repeatable, remote mode)")
 	flag.Parse()
@@ -50,7 +60,7 @@ func main() {
 	if *remote == "" {
 		bc, err = runLocal(ctx, *sites, src)
 	} else {
-		bc, err = runRemote(ctx, *remote, peers, src)
+		bc, err = runRemote(ctx, *remote, peers, src, *authSecret, *sign, *home)
 	}
 	if err != nil {
 		log.Fatalf("tacsh: %v", err)
@@ -77,12 +87,19 @@ func runLocal(ctx context.Context, n int, src string) (*folder.Briefcase, error)
 	return core.RunScript(ctx, sys.SiteAt(0), src, nil)
 }
 
-func runRemote(ctx context.Context, at string, peers peerList, src string) (*folder.Briefcase, error) {
+func runRemote(ctx context.Context, at string, peers peerList, src, authSecret, sign, home string) (*folder.Briefcase, error) {
 	ep, err := vnet.NewTCPEndpoint("tacsh-client", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
 	defer ep.Close()
+	if authSecret != "" {
+		key, err := hex.DecodeString(authSecret)
+		if err != nil {
+			return nil, fmt.Errorf("bad -auth-secret: %w", err)
+		}
+		ep.SetAuthKey(key)
+	}
 	for _, p := range peers {
 		name, addr, ok := strings.Cut(p, "=")
 		if !ok {
@@ -92,7 +109,23 @@ func runRemote(ctx context.Context, at string, peers peerList, src string) (*fol
 	}
 	client := core.NewSite(ep, core.SiteConfig{})
 	bc := folder.NewBriefcase()
-	bc.Ensure(folder.CodeFolder).PushString(src)
+	if sign != "" {
+		principal, hexKey, ok := strings.Cut(sign, "=")
+		if !ok {
+			return nil, fmt.Errorf("-sign must be principal=hexkey, got %q", sign)
+		}
+		key, err := hex.DecodeString(hexKey)
+		if err != nil {
+			return nil, fmt.Errorf("bad -sign key for %q: %w", principal, err)
+		}
+		keys := guard.NewKeyring()
+		keys.Add(principal, key)
+		if bc, err = guard.SignedScript(keys, principal, home, src, bc); err != nil {
+			return nil, err
+		}
+	} else {
+		bc.Ensure(folder.CodeFolder).PushString(src)
+	}
 	if err := client.RemoteMeet(ctx, vnet.SiteID(at), core.AgTacl, bc); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,136 @@
+// Firewall: the security and accountability story end to end.
+//
+// Three sites. site-1 is a firewall: it rejects unsigned agents at the
+// network boundary, enforces a capability ACL on what admitted agents may
+// meet, and meters every funded activation in electronic cash. The demo
+// launches four agents against it — an unsigned one, one signed with an
+// unknown key, a well-behaved paying customer, and a runaway that burns
+// cycles until its budget is gone — and then shows the bill arriving back
+// at the launching site. Run with:
+//
+//	go run ./examples/firewall
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/cash"
+)
+
+func main() {
+	ctx := context.Background()
+	sys := tacoma.NewSystem(3, tacoma.SystemConfig{Seed: 42})
+	defer sys.Wait()
+	home, fw := sys.SiteAt(0), sys.SiteAt(1)
+
+	// One keyring, shared by convention (in a real deployment keys are
+	// distributed out of band). The firewall site enrolls itself so its
+	// billing notices verify at the launching site.
+	keys := tacoma.NewKeyring()
+	keys.Enroll("alice")
+	keys.Enroll("site/" + string(fw.ID()))
+
+	// The launching site is guarded but open.
+	tacoma.InstallGuard(home, tacoma.NewGuard(nil, keys))
+
+	// The firewall site: signatures required, alice may meet only the
+	// appraiser, and cycles cost cash — 1 ECU per activation plus 1 ECU
+	// per 25 TacL steps.
+	policy := tacoma.NewPolicy()
+	policy.SetFirewall(true)
+	policy.Grant("alice", tacoma.Capability{Meet: []string{"appraiser"}})
+	g := tacoma.NewGuard(policy, keys)
+	g.Meter = tacoma.NewMeter(25, 1)
+	tacoma.InstallGuard(fw, g)
+
+	mint := cash.NewMint()
+	g.Meter.Mint = mint // collected bills are validated, not taken on faith
+
+	fw.Register("appraiser", tacoma.AgentFunc(
+		func(mc *tacoma.MeetContext, bc *tacoma.Briefcase) error {
+			bc.PutString(tacoma.ResultFolder, "appraisal: genuine")
+			return nil
+		}))
+	fw.Register("secrets", tacoma.AgentFunc(
+		func(mc *tacoma.MeetContext, bc *tacoma.Briefcase) error {
+			bc.PutString("SECRET", "the vault combination")
+			return nil
+		}))
+
+	fund := func(bc *tacoma.Briefcase, units int) {
+		amounts := make([]int64, units)
+		for i := range amounts {
+			amounts[i] = 1
+		}
+		bills, err := mint.IssueMany(amounts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bc.Put(tacoma.CashFolder, tacoma.NewFolder())
+		f, _ := bc.Folder(tacoma.CashFolder)
+		for _, s := range cash.FormatECUs(bills) {
+			f.PushString(s)
+		}
+	}
+	hop := `if {[host] eq "site-0"} { jump site-1 }` + "\n"
+
+	// 1. An unsigned agent is turned away at the boundary.
+	_, err := tacoma.RunScript(ctx, home, hop+`meet appraiser`, nil)
+	fmt.Printf("1. unsigned agent:        refused (%v)\n\n", err != nil)
+
+	// 2. A signature under a key the firewall never enrolled fares no better.
+	mallory := tacoma.NewKeyring()
+	mallory.Enroll("mallory")
+	bc, err := tacoma.SignedScript(mallory, "mallory", "site-0", hop+`meet appraiser`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = tacoma.LaunchSigned(ctx, home, bc)
+	fmt.Printf("2. unknown-key signature: refused (%v)\n\n", err != nil)
+
+	// 3. alice pays her way: signed, funded, and within her capability.
+	bc, err = tacoma.SignedScript(keys, "alice", "site-0", hop+`
+		meet appraiser
+		bc_push LOG "balance after appraisal: [ecu_balance] ECU"
+	`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fund(bc, 10)
+	if err := tacoma.LaunchSigned(ctx, home, bc); err != nil {
+		log.Fatal(err)
+	}
+	result, _ := bc.GetString(tacoma.ResultFolder)
+	note, _ := bc.GetString("LOG")
+	fmt.Printf("3. honest paying agent:   %q — %s\n\n", result, note)
+
+	// 3b. ...but her capability does not reach the secrets agent.
+	bc, err = tacoma.SignedScript(keys, "alice", "site-0", hop+`meet secrets`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = tacoma.LaunchSigned(ctx, home, bc)
+	fmt.Printf("3b. ACL on secrets agent: refused (%v)\n    %v\n\n", err != nil, err)
+
+	// 4. The runaway: an infinite loop on a 10-ECU budget. The meter
+	// terminates it, confiscates the balance, and bills the home site.
+	bc, err = tacoma.SignedScript(keys, "alice", "site-0", hop+`
+		while {1} { set x 1 }
+	`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fund(bc, 10)
+	err = tacoma.LaunchSigned(ctx, home, bc)
+	fmt.Printf("4. runaway agent:         terminated (%v)\n    %v\n\n", err != nil, err)
+	sys.Wait() // let the billing notice land at home
+
+	fmt.Printf("firewall treasury earned:  %d ECU\n", g.Meter.Earned())
+	fmt.Println("billing records at home site:")
+	for _, rec := range home.Cabinet().Snapshot(tacoma.BillingFolder).Strings() {
+		fmt.Printf("  %s\n", rec)
+	}
+}

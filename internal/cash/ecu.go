@@ -164,31 +164,25 @@ func (w *Wallet) Count() int {
 	return len(w.ecus)
 }
 
-// Withdraw removes ECUs totalling at least amount and returns them. The
-// overshoot, if any, is included — the caller exchanges the bills with the
-// validation agent for exact denominations (a "split"). Withdraw is
-// all-or-nothing: on ErrInsufficient the wallet is unchanged.
-func (w *Wallet) Withdraw(amount int64) ([]ECU, error) {
+// pickGreedy selects bills covering amount from all: deterministic greedy,
+// largest bills first, serial to break ties, overshoot included (bills are
+// indivisible — the validator performs splits). It is the one denomination
+// policy shared by wallets and briefcase CASH folders; on ErrInsufficient
+// nothing is selected.
+func pickGreedy(all []ECU, amount int64) ([]ECU, error) {
 	if amount <= 0 {
 		return nil, fmt.Errorf("cash: withdraw of non-positive amount %d", amount)
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	// Deterministic greedy selection: largest bills first, by serial to
-	// break ties.
-	all := make([]ECU, 0, len(w.ecus))
-	for _, e := range w.ecus {
-		all = append(all, e)
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Amount != all[j].Amount {
-			return all[i].Amount > all[j].Amount
+	sorted := append([]ECU(nil), all...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Amount != sorted[j].Amount {
+			return sorted[i].Amount > sorted[j].Amount
 		}
-		return all[i].Serial < all[j].Serial
+		return sorted[i].Serial < sorted[j].Serial
 	})
 	var picked []ECU
 	var got int64
-	for _, e := range all {
+	for _, e := range sorted {
 		if got >= amount {
 			break
 		}
@@ -197,6 +191,24 @@ func (w *Wallet) Withdraw(amount int64) ([]ECU, error) {
 	}
 	if got < amount {
 		return nil, fmt.Errorf("%w: have %d, need %d", ErrInsufficient, got, amount)
+	}
+	return picked, nil
+}
+
+// Withdraw removes ECUs totalling at least amount and returns them. The
+// overshoot, if any, is included — the caller exchanges the bills with the
+// validation agent for exact denominations (a "split"). Withdraw is
+// all-or-nothing: on ErrInsufficient the wallet is unchanged.
+func (w *Wallet) Withdraw(amount int64) ([]ECU, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	all := make([]ECU, 0, len(w.ecus))
+	for _, e := range w.ecus {
+		all = append(all, e)
+	}
+	picked, err := pickGreedy(all, amount)
+	if err != nil {
+		return nil, err
 	}
 	for _, e := range picked {
 		delete(w.ecus, e.Serial)

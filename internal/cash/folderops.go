@@ -1,0 +1,87 @@
+package cash
+
+import (
+	"fmt"
+
+	"repro/internal/folder"
+)
+
+// Folder-level ECU operations. A roaming agent carries its funds as ECU
+// strings in the briefcase CASH folder; the guard subsystem debits that
+// folder directly when metering an activation, so the money an agent can
+// spend is exactly the money it brought along.
+
+// FolderBalance sums the ECUs held in a CASH-style folder. Malformed
+// elements count as zero — a corrupt bill is worthless, not fatal.
+func FolderBalance(f *folder.Folder) int64 {
+	if f == nil {
+		return 0
+	}
+	var total int64
+	for _, s := range f.Strings() {
+		if e, err := ParseECU(s); err == nil {
+			total += e.Amount
+		}
+	}
+	return total
+}
+
+// WithdrawFromFolder removes ECUs totalling at least amount from the folder
+// and returns them, using the same greedy denomination policy as
+// Wallet.Withdraw (pickGreedy). On ErrInsufficient the folder is unchanged.
+func WithdrawFromFolder(f *folder.Folder, amount int64) ([]ECU, error) {
+	if f == nil {
+		return nil, fmt.Errorf("%w: have 0, need %d", ErrInsufficient, amount)
+	}
+	ecus, err := ParseECUs(f.Strings())
+	if err != nil {
+		return nil, err
+	}
+	taken, err := pickGreedy(ecus, amount)
+	if err != nil {
+		return nil, err
+	}
+	picked := make(map[string]bool, len(taken))
+	for _, e := range taken {
+		picked[e.Serial] = true
+	}
+	var rest []string
+	for _, e := range ecus {
+		if !picked[e.Serial] {
+			rest = append(rest, e.String())
+		}
+	}
+	replaceFolder(f, rest)
+	return taken, nil
+}
+
+// DrainFolder removes and returns every ECU in the folder — the guard's
+// terminal confiscation when an agent's budget is exhausted mid-activation.
+func DrainFolder(f *folder.Folder) []ECU {
+	if f == nil {
+		return nil
+	}
+	ecus, _ := ParseECUs(validElements(f))
+	f.Clear()
+	return ecus
+}
+
+// validElements filters the folder down to parseable ECU strings.
+func validElements(f *folder.Folder) []string {
+	var out []string
+	for _, s := range f.Strings() {
+		if _, err := ParseECU(s); err == nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// replaceFolder rewrites f's contents in place (the briefcase holds the
+// folder by reference, so the caller's view updates too).
+func replaceFolder(f *folder.Folder, elems []string) {
+	f.Clear()
+	for _, s := range elems {
+		f.PushString(s)
+	}
+}

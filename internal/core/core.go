@@ -118,12 +118,56 @@ type Site struct {
 	mu     sync.RWMutex
 	agents map[string]Agent
 
+	// guardv holds the installed Guard (see guard.go); atomic so the hot
+	// meet path avoids a lock when no guard is installed.
+	guardv atomic.Value
+
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
 	activations atomic.Int64 // total meets served
 	running     atomic.Int64 // currently executing meets
-	bg          sync.WaitGroup
+	bg          workTracker
+}
+
+// workTracker counts detached background work. A plain sync.WaitGroup is
+// the wrong tool here: detached agents spawn further detached work from
+// network-handler goroutines the tracker does not own, so Add could start
+// while a concurrent Wait observes zero — a documented WaitGroup misuse
+// that the race detector flags. This tracker serializes the counter under
+// a mutex and waits on a condition variable, giving the same quiesce
+// semantics (Wait returns at a moment the counter is zero) without the
+// race.
+type workTracker struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+func (w *workTracker) add() {
+	w.mu.Lock()
+	w.n++
+	w.mu.Unlock()
+}
+
+func (w *workTracker) done() {
+	w.mu.Lock()
+	w.n--
+	if w.n == 0 && w.cond != nil {
+		w.cond.Broadcast()
+	}
+	w.mu.Unlock()
+}
+
+func (w *workTracker) wait() {
+	w.mu.Lock()
+	if w.cond == nil {
+		w.cond = sync.NewCond(&w.mu)
+	}
+	for w.n > 0 {
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
 }
 
 // NewSite creates a site bound to the given endpoint and installs the
@@ -207,7 +251,7 @@ func (s *Site) Rand(n int64) int64 {
 // Wait blocks until detached background work (async couriers, diffusion
 // clones) spawned by this site has finished. Tests and benchmarks use it to
 // quiesce the system.
-func (s *Site) Wait() { s.bg.Wait() }
+func (s *Site) Wait() { s.bg.wait() }
 
 // Meet executes the named agent locally with the briefcase. It implements
 // the paper's "meet B with bc": the caller blocks until B terminates the
@@ -229,6 +273,11 @@ func (s *Site) Meet(mc *MeetContext, agent string, bc *folder.Briefcase) error {
 	// (mc.Agent); for network arrivals that is "rexec@<origin>".
 	if s.cfg.Admission != nil {
 		if err := s.cfg.Admission(agent, mc.Agent); err != nil {
+			return fmt.Errorf("%w: %s at %s: %v", ErrRefused, agent, s.id, err)
+		}
+	}
+	if g := s.Guard(); g != nil {
+		if err := g.CheckMeet(mc, agent, bc); err != nil {
 			return fmt.Errorf("%w: %s at %s: %v", ErrRefused, agent, s.id, err)
 		}
 	}
@@ -278,9 +327,9 @@ func (s *Site) RemoteMeet(ctx context.Context, dest vnet.SiteID, agent string, b
 // Detached work is how an agent "continues executing concurrently" after
 // terminating a meet.
 func (s *Site) Go(fn func()) {
-	s.bg.Add(1)
+	s.bg.add()
 	go func() {
-		defer s.bg.Done()
+		defer s.bg.done()
 		fn()
 	}()
 }
@@ -300,6 +349,13 @@ func (s *Site) handleCall(from vnet.SiteID, kind string, payload []byte) ([]byte
 		agent, origin, bc, err := decodeMeetRequest(payload)
 		if err != nil {
 			return nil, err
+		}
+		// The firewall check: a guarded site screens inbound agents at the
+		// network boundary before any local meet is dispatched.
+		if g := s.Guard(); g != nil {
+			if err := g.CheckArrival(origin, agent, bc); err != nil {
+				return nil, fmt.Errorf("%w: arrival from %s at %s: %v", ErrRefused, origin, s.id, err)
+			}
 		}
 		// Meet derives the activation's From from mc.Agent, so the network
 		// caller's identity goes there: agents arriving over the wire are

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"repro/internal/folder"
+	"repro/internal/tacl"
+)
+
+// Guard is the kernel's security interception interface. A site with a
+// guard installed consults it on every meet, on every network arrival, on
+// every cabinet access by a TacL agent, and when building the per-step
+// metering hook for an activation. The internal/guard package provides the
+// standard implementation (signed briefcases, capability ACLs, firewall
+// mode, metered meets); the kernel only defines the hook points so that
+// core does not depend on any particular policy.
+//
+// All methods are called on hot paths; implementations must be cheap and
+// safe for concurrent use.
+type Guard interface {
+	// CheckMeet is consulted before dispatching any meet at the site.
+	// Returning an error refuses the meet (wrapped in ErrRefused).
+	CheckMeet(mc *MeetContext, agent string, bc *folder.Briefcase) error
+
+	// CheckArrival is consulted when a meet request arrives over the
+	// network, before the meet is dispatched. This is the site's firewall:
+	// origin is the sending site's name as reported by the transport.
+	CheckArrival(origin, agent string, bc *folder.Briefcase) error
+
+	// CheckCabinet is consulted when a TacL agent reads (write=false) or
+	// mutates (write=true) a site-local cabinet folder.
+	CheckCabinet(mc *MeetContext, bc *folder.Briefcase, name string, write bool) error
+
+	// CheckBriefcase is consulted when a TacL agent mutates one of its own
+	// briefcase folders. The guard uses it to protect the folders its
+	// security rests on (SIG, CASH) from in-script tampering — without it
+	// an admitted agent could shed its identity or forge its funds.
+	CheckBriefcase(mc *MeetContext, bc *folder.Briefcase, name string) error
+
+	// StepHook returns a per-activation hook run on every TacL step of the
+	// agent, or nil for an unmetered activation. Returning an error from
+	// the hook aborts the agent — this is how metered meets terminate an
+	// agent whose electronic-cash budget is exhausted.
+	StepHook(mc *MeetContext, bc *folder.Briefcase) func() error
+
+	// Bind registers guard-aware TacL builtins (acl_check, sign_bc, ...)
+	// for one activation.
+	Bind(in *tacl.Interp, mc *MeetContext, bc *folder.Briefcase)
+}
+
+// guardCell wraps a Guard for atomic.Value storage (which requires a single
+// concrete stored type).
+type guardCell struct{ g Guard }
+
+// SetGuard installs (or, with nil, removes) the site's security guard. The
+// guard takes effect immediately for subsequent meets.
+func (s *Site) SetGuard(g Guard) { s.guardv.Store(guardCell{g}) }
+
+// Guard returns the installed guard, or nil.
+func (s *Site) Guard() Guard {
+	if v := s.guardv.Load(); v != nil {
+		return v.(guardCell).g
+	}
+	return nil
+}

@@ -25,6 +25,22 @@ func runTacL(mc *MeetContext, bc *folder.Briefcase, src string) error {
 	if f := mc.Site.cfg.StepHookFactory; f != nil {
 		in.StepHook = f(mc.Agent, mc.From)
 	}
+	if g := mc.Site.Guard(); g != nil {
+		// The guard's metering hook chains after any configured factory
+		// hook, so cycle billing and guard metering compose.
+		if h := g.StepHook(mc, bc); h != nil {
+			if prev := in.StepHook; prev != nil {
+				in.StepHook = func() error {
+					if err := prev(); err != nil {
+						return err
+					}
+					return h()
+				}
+			} else {
+				in.StepHook = h
+			}
+		}
+	}
 	bindHost(in, mc, bc, src)
 	_, err := in.Eval(src)
 	if _, ok := tacl.IsJump(err); ok {
@@ -45,10 +61,30 @@ func bindHost(in *tacl.Interp, mc *MeetContext, bc *folder.Briefcase, src string
 		return nil
 	}
 
+	// checkCab enforces the site guard's capability ACL on cabinet access;
+	// the briefcase identifies the visiting agent's principal.
+	checkCab := func(name string, write bool) error {
+		if g := site.Guard(); g != nil {
+			return g.CheckCabinet(mc, bc, name, write)
+		}
+		return nil
+	}
+	// checkBc guards mutations of the briefcase's own folders, protecting
+	// the guard-owned ones (SIG, CASH) from in-script tampering.
+	checkBc := func(name string) error {
+		if g := site.Guard(); g != nil {
+			return g.CheckBriefcase(mc, bc, name)
+		}
+		return nil
+	}
+
 	// --- briefcase commands ---
 
 	in.Register("bc_push", func(_ *tacl.Interp, args []string) (string, error) {
 		if err := need(args, 2, "bc_push folder value"); err != nil {
+			return "", err
+		}
+		if err := checkBc(args[0]); err != nil {
 			return "", err
 		}
 		bc.Ensure(args[0]).PushString(args[1])
@@ -56,6 +92,9 @@ func bindHost(in *tacl.Interp, mc *MeetContext, bc *folder.Briefcase, src string
 	})
 	in.Register("bc_pop", func(_ *tacl.Interp, args []string) (string, error) {
 		if err := need(args, 1, "bc_pop folder"); err != nil {
+			return "", err
+		}
+		if err := checkBc(args[0]); err != nil {
 			return "", err
 		}
 		f, err := bc.Folder(args[0])
@@ -66,6 +105,9 @@ func bindHost(in *tacl.Interp, mc *MeetContext, bc *folder.Briefcase, src string
 	})
 	in.Register("bc_dequeue", func(_ *tacl.Interp, args []string) (string, error) {
 		if err := need(args, 1, "bc_dequeue folder"); err != nil {
+			return "", err
+		}
+		if err := checkBc(args[0]); err != nil {
 			return "", err
 		}
 		f, err := bc.Folder(args[0])
@@ -103,6 +145,9 @@ func bindHost(in *tacl.Interp, mc *MeetContext, bc *folder.Briefcase, src string
 		if err := need(args, 3, "bc_set folder index value"); err != nil {
 			return "", err
 		}
+		if err := checkBc(args[0]); err != nil {
+			return "", err
+		}
 		f, err := bc.Folder(args[0])
 		if err != nil {
 			return "", err
@@ -133,6 +178,9 @@ func bindHost(in *tacl.Interp, mc *MeetContext, bc *folder.Briefcase, src string
 		if err := need(args, 1, "bc_del folder"); err != nil {
 			return "", err
 		}
+		if err := checkBc(args[0]); err != nil {
+			return "", err
+		}
 		bc.Delete(args[0])
 		return "", nil
 	})
@@ -153,6 +201,9 @@ func bindHost(in *tacl.Interp, mc *MeetContext, bc *folder.Briefcase, src string
 		if err := need(args, 2, "bc_putlist folder list"); err != nil {
 			return "", err
 		}
+		if err := checkBc(args[0]); err != nil {
+			return "", err
+		}
 		elems, err := tacl.ParseList(args[1])
 		if err != nil {
 			return "", err
@@ -167,11 +218,17 @@ func bindHost(in *tacl.Interp, mc *MeetContext, bc *folder.Briefcase, src string
 		if err := need(args, 2, "cab_append folder value"); err != nil {
 			return "", err
 		}
+		if err := checkCab(args[0], true); err != nil {
+			return "", err
+		}
 		site.Cabinet().AppendString(args[0], args[1])
 		return "", nil
 	})
 	in.Register("cab_contains", func(_ *tacl.Interp, args []string) (string, error) {
 		if err := need(args, 2, "cab_contains folder value"); err != nil {
+			return "", err
+		}
+		if err := checkCab(args[0], false); err != nil {
 			return "", err
 		}
 		return tacl.FormatBool(site.Cabinet().ContainsString(args[0], args[1])), nil
@@ -180,10 +237,16 @@ func bindHost(in *tacl.Interp, mc *MeetContext, bc *folder.Briefcase, src string
 		if err := need(args, 2, "cab_visit folder value"); err != nil {
 			return "", err
 		}
+		if err := checkCab(args[0], true); err != nil {
+			return "", err
+		}
 		return tacl.FormatBool(site.Cabinet().TestAndAppendString(args[0], args[1])), nil
 	})
 	in.Register("cab_len", func(_ *tacl.Interp, args []string) (string, error) {
 		if err := need(args, 1, "cab_len folder"); err != nil {
+			return "", err
+		}
+		if err := checkCab(args[0], false); err != nil {
 			return "", err
 		}
 		return strconv.Itoa(site.Cabinet().FolderLen(args[0])), nil
@@ -192,10 +255,16 @@ func bindHost(in *tacl.Interp, mc *MeetContext, bc *folder.Briefcase, src string
 		if err := need(args, 1, "cab_list folder"); err != nil {
 			return "", err
 		}
+		if err := checkCab(args[0], false); err != nil {
+			return "", err
+		}
 		return tacl.FormatList(site.Cabinet().Snapshot(args[0]).Strings()), nil
 	})
 	in.Register("cab_dequeue", func(_ *tacl.Interp, args []string) (string, error) {
 		if err := need(args, 1, "cab_dequeue folder"); err != nil {
+			return "", err
+		}
+		if err := checkCab(args[0], true); err != nil {
 			return "", err
 		}
 		b, err := site.Cabinet().Dequeue(args[0])
@@ -281,6 +350,12 @@ func bindHost(in *tacl.Interp, mc *MeetContext, bc *folder.Briefcase, src string
 		}
 		return "", err
 	})
+
+	// Guard-aware builtins (acl_check, sign_bc, principal, ecu_balance)
+	// exist only at guarded sites.
+	if g := site.Guard(); g != nil {
+		g.Bind(in, mc, bc)
+	}
 }
 
 // RunScript is a convenience for injecting a TacL agent into the system

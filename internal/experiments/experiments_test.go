@@ -6,6 +6,16 @@ import (
 	"time"
 )
 
+// skipIfShort guards the timing-based experiments (the E8 survival runs
+// take ~20s of real sleeping) so `go test -short ./...` stays fast; CI runs
+// the full suite.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("slow timing-based experiment; run without -short")
+	}
+}
+
 func TestE1AgentWinsAtLargeRecords(t *testing.T) {
 	row, err := E1Bandwidth(context.Background(), 4, 40, 2048, 0.05)
 	if err != nil {
@@ -175,9 +185,7 @@ func TestE7UnknownPolicy(t *testing.T) {
 }
 
 func TestE8GuardsImproveSurvival(t *testing.T) {
-	if testing.Short() {
-		t.Skip("timing-based experiment")
-	}
+	skipIfShort(t)
 	ctx := context.Background()
 	guarded, err := E8Survival(ctx, 10, 4, 1.0, true, 21)
 	if err != nil {
@@ -197,9 +205,7 @@ func TestE8GuardsImproveSurvival(t *testing.T) {
 }
 
 func TestE8IntervalAblation(t *testing.T) {
-	if testing.Short() {
-		t.Skip("timing-based experiment")
-	}
+	skipIfShort(t)
 	rows, err := E8IntervalAblation(context.Background(), 3, 4,
 		[]time.Duration{5 * time.Millisecond, 40 * time.Millisecond}, 31)
 	if err != nil {
@@ -253,5 +259,55 @@ func TestE10MailDeliversAll(t *testing.T) {
 	}
 	if withReceipts.Delivered != 12 {
 		t.Fatalf("delivered %d/12 with receipts", withReceipts.Delivered)
+	}
+}
+
+// The hostile-agent scenario: every attack in E11 must be stopped, the
+// honest agent must complete, and the runaway's bill must land at home.
+func TestE11HostileAgentsContained(t *testing.T) {
+	row, err := E11Security(context.Background(), 10, 25, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.UnsignedRejected {
+		t.Error("unsigned briefcase was not rejected by the firewall")
+	}
+	if !row.ForgedRejected {
+		t.Error("unknown-key signature was not rejected")
+	}
+	if !row.ACLBlocked {
+		t.Error("capability ACL did not block the forbidden meet")
+	}
+	if !row.HonestCompleted {
+		t.Error("honest funded agent failed to complete")
+	}
+	if !row.RunawayTerminated {
+		t.Error("runaway agent was not terminated")
+	}
+	if row.SiteEarned != row.RunawayBudget {
+		t.Errorf("firewall earned %d from the runaway, want its whole budget %d",
+			row.SiteEarned, row.RunawayBudget)
+	}
+	if row.BillingAtHome == 0 {
+		t.Error("no billing record visible at the launching site")
+	}
+	if !row.MoneySupplyIntact {
+		t.Error("minted ECUs not conserved across the experiment")
+	}
+}
+
+func TestE11HonestAgentKeepsChange(t *testing.T) {
+	row, err := E11Security(context.Background(), 50, 25, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.HonestCompleted {
+		t.Fatal("honest agent failed")
+	}
+	if row.HonestSpent <= 0 || row.HonestSpent >= 50 {
+		t.Fatalf("honest agent spent %d of 50; want a small positive charge", row.HonestSpent)
+	}
+	if row.HonestRemaining != 50-row.HonestSpent {
+		t.Fatalf("remaining %d + spent %d != 50", row.HonestRemaining, row.HonestSpent)
 	}
 }

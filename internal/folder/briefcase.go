@@ -61,6 +61,10 @@ func (b *Briefcase) Folder(name string) (*Folder, error) {
 	return f, nil
 }
 
+// Lookup returns the named folder or nil when absent — Folder without the
+// error wrapping, for hot paths that probe optional folders per meet.
+func (b *Briefcase) Lookup(name string) *Folder { return b.folders[name] }
+
 // Ensure returns the named folder, creating it if absent.
 func (b *Briefcase) Ensure(name string) *Folder {
 	b.ensureMap()

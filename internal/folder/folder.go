@@ -81,6 +81,17 @@ func (f *Folder) At(i int) ([]byte, error) {
 	return clone(f.elems[i]), nil
 }
 
+// RawAt returns the i'th element without copying, or nil when out of range.
+// The slice aliases folder memory and must not be mutated or retained; it
+// exists for per-meet hot paths (the guard's principal parse) that cannot
+// afford At's defensive copy.
+func (f *Folder) RawAt(i int) []byte {
+	if i < 0 || i >= len(f.elems) {
+		return nil
+	}
+	return f.elems[i]
+}
+
 // StringAt returns the i'th element as a string.
 func (f *Folder) StringAt(i int) (string, error) {
 	b, err := f.At(i)

@@ -1,0 +1,249 @@
+// Package guard is TACOMA's security and accountability subsystem. The
+// paper names security as one of the two hard OS problems for mobile
+// agents: sites must defend against hostile agents, agents against hostile
+// sites, and the proposed mechanism for accountability is making agents pay
+// for resources with electronic cash (section 3).
+//
+// The subsystem provides four mechanisms, all enforced through the kernel's
+// core.Guard hook points:
+//
+//   - signed briefcases: HMAC signatures over selected folder contents,
+//     binding a briefcase to a principal enrolled in a Keyring;
+//   - capability ACLs: per-site Policy objects deciding which agents a
+//     visiting principal may meet and which cabinet folders it may touch;
+//   - firewall sites: a Policy mode under which unsigned or unauthorized
+//     inbound agents are rejected at the network boundary;
+//   - metered meets: a Meter debiting the electronic-cash balance carried
+//     in the briefcase CASH folder as an activation consumes TacL steps,
+//     terminating and billing agents that exhaust their budget.
+package guard
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/folder"
+	"repro/internal/vnet"
+)
+
+// Folder names used by the guard subsystem.
+const (
+	// SigFolder carries the briefcase signature: one element of the form
+	// "principal|folder1,folder2|hex-mac".
+	SigFolder = "SIG"
+	// HomeFolder names the agent's launching site, the return address for
+	// billing records. Sign it along with CODE so a hostile site cannot
+	// redirect the bill.
+	HomeFolder = "HOME"
+	// BillingFolder carries billing records (briefcase and cabinet).
+	BillingFolder = "BILLING"
+	// UnverifiedBillingFolder is the cabinet quarantine for billing
+	// notices that do not verify under a site principal.
+	UnverifiedBillingFolder = "BILLING-UNVERIFIED"
+	// CashFolder is the briefcase folder holding the agent's ECU budget;
+	// it matches cash.CashFolder by construction.
+	CashFolder = "CASH"
+)
+
+// Signature errors.
+var (
+	// ErrUnsigned is returned when a briefcase carries no SIG folder.
+	ErrUnsigned = errors.New("guard: unsigned briefcase")
+	// ErrBadSignature is returned when a signature fails to verify.
+	ErrBadSignature = errors.New("guard: bad briefcase signature")
+	// ErrUnknownPrincipal is returned for principals absent from the keyring.
+	ErrUnknownPrincipal = errors.New("guard: unknown principal")
+)
+
+// Keyring maps principal names to HMAC signing keys, like cash.KeyRing maps
+// contract parties. A launching site enrolls its principals; firewall sites
+// need the same keys (distributed out of band) to verify arrivals.
+type Keyring struct {
+	mu   sync.RWMutex
+	keys map[string][]byte
+}
+
+// NewKeyring returns an empty keyring.
+func NewKeyring() *Keyring {
+	return &Keyring{keys: make(map[string][]byte)}
+}
+
+// Enroll creates and stores a fresh 32-byte signing key for a principal,
+// returning it so the principal (or its launching site) can sign.
+func (k *Keyring) Enroll(principal string) []byte {
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		panic("guard: crypto/rand unavailable: " + err.Error())
+	}
+	k.Add(principal, key)
+	return key
+}
+
+// Add stores an externally distributed key for a principal.
+func (k *Keyring) Add(principal string, key []byte) {
+	k.mu.Lock()
+	k.keys[principal] = append([]byte(nil), key...)
+	k.mu.Unlock()
+}
+
+// Has reports whether the keyring holds a key for the principal.
+func (k *Keyring) Has(principal string) bool {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	_, ok := k.keys[principal]
+	return ok
+}
+
+// Principals lists enrolled principals in sorted order.
+func (k *Keyring) Principals() []string {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	out := make([]string, 0, len(k.keys))
+	for p := range k.keys {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (k *Keyring) key(principal string) ([]byte, bool) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	key, ok := k.keys[principal]
+	return key, ok
+}
+
+// SitePrincipal is the conventional principal name a site signs under when
+// it ships billing notices home.
+func SitePrincipal(id vnet.SiteID) string { return "site/" + string(id) }
+
+// sigMAC computes the HMAC over the principal name and the canonical
+// encodings of the named folders, in the order given.
+func sigMAC(key []byte, principal string, names []string, bc *folder.Briefcase) ([]byte, error) {
+	mac := hmac.New(sha256.New, key)
+	mac.Write([]byte(principal))
+	mac.Write([]byte{0})
+	for _, n := range names {
+		f, err := bc.Folder(n)
+		if err != nil {
+			return nil, fmt.Errorf("guard: signed folder %q: %w", n, err)
+		}
+		mac.Write([]byte(n))
+		mac.Write([]byte{0})
+		mac.Write(folder.EncodeFolder(f))
+	}
+	return mac.Sum(nil), nil
+}
+
+// Sign signs the named briefcase folders (default: CODE, plus HOME when
+// present) under the principal's key and installs the signature in the SIG
+// folder, replacing any previous signature. The covered folders must exist
+// and their contents must be byte-identical at verification time — for a
+// roaming TacL agent the CODE folder is restored before each hop, so one
+// signature covers the whole itinerary.
+func Sign(k *Keyring, principal string, bc *folder.Briefcase, folders ...string) error {
+	key, ok := k.key(principal)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownPrincipal, principal)
+	}
+	if strings.ContainsAny(principal, "|,") {
+		return fmt.Errorf("guard: principal %q may not contain '|' or ','", principal)
+	}
+	if len(folders) == 0 {
+		folders = []string{folder.CodeFolder}
+		if bc.Has(HomeFolder) {
+			folders = append(folders, HomeFolder)
+		}
+	}
+	names := append([]string(nil), folders...)
+	sort.Strings(names)
+	for _, n := range names {
+		if strings.ContainsAny(n, "|,") {
+			return fmt.Errorf("guard: folder name %q may not contain '|' or ','", n)
+		}
+	}
+	sum, err := sigMAC(key, principal, names, bc)
+	if err != nil {
+		return err
+	}
+	bc.PutString(SigFolder,
+		principal+"|"+strings.Join(names, ",")+"|"+hex.EncodeToString(sum))
+	return nil
+}
+
+// Principal returns the briefcase's claimed principal without verifying the
+// signature ("" when unsigned). Signatures are verified at trust boundaries
+// (network arrival, firewall); within a site the claim is trusted, which
+// keeps the per-meet ACL check free of crypto.
+func Principal(bc *folder.Briefcase) string {
+	p := principalBytes(bc)
+	if p == nil {
+		return ""
+	}
+	return string(p)
+}
+
+// principalBytes is the allocation-free form of Principal for hot paths:
+// one briefcase lookup, an aliased element read, and a scan to '|'.
+func principalBytes(bc *folder.Briefcase) []byte {
+	return principalOfSig(bc.Lookup(SigFolder))
+}
+
+// principalOfSig extracts the claimed principal from a SIG folder (nil for
+// unsigned).
+func principalOfSig(f *folder.Folder) []byte {
+	if f == nil {
+		return nil
+	}
+	el := f.RawAt(0)
+	for i, c := range el {
+		if c == '|' {
+			return el[:i]
+		}
+	}
+	return nil
+}
+
+// Verify checks the briefcase signature against the keyring and returns the
+// verified principal. It returns ErrUnsigned for briefcases without a SIG
+// folder, ErrUnknownPrincipal when the keyring has no key for the claimed
+// principal, and ErrBadSignature when the MAC does not match the current
+// contents of the covered folders.
+func Verify(k *Keyring, bc *folder.Briefcase) (string, error) {
+	if !bc.Has(SigFolder) {
+		return "", ErrUnsigned
+	}
+	raw, err := bc.GetString(SigFolder)
+	if err != nil {
+		return "", ErrUnsigned
+	}
+	parts := strings.SplitN(raw, "|", 3)
+	if len(parts) != 3 {
+		return "", fmt.Errorf("%w: malformed SIG %q", ErrBadSignature, raw)
+	}
+	principal, list, sig := parts[0], parts[1], parts[2]
+	key, ok := k.key(principal)
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownPrincipal, principal)
+	}
+	var names []string
+	if list != "" {
+		names = strings.Split(list, ",")
+	}
+	want, err := sigMAC(key, principal, names, bc)
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBadSignature, err)
+	}
+	got, err := hex.DecodeString(sig)
+	if err != nil || !hmac.Equal(want, got) {
+		return "", fmt.Errorf("%w: principal %q", ErrBadSignature, principal)
+	}
+	return principal, nil
+}

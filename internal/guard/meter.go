@@ -1,0 +1,160 @@
+package guard
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/cash"
+	"repro/internal/folder"
+)
+
+// Meter charges visiting agents electronic cash for the cycles they burn,
+// wiring the kernel's step accounting into the cash subsystem: each TacL
+// activation of a funded agent debits the ECU balance carried in its
+// briefcase CASH folder. An agent whose balance runs dry is terminated and
+// its remaining bills are confiscated — "charging for services would limit
+// possible damage by a run-away agent" (§3).
+type Meter struct {
+	// StepsPerUnit charges one currency unit per this many TacL steps
+	// (0 disables per-step charging).
+	StepsPerUnit int
+	// ActivationFee is charged once at the start of each activation.
+	ActivationFee int64
+	// Mint, if non-nil, is the trusted validation authority: every bill
+	// withdrawn from an agent is validated (retired and reissued) before
+	// it counts as revenue, exactly as the cash package prescribes for
+	// any recipient. Without it the meter accepts bills at face value —
+	// acceptable only when the treasury's own downstream spending
+	// validates, since a forged bill would then be caught there.
+	Mint *cash.Mint
+
+	mu       sync.Mutex
+	treasury *cash.Wallet
+	earned   int64
+	records  []BillingRecord
+}
+
+// NewMeter creates a meter charging activationFee per activation plus one
+// unit per stepsPerUnit interpreter steps.
+func NewMeter(stepsPerUnit int, activationFee int64) *Meter {
+	return &Meter{
+		StepsPerUnit:  stepsPerUnit,
+		ActivationFee: activationFee,
+		treasury:      cash.NewWallet(),
+	}
+}
+
+// Treasury returns the wallet collecting the site's metering revenue.
+func (m *Meter) Treasury() *cash.Wallet { return m.treasury }
+
+// Earned reports total revenue collected by this meter.
+func (m *Meter) Earned() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.earned
+}
+
+// Records returns a copy of all billing records filed at this meter.
+func (m *Meter) Records() []BillingRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]BillingRecord(nil), m.records...)
+}
+
+// charge debits amount from the briefcase CASH folder into the treasury and
+// returns the value actually collected (which may exceed amount: bills are
+// indivisible and overshoot is kept, the incentive to carry small
+// denominations). On ErrInsufficient nothing is collected. With a Mint
+// configured, withdrawn bills are validated first; counterfeit or
+// double-spent bills are confiscated as evidence (per the validator's
+// protocol), collect nothing, and fail the charge — terminating the agent.
+func (m *Meter) charge(f *folder.Folder, amount int64) (int64, error) {
+	bills, err := cash.WithdrawFromFolder(f, amount)
+	if err != nil {
+		return 0, err
+	}
+	if m.Mint != nil {
+		fresh, err := m.Mint.Validate(bills, nil)
+		if err != nil {
+			return 0, fmt.Errorf("counterfeit payment: %w", err)
+		}
+		bills = fresh
+	}
+	m.deposit(bills)
+	return cash.Total(bills), nil
+}
+
+// confiscate drains every remaining bill into the treasury — the terminal
+// debit when an agent exceeds its budget. Forged remainders are kept only
+// as evidence, not revenue.
+func (m *Meter) confiscate(f *folder.Folder) int64 {
+	bills := cash.DrainFolder(f)
+	if m.Mint != nil && len(bills) > 0 {
+		fresh, err := m.Mint.Validate(bills, nil)
+		if err != nil {
+			return 0
+		}
+		bills = fresh
+	}
+	m.deposit(bills)
+	return cash.Total(bills)
+}
+
+func (m *Meter) deposit(bills []cash.ECU) {
+	if len(bills) == 0 {
+		return
+	}
+	m.treasury.Add(bills...)
+	m.mu.Lock()
+	m.earned += cash.Total(bills)
+	m.mu.Unlock()
+}
+
+func (m *Meter) file(r BillingRecord) {
+	m.mu.Lock()
+	m.records = append(m.records, r)
+	m.mu.Unlock()
+}
+
+// BillingRecord documents one accountability event: which principal was
+// charged how much at which site, and why. Records are filed at the
+// metering site and shipped to the agent's HOME site so the launching party
+// sees the bill.
+type BillingRecord struct {
+	Principal string
+	Agent     string
+	Site      string
+	Amount    int64
+	Steps     int
+	Reason    string
+}
+
+// Encode renders the record as a folder element.
+func (r BillingRecord) Encode() string {
+	return strings.Join([]string{
+		r.Principal, r.Agent, r.Site,
+		strconv.FormatInt(r.Amount, 10), strconv.Itoa(r.Steps), r.Reason,
+	}, "|")
+}
+
+// DecodeBillingRecord parses a folder element into a billing record.
+func DecodeBillingRecord(s string) (BillingRecord, error) {
+	parts := strings.SplitN(s, "|", 6)
+	if len(parts) != 6 {
+		return BillingRecord{}, fmt.Errorf("guard: malformed billing record %q", s)
+	}
+	amount, err := strconv.ParseInt(parts[3], 10, 64)
+	if err != nil {
+		return BillingRecord{}, fmt.Errorf("guard: bad amount in billing record %q", s)
+	}
+	steps, err := strconv.Atoi(parts[4])
+	if err != nil {
+		return BillingRecord{}, fmt.Errorf("guard: bad steps in billing record %q", s)
+	}
+	return BillingRecord{
+		Principal: parts[0], Agent: parts[1], Site: parts[2],
+		Amount: amount, Steps: steps, Reason: parts[5],
+	}, nil
+}

@@ -1,0 +1,189 @@
+package guard
+
+import (
+	"path"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Capability lists what a principal may do at a site. Each list is a set of
+// glob patterns (path.Match syntax); nil means unrestricted, while a
+// non-nil empty list denies everything. Patterns without metacharacters are
+// matched exactly via a hash lookup, so large exact allowlists stay cheap.
+type Capability struct {
+	// Meet patterns name the agents the holder may meet. The kernel entry
+	// agents ag_tacl and rexec, and the billing receiver ag_billing, are
+	// always implicitly allowed — without them a visiting agent could
+	// neither run nor leave.
+	Meet []string
+	// Read patterns name the cabinet folders the holder may read.
+	Read []string
+	// Write patterns name the cabinet folders the holder may mutate.
+	Write []string
+}
+
+// compiledCap is the match-optimized form of a Capability.
+type compiledCap struct {
+	meet, read, write *patternSet
+}
+
+// patternSet matches a name against exact entries and glob patterns.
+// nil *patternSet means unrestricted.
+type patternSet struct {
+	exact map[string]struct{}
+	globs []string
+}
+
+func compilePatterns(patterns []string) *patternSet {
+	if patterns == nil {
+		return nil
+	}
+	ps := &patternSet{exact: make(map[string]struct{}, len(patterns))}
+	for _, p := range patterns {
+		if strings.ContainsAny(p, "*?[\\") {
+			ps.globs = append(ps.globs, p)
+		} else {
+			ps.exact[p] = struct{}{}
+		}
+	}
+	return ps
+}
+
+func (ps *patternSet) allows(name string) bool {
+	if ps == nil {
+		return true
+	}
+	if _, ok := ps.exact[name]; ok {
+		return true
+	}
+	for _, g := range ps.globs {
+		if ok, err := path.Match(g, name); err == nil && ok {
+			return true
+		}
+	}
+	return false
+}
+
+func compileCap(c Capability) *compiledCap {
+	return &compiledCap{
+		meet:  compilePatterns(c.Meet),
+		read:  compilePatterns(c.Read),
+		write: compilePatterns(c.Write),
+	}
+}
+
+// Policy is one site's capability ACL: a map from principal to capability,
+// an optional default for principals without an entry, and the firewall
+// switches applied at the network boundary. Policies are safe for
+// concurrent use; grants take effect immediately.
+//
+// Reads vastly outnumber mutations (every meet consults the policy, grants
+// happen at configuration time), so the state lives in an immutable
+// snapshot swapped atomically under a writer mutex — the per-meet read path
+// is one atomic load and costs no lock.
+type Policy struct {
+	mu   sync.Mutex // serializes writers only
+	snap atomic.Pointer[policySnapshot]
+}
+
+// policySnapshot is the immutable compiled state of a Policy.
+type policySnapshot struct {
+	caps     map[string]*compiledCap
+	def      *compiledCap
+	firewall bool
+	needCash bool
+	// permissive short-circuits the whole ACL when nothing is restricted:
+	// no grants, no default — the common case for non-security sites.
+	permissive bool
+}
+
+// NewPolicy returns an empty, permissive policy: every principal (and
+// unsigned briefcases) may do anything. Restrictions opt in via Grant,
+// SetDefault, and SetFirewall.
+func NewPolicy() *Policy {
+	p := &Policy{}
+	p.snap.Store(&policySnapshot{caps: map[string]*compiledCap{}, permissive: true})
+	return p
+}
+
+// mutate swaps in a new snapshot derived from the current one.
+func (p *Policy) mutate(f func(s *policySnapshot)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	old := p.snap.Load()
+	next := &policySnapshot{
+		caps:     make(map[string]*compiledCap, len(old.caps)+1),
+		def:      old.def,
+		firewall: old.firewall,
+		needCash: old.needCash,
+	}
+	for k, v := range old.caps {
+		next.caps[k] = v
+	}
+	f(next)
+	next.permissive = len(next.caps) == 0 && next.def == nil
+	p.snap.Store(next)
+}
+
+// Grant installs a capability for a principal, replacing any previous one.
+func (p *Policy) Grant(principal string, c Capability) {
+	cc := compileCap(c)
+	p.mutate(func(s *policySnapshot) { s.caps[principal] = cc })
+}
+
+// Revoke removes a principal's capability; it falls back to the default.
+func (p *Policy) Revoke(principal string) {
+	p.mutate(func(s *policySnapshot) { delete(s.caps, principal) })
+}
+
+// SetDefault installs the capability applied to principals without a Grant
+// (including unsigned briefcases). A nil default restores permissiveness.
+func (p *Policy) SetDefault(c *Capability) {
+	var cc *compiledCap
+	if c != nil {
+		cc = compileCap(*c)
+	}
+	p.mutate(func(s *policySnapshot) { s.def = cc })
+}
+
+// SetFirewall switches firewall mode: inbound network agents must carry a
+// valid signature by a known principal holding some capability (explicit or
+// default), or they are rejected at the boundary.
+func (p *Policy) SetFirewall(on bool) {
+	p.mutate(func(s *policySnapshot) { s.firewall = on })
+}
+
+// Firewall reports whether firewall mode is on.
+func (p *Policy) Firewall() bool { return p.snap.Load().firewall }
+
+// SetRequireCash makes the firewall additionally reject inbound agents that
+// carry no electronic cash — the paper's "pay for resources" stance taken
+// literally at the door.
+func (p *Policy) SetRequireCash(on bool) {
+	p.mutate(func(s *policySnapshot) { s.needCash = on })
+}
+
+// RequireCash reports whether arrivals must carry funds.
+func (p *Policy) RequireCash() bool { return p.snap.Load().needCash }
+
+// capFor resolves the capability governing a principal: its own grant, else
+// the default, else nil (unrestricted). principal may be the empty string
+// for unsigned briefcases. The byte-slice key avoids allocating on the
+// per-meet hot path (map lookups with string(b) do not allocate).
+func (s *policySnapshot) capFor(principal []byte) *compiledCap {
+	if c, ok := s.caps[string(principal)]; ok {
+		return c
+	}
+	return s.def
+}
+
+// hasCapability reports whether the principal has any capability entry —
+// what a firewall requires of an arrival (an explicit grant or a default).
+func (p *Policy) hasCapability(principal string) bool {
+	s := p.snap.Load()
+	if _, ok := s.caps[principal]; ok {
+		return true
+	}
+	return s.def != nil
+}

@@ -3,13 +3,19 @@ package vnet
 import (
 	"bufio"
 	"context"
+	"crypto/hmac"
 	"crypto/rand"
+	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 )
+
+// ErrAuth is wrapped by all TCP authentication failures.
+var ErrAuth = errors.New("vnet: authentication failed")
 
 // TCPEndpoint implements Endpoint over real TCP sockets, so the same TACOMA
 // kernel that runs on the simulator runs between processes and machines
@@ -21,6 +27,19 @@ import (
 //
 //	request  := 'Q' from kind payload
 //	response := 'R' status(1: 0=ok, 1=error) payload-or-error-text
+//
+// With a shared auth key installed (SetAuthKey), frames carry an HMAC
+// handshake instead:
+//
+//	request  := 'A' from nonce kind payload mac
+//	response := 'S' status payload-or-error-text mac
+//
+// The request MAC covers (from, nonce, kind, payload) under HMAC-SHA256 of
+// the shared key; the response MAC covers (nonce, status, body), binding
+// the reply to the caller's nonce so a recorded response cannot be replayed
+// against a later call. An endpoint with a key refuses plain 'Q' frames and
+// requests whose MAC does not verify — this is the firewall handshake at
+// the transport layer, below the site-level briefcase checks.
 type TCPEndpoint struct {
 	id          SiteID
 	incarnation int64
@@ -28,6 +47,16 @@ type TCPEndpoint struct {
 	mu      sync.RWMutex
 	peers   map[SiteID]string // site -> host:port
 	handler HandlerFunc
+	authKey []byte
+
+	// Nonce replay window: two generations of seen request nonces,
+	// rotated when the current one fills. A recorded authenticated frame
+	// replays successfully only after at least nonceWindow further
+	// requests have rotated its nonce out — a bounded-memory defense, not
+	// an absolute one.
+	nonceMu    sync.Mutex
+	noncesCur  map[string]struct{}
+	noncesPrev map[string]struct{}
 
 	ln     net.Listener
 	closed chan struct{}
@@ -84,6 +113,65 @@ func (ep *TCPEndpoint) SetHandler(h HandlerFunc) {
 	ep.mu.Unlock()
 }
 
+// SetAuthKey installs the cluster's shared authentication key. With a key
+// set, outgoing calls use the authenticated handshake and incoming calls
+// must pass it; a nil key restores the open protocol.
+func (ep *TCPEndpoint) SetAuthKey(key []byte) {
+	ep.mu.Lock()
+	if key == nil {
+		ep.authKey = nil
+	} else {
+		ep.authKey = append([]byte(nil), key...)
+	}
+	ep.mu.Unlock()
+}
+
+func (ep *TCPEndpoint) auth() []byte {
+	ep.mu.RLock()
+	defer ep.mu.RUnlock()
+	return ep.authKey
+}
+
+// nonceWindow bounds how many request nonces each generation remembers.
+const nonceWindow = 4096
+
+// nonceFresh records a request nonce, reporting false when it was already
+// seen within the replay window.
+func (ep *TCPEndpoint) nonceFresh(nonce []byte) bool {
+	ep.nonceMu.Lock()
+	defer ep.nonceMu.Unlock()
+	k := string(nonce)
+	if _, ok := ep.noncesCur[k]; ok {
+		return false
+	}
+	if _, ok := ep.noncesPrev[k]; ok {
+		return false
+	}
+	if ep.noncesCur == nil {
+		ep.noncesCur = make(map[string]struct{}, nonceWindow)
+	}
+	ep.noncesCur[k] = struct{}{}
+	if len(ep.noncesCur) >= nonceWindow {
+		ep.noncesPrev = ep.noncesCur
+		ep.noncesCur = make(map[string]struct{}, nonceWindow)
+	}
+	return true
+}
+
+// frameMAC computes the handshake MAC over length-prefixed parts, with a
+// domain label separating request from response MACs.
+func frameMAC(key []byte, label string, parts ...[]byte) []byte {
+	mac := hmac.New(sha256.New, key)
+	var tmp [binary.MaxVarintLen64]byte
+	mac.Write([]byte(label))
+	for _, p := range parts {
+		n := binary.PutUvarint(tmp[:], uint64(len(p)))
+		mac.Write(tmp[:n])
+		mac.Write(p)
+	}
+	return mac.Sum(nil)
+}
+
 // Close stops the listener and waits for in-flight handlers.
 func (ep *TCPEndpoint) Close() error {
 	select {
@@ -121,12 +209,18 @@ func (ep *TCPEndpoint) acceptLoop() {
 func (ep *TCPEndpoint) serveConn(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	tag, err := r.ReadByte()
-	if err != nil || tag != 'Q' {
+	if err != nil || (tag != 'Q' && tag != 'A') {
 		return
 	}
 	from, err := readChunk(r)
 	if err != nil {
 		return
+	}
+	var nonce []byte
+	if tag == 'A' {
+		if nonce, err = readChunk(r); err != nil {
+			return
+		}
 	}
 	kind, err := readChunk(r)
 	if err != nil {
@@ -136,23 +230,51 @@ func (ep *TCPEndpoint) serveConn(conn net.Conn) {
 	if err != nil {
 		return
 	}
+	var mac []byte
+	if tag == 'A' {
+		if mac, err = readChunk(r); err != nil {
+			return
+		}
+	}
 	ep.mu.RLock()
 	h := ep.handler
+	key := ep.authKey
 	ep.mu.RUnlock()
 
+	// The handshake: a keyed endpoint admits only requests proving
+	// knowledge of the shared key; a keyless endpoint cannot verify (or
+	// sign) and refuses authenticated frames rather than guessing.
 	var status byte
 	var resp []byte
-	if h == nil {
+	switch {
+	case key != nil && tag != 'A':
+		status, resp = 1, []byte(fmt.Sprintf("site %s requires authentication", ep.id))
+	case key == nil && tag == 'A':
+		status, resp = 1, []byte(fmt.Sprintf("site %s does not accept authenticated frames", ep.id))
+	case key != nil && !hmac.Equal(mac, frameMAC(key, "req", from, nonce, kind, payload)):
+		status, resp = 1, []byte(fmt.Sprintf("site %s: request authentication failed", ep.id))
+	case key != nil && !ep.nonceFresh(nonce):
+		status, resp = 1, []byte(fmt.Sprintf("site %s: replayed request refused", ep.id))
+	case h == nil:
 		status, resp = 1, []byte(ErrNoHandler.Error())
-	} else if data, herr := h(SiteID(from), string(kind), payload); herr != nil {
-		status, resp = 1, []byte(herr.Error())
-	} else {
-		status, resp = 0, data
+	default:
+		if data, herr := h(SiteID(from), string(kind), payload); herr != nil {
+			status, resp = 1, []byte(herr.Error())
+		} else {
+			status, resp = 0, data
+		}
 	}
 	w := bufio.NewWriter(conn)
-	w.WriteByte('R')
-	w.WriteByte(status)
-	writeChunk(w, resp)
+	if tag == 'A' && key != nil {
+		w.WriteByte('S')
+		w.WriteByte(status)
+		writeChunk(w, resp)
+		writeChunk(w, frameMAC(key, "resp", nonce, []byte{status}, resp))
+	} else {
+		w.WriteByte('R')
+		w.WriteByte(status)
+		writeChunk(w, resp)
+	}
 	w.Flush()
 }
 
@@ -179,18 +301,45 @@ func (ep *TCPEndpoint) Call(ctx context.Context, to SiteID, kind string, payload
 		conn.SetDeadline(dl)
 	}
 
+	key := ep.auth()
+	var nonce []byte
 	w := bufio.NewWriter(conn)
-	w.WriteByte('Q')
-	writeChunk(w, []byte(ep.id))
-	writeChunk(w, []byte(kind))
-	writeChunk(w, payload)
+	if key != nil {
+		nonce = make([]byte, 16)
+		if _, err := rand.Read(nonce); err != nil {
+			return nil, fmt.Errorf("vnet: nonce: %w", err)
+		}
+		w.WriteByte('A')
+		writeChunk(w, []byte(ep.id))
+		writeChunk(w, nonce)
+		writeChunk(w, []byte(kind))
+		writeChunk(w, payload)
+		writeChunk(w, frameMAC(key, "req", []byte(ep.id), nonce, []byte(kind), payload))
+	} else {
+		w.WriteByte('Q')
+		writeChunk(w, []byte(ep.id))
+		writeChunk(w, []byte(kind))
+		writeChunk(w, payload)
+	}
 	if err := w.Flush(); err != nil {
 		return nil, fmt.Errorf("vnet: send to %s: %w", to, err)
 	}
 
 	r := bufio.NewReader(conn)
 	tag, err := r.ReadByte()
-	if err != nil || tag != 'R' {
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad response from %s", ErrTimeout, to)
+	}
+	switch {
+	case key != nil && tag == 'R':
+		// The peer answered in the clear; read its error so a handshake
+		// refusal surfaces as such rather than as a framing error.
+		status, body, rerr := readPlainResponse(r)
+		if rerr == nil && status != 0 {
+			return nil, fmt.Errorf("%w: remote %s: %s", ErrAuth, to, body)
+		}
+		return nil, fmt.Errorf("%w: unauthenticated reply from %s", ErrAuth, to)
+	case key != nil && tag != 'S', key == nil && tag != 'R':
 		return nil, fmt.Errorf("%w: bad response from %s", ErrTimeout, to)
 	}
 	status, err := r.ReadByte()
@@ -201,10 +350,33 @@ func (ep *TCPEndpoint) Call(ctx context.Context, to SiteID, kind string, payload
 	if err != nil {
 		return nil, fmt.Errorf("vnet: read body from %s: %w", to, err)
 	}
+	if key != nil {
+		mac, err := readChunk(r)
+		if err != nil {
+			return nil, fmt.Errorf("vnet: read mac from %s: %w", to, err)
+		}
+		if !hmac.Equal(mac, frameMAC(key, "resp", nonce, []byte{status}, body)) {
+			return nil, fmt.Errorf("%w: response from %s", ErrAuth, to)
+		}
+	}
 	if status != 0 {
 		return nil, fmt.Errorf("vnet: remote %s: %s", to, body)
 	}
 	return body, nil
+}
+
+// readPlainResponse reads the body of an open-protocol 'R' response whose
+// tag byte has already been consumed.
+func readPlainResponse(r *bufio.Reader) (byte, []byte, error) {
+	status, err := r.ReadByte()
+	if err != nil {
+		return 0, nil, err
+	}
+	body, err := readChunk(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	return status, body, nil
 }
 
 func writeChunk(w *bufio.Writer, b []byte) {

@@ -27,6 +27,7 @@
 // Subsystem entry points:
 //
 //   - electronic cash:  cash.NewBank, cash.Purchase, cash.NewCycleBilling
+//   - security:         guard.Install, guard.SignedScript, guard.NewMeter
 //   - scheduling:       broker.Install, broker.NewMonitor, broker.InstallTicketAgent
 //   - fault tolerance:  rearguard.Install, Manager.Launch
 //   - applications:     stormcast.NewField, mail.Send
@@ -40,6 +41,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/folder"
+	"repro/internal/guard"
 	"repro/internal/tacl"
 	"repro/internal/vnet"
 )
@@ -85,6 +87,23 @@ type (
 	Endpoint = vnet.Endpoint
 )
 
+// Security and accountability types (the guard subsystem).
+type (
+	// Guard bundles a site's security state: capability policy, signature
+	// keyring, and optional cycle meter.
+	Guard = guard.Guard
+	// Policy is one site's capability ACL and firewall switches.
+	Policy = guard.Policy
+	// Capability lists what a principal may do at a site.
+	Capability = guard.Capability
+	// Keyring maps principal names to briefcase-signing keys.
+	Keyring = guard.Keyring
+	// Meter charges visiting agents electronic cash for cycles.
+	Meter = guard.Meter
+	// BillingRecord documents one accountability event.
+	BillingRecord = guard.BillingRecord
+)
+
 // Interp is a TacL interpreter, exposed for embedding TacL outside agents.
 type Interp = tacl.Interp
 
@@ -94,6 +113,7 @@ const (
 	AgRexec     = core.AgRexec
 	AgCourier   = core.AgCourier
 	AgDiffusion = core.AgDiffusion
+	AgBilling   = guard.AgBilling
 )
 
 // Well-known folder names.
@@ -104,6 +124,10 @@ const (
 	SitesFolder   = folder.SitesFolder
 	ResultFolder  = folder.ResultFolder
 	ErrorFolder   = folder.ErrorFolder
+	SigFolder     = guard.SigFolder
+	HomeFolder    = guard.HomeFolder
+	BillingFolder = guard.BillingFolder
+	CashFolder    = guard.CashFolder
 )
 
 // NewSystem creates n sites named "site-0" .. "site-(n-1)" on a fresh
@@ -141,3 +165,49 @@ func RunScript(ctx context.Context, s *Site, src string, bc *Briefcase) (*Briefc
 // NewInterp creates a standalone TacL interpreter with the builtin
 // commands but no site bindings.
 func NewInterp() *Interp { return tacl.New() }
+
+// NewGuard creates a guard over a policy and keyring (nil arguments get
+// fresh permissive defaults).
+func NewGuard(p *Policy, k *Keyring) *Guard { return guard.New(p, k) }
+
+// NewPolicy returns an empty, permissive capability policy.
+func NewPolicy() *Policy { return guard.NewPolicy() }
+
+// NewKeyring returns an empty signing keyring.
+func NewKeyring() *Keyring { return guard.NewKeyring() }
+
+// NewMeter creates a cycle meter charging activationFee per activation plus
+// one ECU per stepsPerUnit TacL steps.
+func NewMeter(stepsPerUnit int, activationFee int64) *Meter {
+	return guard.NewMeter(stepsPerUnit, activationFee)
+}
+
+// InstallGuard attaches a guard to a site: meets, arrivals, cabinet access,
+// and step accounting flow through it from then on.
+func InstallGuard(s *Site, g *Guard) *Guard { return guard.Install(s, g) }
+
+// SignBriefcase signs the named briefcase folders under the principal's
+// key (default: CODE, plus HOME when present).
+func SignBriefcase(k *Keyring, principal string, bc *Briefcase, folders ...string) error {
+	return guard.Sign(k, principal, bc, folders...)
+}
+
+// VerifyBriefcase checks a briefcase signature and returns the principal.
+func VerifyBriefcase(k *Keyring, bc *Briefcase) (string, error) {
+	return guard.Verify(k, bc)
+}
+
+// Principal returns a briefcase's claimed principal without verifying the
+// signature ("" when unsigned); verification happens at trust boundaries.
+func Principal(bc *Briefcase) string { return guard.Principal(bc) }
+
+// SignedScript prepares a briefcase for a signed roaming TacL agent; start
+// it with LaunchSigned.
+func SignedScript(k *Keyring, principal, home, src string, bc *Briefcase) (*Briefcase, error) {
+	return guard.SignedScript(k, principal, home, src, bc)
+}
+
+// LaunchSigned starts a prepared signed agent at a site.
+func LaunchSigned(ctx context.Context, s *Site, bc *Briefcase) error {
+	return guard.Launch(ctx, s, bc)
+}
