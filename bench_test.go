@@ -1,8 +1,8 @@
-// Benchmarks regenerating the experiments in EXPERIMENTS.md, one per
-// paper claim (see the experiment index in DESIGN.md). The heavy lifting
-// lives in internal/experiments; these benches report the headline
-// numbers as custom metrics so `go test -bench=. -benchmem` reproduces
-// the recorded results.
+// Benchmarks regenerating the paper experiments, one per claim (see the
+// experiment index in DESIGN.md). The heavy lifting lives in
+// internal/experiments; these benches report the headline numbers as
+// custom metrics so `go test -bench=. -benchmem` reproduces the recorded
+// results.
 package tacoma
 
 import (

@@ -1,0 +1,324 @@
+// Command tacobench is the meet-path load generator: it drives local,
+// cabinet-backed, remote (TCP loopback), guarded, and mixed meet workloads
+// at a configurable concurrency and emits a machine-readable BENCH_meet.json
+// with throughput, latency percentiles, and allocation counts per workload.
+//
+// CI runs it on every push and compares the result against the committed
+// baseline with scripts/benchdiff.go, failing the build when meet throughput
+// regresses by more than the threshold (see README.md § Performance).
+//
+// Usage:
+//
+//	tacobench [-modes local,cabinet,remote,guarded,mixed] [-concurrency N]
+//	          [-duration 2s] [-payload 64] [-out BENCH_meet.json] [-v]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	tacoma "repro"
+)
+
+// Result is the measurement of one workload.
+type Result struct {
+	Name        string  `json:"name"`
+	Concurrency int     `json:"concurrency"`
+	DurationNs  int64   `json:"duration_ns"`
+	Ops         int64   `json:"ops"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	P50Ns       int64   `json:"p50_ns"`
+	P99Ns       int64   `json:"p99_ns"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// Report is the BENCH_meet.json document.
+type Report struct {
+	Schema     string   `json:"schema"`
+	Go         string   `json:"go"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// ReportSchema identifies the BENCH_meet.json format version.
+const ReportSchema = "tacoma-bench/v1"
+
+func main() {
+	var (
+		modes       = flag.String("modes", "local,cabinet,remote,guarded,mixed", "comma-separated workloads to run")
+		concurrency = flag.Int("concurrency", 2*runtime.GOMAXPROCS(0), "concurrent client goroutines per workload")
+		duration    = flag.Duration("duration", 2*time.Second, "measurement window per workload")
+		payload     = flag.Int("payload", 64, "briefcase payload element size in bytes")
+		out         = flag.String("out", "BENCH_meet.json", "output path for the JSON report ('-' for stdout)")
+		verbose     = flag.Bool("v", false, "print per-workload results as they finish")
+	)
+	flag.Parse()
+
+	report := Report{
+		Schema:     ReportSchema,
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, mode := range strings.Split(*modes, ",") {
+		mode = strings.TrimSpace(mode)
+		if mode == "" {
+			continue
+		}
+		res, err := runMode(mode, *concurrency, *duration, *payload)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tacobench: %s: %v\n", mode, err)
+			os.Exit(1)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "%-10s %9.0f ops/sec  p50 %7dns  p99 %7dns  %6.1f allocs/op\n",
+				res.Name, res.OpsPerSec, res.P50Ns, res.P99Ns, res.AllocsPerOp)
+		}
+		report.Benchmarks = append(report.Benchmarks, res)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tacobench: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "tacobench: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+}
+
+// op is one client operation; worker identifies the issuing goroutine so
+// workloads can give each client private state (briefcases are single-owner).
+type op func(worker int) error
+
+// workload couples per-worker ops with the teardown for their fixtures.
+type workload struct {
+	op      op
+	cleanup func()
+}
+
+// runMode builds the named workload and measures it.
+func runMode(mode string, concurrency int, d time.Duration, payload int) (Result, error) {
+	w, err := buildWorkload(mode, concurrency, payload)
+	if err != nil {
+		return Result{}, err
+	}
+	if w.cleanup != nil {
+		defer w.cleanup()
+	}
+	return measure(mode, concurrency, d, w.op)
+}
+
+func buildWorkload(mode string, concurrency, payload int) (workload, error) {
+	switch mode {
+	case "local":
+		return localWorkload(concurrency, payload), nil
+	case "cabinet":
+		return cabinetWorkload(concurrency, payload), nil
+	case "remote":
+		return remoteWorkload(concurrency, payload)
+	case "guarded":
+		return guardedWorkload(concurrency, payload)
+	case "mixed":
+		local := localWorkload(concurrency, payload)
+		cabinet := cabinetWorkload(concurrency, payload)
+		remote, err := remoteWorkload(concurrency, payload)
+		if err != nil {
+			return workload{}, err
+		}
+		ops := []op{local.op, cabinet.op, remote.op}
+		var turn atomic.Int64
+		return workload{
+			op: func(worker int) error {
+				return ops[int(turn.Add(1))%len(ops)](worker)
+			},
+			cleanup: remote.cleanup,
+		}, nil
+	default:
+		return workload{}, fmt.Errorf("unknown mode %q (want local, cabinet, remote, guarded, or mixed)", mode)
+	}
+}
+
+// localWorkload: pure dispatch against a no-op agent, one briefcase per
+// worker carrying one payload element.
+func localWorkload(concurrency, payload int) workload {
+	sys := tacoma.NewSystem(1, tacoma.SystemConfig{Seed: 1})
+	site := sys.SiteAt(0)
+	site.Register("noop", tacoma.AgentFunc(
+		func(*tacoma.MeetContext, *tacoma.Briefcase) error { return nil }))
+	bcs := workerBriefcases(concurrency, payload)
+	return workload{op: func(worker int) error {
+		return site.MeetClient(context.Background(), "noop", bcs[worker])
+	}}
+}
+
+// cabinetWorkload: the realistic service meet — argument read, cabinet visit
+// record, snapshot of a 256-element site folder handed back via the
+// briefcase.
+func cabinetWorkload(concurrency, payload int) workload {
+	sys := tacoma.NewSystem(1, tacoma.SystemConfig{Seed: 1})
+	site := sys.SiteAt(0)
+	elem := make([]byte, payload)
+	for i := 0; i < 256; i++ {
+		site.Cabinet().Append("DATA", elem)
+	}
+	site.Register("visit", tacoma.AgentFunc(
+		func(mc *tacoma.MeetContext, bc *tacoma.Briefcase) error {
+			id, err := bc.GetString("REQ")
+			if err != nil {
+				return err
+			}
+			mc.Site.Cabinet().TestAndAppendString("SEEN", id)
+			bc.Put(tacoma.ResultFolder, mc.Site.Cabinet().Snapshot("DATA"))
+			return nil
+		}))
+	bcs := workerBriefcases(concurrency, payload)
+	for i, bc := range bcs {
+		bc.PutString("REQ", fmt.Sprintf("client-%d", i))
+	}
+	return workload{op: func(worker int) error {
+		return site.MeetClient(context.Background(), "visit", bcs[worker])
+	}}
+}
+
+// remoteWorkload: meets across two real TCP endpoints on loopback, so the
+// measurement includes codec, framing, and the pipelined connection.
+func remoteWorkload(concurrency, payload int) (workload, error) {
+	epA, err := tacoma.NewTCPEndpoint("bench-a", "127.0.0.1:0")
+	if err != nil {
+		return workload{}, err
+	}
+	epB, err := tacoma.NewTCPEndpoint("bench-b", "127.0.0.1:0")
+	if err != nil {
+		epA.Close()
+		return workload{}, err
+	}
+	epA.AddPeer("bench-b", epB.Addr())
+	epB.AddPeer("bench-a", epA.Addr())
+	siteA := tacoma.NewSite(epA, tacoma.SiteConfig{})
+	siteB := tacoma.NewSite(epB, tacoma.SiteConfig{})
+	siteB.Register("noop", tacoma.AgentFunc(
+		func(*tacoma.MeetContext, *tacoma.Briefcase) error { return nil }))
+	bcs := workerBriefcases(concurrency, payload)
+	return workload{
+		op: func(worker int) error {
+			return siteA.RemoteMeet(context.Background(), "bench-b", "noop", bcs[worker])
+		},
+		cleanup: func() { epA.Close(); epB.Close() },
+	}, nil
+}
+
+// guardedWorkload: the accountability path — a firewall-free guarded site
+// enforcing a capability ACL against signed briefcases.
+func guardedWorkload(concurrency, payload int) (workload, error) {
+	sys := tacoma.NewSystem(1, tacoma.SystemConfig{Seed: 1})
+	site := sys.SiteAt(0)
+	site.Register("visit", tacoma.AgentFunc(
+		func(*tacoma.MeetContext, *tacoma.Briefcase) error { return nil }))
+	keys := tacoma.NewKeyring()
+	keys.Enroll("bench-client")
+	policy := tacoma.NewPolicy()
+	policy.Grant("bench-client", tacoma.Capability{Meet: []string{"visit"}})
+	tacoma.InstallGuard(site, tacoma.NewGuard(policy, keys))
+	bcs := workerBriefcases(concurrency, payload)
+	for _, bc := range bcs {
+		if err := tacoma.SignBriefcase(keys, "bench-client", bc, "PAYLOAD"); err != nil {
+			return workload{}, err
+		}
+	}
+	return workload{op: func(worker int) error {
+		return site.MeetClient(context.Background(), "visit", bcs[worker])
+	}}, nil
+}
+
+// workerBriefcases builds one briefcase per worker, each with a PAYLOAD
+// folder holding one element of the requested size. Briefcases are
+// single-owner, so workers never share.
+func workerBriefcases(n, payload int) []*tacoma.Briefcase {
+	out := make([]*tacoma.Briefcase, n)
+	elem := make([]byte, payload)
+	for i := range out {
+		bc := tacoma.NewBriefcase()
+		f := tacoma.NewFolder()
+		f.Push(elem)
+		bc.Put("PAYLOAD", f)
+		out[i] = bc
+	}
+	return out
+}
+
+// measure drives op from `concurrency` workers for duration d and reduces
+// the per-op latency samples to the Result schema.
+func measure(name string, concurrency int, d time.Duration, fn op) (Result, error) {
+	var stop atomic.Bool
+	var firstErr atomic.Value
+	lats := make([][]int64, concurrency)
+
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	timer := time.AfterFunc(d, func() { stop.Store(true) })
+	defer timer.Stop()
+
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			samples := make([]int64, 0, 1<<14)
+			for !stop.Load() {
+				t0 := time.Now()
+				if err := fn(w); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					stop.Store(true)
+					break
+				}
+				samples = append(samples, int64(time.Since(t0)))
+			}
+			lats[w] = samples
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return Result{}, err
+	}
+	var all []int64
+	for _, s := range lats {
+		all = append(all, s...)
+	}
+	if len(all) == 0 {
+		return Result{}, fmt.Errorf("no operations completed in %v", d)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	ops := int64(len(all))
+	return Result{
+		Name:        name,
+		Concurrency: concurrency,
+		DurationNs:  int64(elapsed),
+		Ops:         ops,
+		OpsPerSec:   float64(ops) / elapsed.Seconds(),
+		P50Ns:       all[len(all)/2],
+		P99Ns:       all[len(all)*99/100],
+		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(ops),
+		BytesPerOp:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(ops),
+	}, nil
+}

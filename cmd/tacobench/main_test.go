@@ -1,0 +1,54 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// Every workload must run and produce a sane measurement; this is what keeps
+// the CI bench job from discovering a broken generator only on main.
+func TestWorkloadsSmoke(t *testing.T) {
+	for _, mode := range []string{"local", "cabinet", "remote", "guarded", "mixed"} {
+		t.Run(mode, func(t *testing.T) {
+			res, err := runMode(mode, 2, 30*time.Millisecond, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Name != mode {
+				t.Errorf("name = %q, want %q", res.Name, mode)
+			}
+			if res.Ops <= 0 || res.OpsPerSec <= 0 {
+				t.Errorf("no throughput recorded: %+v", res)
+			}
+			if res.P50Ns <= 0 || res.P99Ns < res.P50Ns {
+				t.Errorf("implausible percentiles: p50=%d p99=%d", res.P50Ns, res.P99Ns)
+			}
+		})
+	}
+}
+
+func TestUnknownModeRefused(t *testing.T) {
+	if _, err := runMode("warp-drive", 1, 10*time.Millisecond, 16); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestReportRoundTrips(t *testing.T) {
+	res, err := runMode("local", 1, 20*time.Millisecond, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Report{Schema: ReportSchema, Go: "go-test", GOMAXPROCS: 1, Benchmarks: []Result{res}}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != ReportSchema || len(back.Benchmarks) != 1 || back.Benchmarks[0].Name != "local" {
+		t.Fatalf("round trip mangled report: %+v", back)
+	}
+}

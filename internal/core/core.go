@@ -18,7 +18,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -115,8 +114,9 @@ type Site struct {
 	cabinet  *folder.FileCabinet
 	cfg      SiteConfig
 
-	mu     sync.RWMutex
-	agents map[string]Agent
+	// agents is the lock-striped agent registry (see registry.go):
+	// concurrent meets on different agents resolve without contending.
+	agents *registry
 
 	// guardv holds the installed Guard (see guard.go); atomic so the hot
 	// meet path avoids a lock when no guard is installed.
@@ -182,7 +182,7 @@ func NewSite(ep vnet.Endpoint, cfg SiteConfig) *Site {
 		endpoint: ep,
 		cabinet:  folder.NewCabinet(),
 		cfg:      cfg,
-		agents:   make(map[string]Agent),
+		agents:   newRegistry(),
 		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
 	}
 	registerSystemAgents(s)
@@ -201,38 +201,16 @@ func (s *Site) Endpoint() vnet.Endpoint { return s.endpoint }
 
 // Register installs an agent under the given name, replacing any previous
 // registration.
-func (s *Site) Register(name string, a Agent) {
-	s.mu.Lock()
-	s.agents[name] = a
-	s.mu.Unlock()
-}
+func (s *Site) Register(name string, a Agent) { s.agents.register(name, a) }
 
 // Unregister removes a named agent.
-func (s *Site) Unregister(name string) {
-	s.mu.Lock()
-	delete(s.agents, name)
-	s.mu.Unlock()
-}
+func (s *Site) Unregister(name string) { s.agents.unregister(name) }
 
 // Lookup returns the named agent.
-func (s *Site) Lookup(name string) (Agent, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	a, ok := s.agents[name]
-	return a, ok
-}
+func (s *Site) Lookup(name string) (Agent, bool) { return s.agents.lookup(name) }
 
 // AgentNames lists registered agents in sorted order.
-func (s *Site) AgentNames() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	names := make([]string, 0, len(s.agents))
-	for n := range s.agents {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
-}
+func (s *Site) AgentNames() []string { return s.agents.names() }
 
 // Activations reports the total number of meets served by this site.
 func (s *Site) Activations() int64 { return s.activations.Load() }
@@ -310,8 +288,12 @@ func (s *Site) RemoteMeet(ctx context.Context, dest vnet.SiteID, agent string, b
 		// A meet addressed to the local site short-circuits the network.
 		return s.Meet(&MeetContext{Ctx: ctx}, agent, bc)
 	}
-	payload := encodeMeetRequest(agent, string(s.id), bc)
+	// The request is framed into a pooled buffer: Endpoint.Call contracts
+	// not to retain the payload once it returns, so the buffer is recycled
+	// immediately after the exchange.
+	payload := appendMeetRequest(folder.GetBuffer(), agent, string(s.id), bc)
 	resp, err := s.endpoint.Call(ctx, dest, msgMeet, payload)
+	folder.PutBuffer(payload)
 	if err != nil {
 		return fmt.Errorf("core: remote meet %s at %s: %w", agent, dest, err)
 	}

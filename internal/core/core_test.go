@@ -233,7 +233,7 @@ func TestRegisterUnregisterLookup(t *testing.T) {
 func TestMeetRequestWireRoundTrip(t *testing.T) {
 	bc := folder.NewBriefcase()
 	bc.PutString("K", "v")
-	data := encodeMeetRequest("agent-x", "site-origin", bc)
+	data := appendMeetRequest(nil, "agent-x", "site-origin", bc)
 	agent, origin, got, err := decodeMeetRequest(data)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/folder"
+)
+
+// registryShardCount is the number of lock stripes in a site's agent
+// registry. Meets resolve agents by name on every dispatch; striping the map
+// means concurrent meets on different agents never touch the same mutex. A
+// power of two keeps the modulo a mask.
+const registryShardCount = 16
+
+// regShard is one lock stripe of the agent registry.
+type regShard struct {
+	mu     sync.RWMutex
+	agents map[string]Agent
+}
+
+// registry is a lock-striped name → Agent map.
+type registry struct {
+	shards [registryShardCount]regShard
+}
+
+func newRegistry() *registry {
+	r := &registry{}
+	for i := range r.shards {
+		r.shards[i].agents = make(map[string]Agent)
+	}
+	return r
+}
+
+func (r *registry) shard(name string) *regShard {
+	return &r.shards[folder.NameHash(name)&(registryShardCount-1)]
+}
+
+func (r *registry) register(name string, a Agent) {
+	sh := r.shard(name)
+	sh.mu.Lock()
+	sh.agents[name] = a
+	sh.mu.Unlock()
+}
+
+func (r *registry) unregister(name string) {
+	sh := r.shard(name)
+	sh.mu.Lock()
+	delete(sh.agents, name)
+	sh.mu.Unlock()
+}
+
+func (r *registry) lookup(name string) (Agent, bool) {
+	sh := r.shard(name)
+	sh.mu.RLock()
+	a, ok := sh.agents[name]
+	sh.mu.RUnlock()
+	return a, ok
+}
+
+// names returns all registered agent names in sorted order. Each shard is
+// read under its own lock; the listing is a per-shard-consistent snapshot,
+// which is all directory listings need.
+func (r *registry) names() []string {
+	var out []string
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for n := range sh.agents {
+			out = append(out, n)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}

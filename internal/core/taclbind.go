@@ -69,9 +69,14 @@ func bindHost(in *tacl.Interp, mc *MeetContext, bc *folder.Briefcase, src string
 		}
 		return nil
 	}
-	// checkBc guards mutations of the briefcase's own folders, protecting
-	// the guard-owned ones (SIG, CASH) from in-script tampering.
+	// checkBc guards mutations of the briefcase's own folders: frozen
+	// folders (the guard freezes SIG after signing) refuse politely rather
+	// than panicking, and the site guard protects its managed folders (SIG,
+	// CASH) from in-script tampering even before they are frozen.
 	checkBc := func(name string) error {
+		if f := bc.Lookup(name); f != nil && f.IsFrozen() {
+			return fmt.Errorf("%w: %q", folder.ErrFrozen, name)
+		}
 		if g := site.Guard(); g != nil {
 			return g.CheckBriefcase(mc, bc, name)
 		}

@@ -13,14 +13,14 @@ import (
 //
 // The response to a meet is simply the encoded mutated briefcase.
 
-func encodeMeetRequest(agent, origin string, bc *folder.Briefcase) []byte {
-	buf := make([]byte, 0, 16+len(agent)+len(origin)+folder.EncodedSize(bc))
-	buf = binary.AppendUvarint(buf, uint64(len(agent)))
-	buf = append(buf, agent...)
-	buf = binary.AppendUvarint(buf, uint64(len(origin)))
-	buf = append(buf, origin...)
-	buf = append(buf, folder.EncodeBriefcase(bc)...)
-	return buf
+// appendMeetRequest frames a meet request into dst (typically a pooled
+// buffer) and returns the extended slice.
+func appendMeetRequest(dst []byte, agent, origin string, bc *folder.Briefcase) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(agent)))
+	dst = append(dst, agent...)
+	dst = binary.AppendUvarint(dst, uint64(len(origin)))
+	dst = append(dst, origin...)
+	return folder.AppendBriefcase(dst, bc)
 }
 
 func decodeMeetRequest(data []byte) (agent, origin string, bc *folder.Briefcase, err error) {

@@ -7,6 +7,35 @@ import (
 	"sync"
 )
 
+// cabinetShardCount is the number of lock stripes in a cabinet. Folders are
+// assigned to shards by name hash, so agents working on different folders
+// never contend on one mutex. A power of two keeps the modulo a mask.
+const cabinetShardCount = 16
+
+// NameHash is FNV-1a over a string, used to stripe folder names across
+// cabinet shards (and agent names across the kernel's registry shards)
+// without allocating.
+func NameHash(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
+
+// cabShard is one lock stripe of a cabinet: a folder map plus the per-folder
+// element index.
+type cabShard struct {
+	mu      sync.RWMutex
+	folders map[string]*Folder
+	index   map[string]map[string]int // folder name -> element content -> count
+}
+
 // FileCabinet groups site-local folders. Unlike a briefcase, a cabinet is
 // bound to one site and rarely (never, in this implementation) moves, so it
 // may be implemented with structures that optimize access time even when
@@ -16,49 +45,58 @@ import (
 // check "was this site already visited?".
 //
 // Cabinets are shared by every agent executing at a site and are safe for
-// concurrent use. They support the same operations as briefcases plus
-// indexed membership, atomic test-and-set, and Flush/Load for permanence.
+// concurrent use. The folder space is lock-striped by name hash, so meets
+// touching different folders proceed without contention. They support the
+// same operations as briefcases plus indexed membership, atomic
+// test-and-set, and Flush/Load for permanence.
 type FileCabinet struct {
-	mu      sync.RWMutex
-	folders map[string]*Folder
-	index   map[string]map[string]int // folder name -> element content -> count
+	shards [cabinetShardCount]cabShard
 }
 
 // NewCabinet returns an empty file cabinet.
 func NewCabinet() *FileCabinet {
-	return &FileCabinet{
-		folders: make(map[string]*Folder),
-		index:   make(map[string]map[string]int),
+	c := &FileCabinet{}
+	for i := range c.shards {
+		c.shards[i].folders = make(map[string]*Folder)
+		c.shards[i].index = make(map[string]map[string]int)
 	}
+	return c
+}
+
+// shard returns the stripe owning the named folder.
+func (c *FileCabinet) shard(name string) *cabShard {
+	return &c.shards[NameHash(name)&(cabinetShardCount-1)]
 }
 
 // Append adds an element to the named folder, creating the folder if needed.
 func (c *FileCabinet) Append(name string, e []byte) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.appendLocked(name, e)
+	sh := c.shard(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.appendLocked(name, e)
 }
 
 // AppendString adds a string element to the named folder.
 func (c *FileCabinet) AppendString(name, s string) { c.Append(name, []byte(s)) }
 
-func (c *FileCabinet) appendLocked(name string, e []byte) {
-	f, ok := c.folders[name]
+func (sh *cabShard) appendLocked(name string, e []byte) {
+	f, ok := sh.folders[name]
 	if !ok {
 		f = New()
-		c.folders[name] = f
-		c.index[name] = make(map[string]int)
+		sh.folders[name] = f
+		sh.index[name] = make(map[string]int)
 	}
 	f.Push(e)
-	c.index[name][string(e)]++
+	sh.index[name][string(e)]++
 }
 
 // Contains reports whether the named folder holds an element equal to e.
 // The lookup uses the cabinet's index and costs O(1).
 func (c *FileCabinet) Contains(name string, e []byte) bool {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	idx, ok := c.index[name]
+	sh := c.shard(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	idx, ok := sh.index[name]
 	if !ok {
 		return false
 	}
@@ -76,12 +114,13 @@ func (c *FileCabinet) ContainsString(name, s string) bool {
 // needs: "record its visit in a site-local folder" must be atomic with
 // checking whether the site was already visited.
 func (c *FileCabinet) TestAndAppend(name string, e []byte) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if idx, ok := c.index[name]; ok && idx[string(e)] > 0 {
+	sh := c.shard(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if idx, ok := sh.index[name]; ok && idx[string(e)] > 0 {
 		return false
 	}
-	c.appendLocked(name, e)
+	sh.appendLocked(name, e)
 	return true
 }
 
@@ -90,39 +129,43 @@ func (c *FileCabinet) TestAndAppendString(name, s string) bool {
 	return c.TestAndAppend(name, []byte(s))
 }
 
-// Snapshot returns a deep copy of the named folder, or an empty folder if
-// it does not exist. Agents receive copies so that cabinet internals never
-// escape the lock.
+// Snapshot returns a copy of the named folder, or an empty folder if it does
+// not exist. Agents receive copies so that cabinet internals never escape
+// the lock; the copy is O(1) copy-on-write, so snapshotting a large folder
+// costs nothing until someone mutates.
 func (c *FileCabinet) Snapshot(name string) *Folder {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	f, ok := c.folders[name]
+	sh := c.shard(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	f, ok := sh.folders[name]
 	if !ok {
 		return New()
 	}
 	return f.Clone()
 }
 
-// Put replaces the named folder with a deep copy of f.
+// Put replaces the named folder with a copy of f (copy-on-write).
 func (c *FileCabinet) Put(name string, f *Folder) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	cp := f.Clone()
-	c.folders[name] = cp
 	idx := make(map[string]int, cp.Len())
 	for _, e := range cp.elems {
 		idx[string(e)]++
 	}
-	c.index[name] = idx
+	sh := c.shard(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.folders[name] = cp
+	sh.index[name] = idx
 }
 
 // Dequeue removes and returns the first element of the named folder.
 // It returns ErrNoFolder if the folder is absent and ErrEmpty if empty.
 // Dequeue is how queued meeting requests are drained by brokers.
 func (c *FileCabinet) Dequeue(name string) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	f, ok := c.folders[name]
+	sh := c.shard(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, ok := sh.folders[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoFolder, name)
 	}
@@ -130,7 +173,7 @@ func (c *FileCabinet) Dequeue(name string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	idx := c.index[name]
+	idx := sh.index[name]
 	if idx[string(e)] <= 1 {
 		delete(idx, string(e))
 	} else {
@@ -141,24 +184,31 @@ func (c *FileCabinet) Dequeue(name string) ([]byte, error) {
 
 // Delete removes the named folder entirely.
 func (c *FileCabinet) Delete(name string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	delete(c.folders, name)
-	delete(c.index, name)
+	sh := c.shard(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.folders, name)
+	delete(sh.index, name)
 }
 
 // Len reports the number of folders in the cabinet.
 func (c *FileCabinet) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.folders)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.folders)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // FolderLen reports the number of elements in the named folder (0 if absent).
 func (c *FileCabinet) FolderLen(name string) int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	f, ok := c.folders[name]
+	sh := c.shard(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	f, ok := sh.folders[name]
 	if !ok {
 		return 0
 	}
@@ -167,26 +217,54 @@ func (c *FileCabinet) FolderLen(name string) int {
 
 // Names returns the folder names in sorted order.
 func (c *FileCabinet) Names() []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	names := make([]string, 0, len(c.folders))
-	for name := range c.folders {
-		names = append(names, name)
+	var names []string
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for name := range sh.folders {
+			names = append(names, name)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(names)
 	return names
 }
 
+// lockAll write- or read-locks every shard in index order (a fixed order, so
+// two concurrent whole-cabinet operations cannot deadlock) and returns the
+// matching unlock.
+func (c *FileCabinet) lockAll(write bool) (unlock func()) {
+	for i := range c.shards {
+		if write {
+			c.shards[i].mu.Lock()
+		} else {
+			c.shards[i].mu.RLock()
+		}
+	}
+	return func() {
+		for i := range c.shards {
+			if write {
+				c.shards[i].mu.Unlock()
+			} else {
+				c.shards[i].mu.RUnlock()
+			}
+		}
+	}
+}
+
 // Flush writes the entire cabinet to w in the wire format, providing the
 // paper's "file cabinets can be flushed to disk when permanence is
-// required".
+// required". All shards are held read-locked together, so the flushed image
+// is a consistent point-in-time snapshot.
 func (c *FileCabinet) Flush(w io.Writer) error {
-	c.mu.RLock()
 	b := NewBriefcase()
-	for name, f := range c.folders {
-		b.Put(name, f.Clone())
+	unlock := c.lockAll(false)
+	for i := range c.shards {
+		for name, f := range c.shards[i].folders {
+			b.Put(name, f.Clone())
+		}
 	}
-	c.mu.RUnlock()
+	unlock()
 	_, err := w.Write(EncodeBriefcase(b))
 	return err
 }
@@ -201,19 +279,22 @@ func (c *FileCabinet) Load(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.folders = make(map[string]*Folder)
-	c.index = make(map[string]map[string]int)
+	unlock := c.lockAll(true)
+	defer unlock()
+	for i := range c.shards {
+		c.shards[i].folders = make(map[string]*Folder)
+		c.shards[i].index = make(map[string]map[string]int)
+	}
 	for _, name := range b.Names() {
 		f, _ := b.Folder(name)
 		cp := f.Clone()
-		c.folders[name] = cp
 		idx := make(map[string]int, cp.Len())
 		for _, e := range cp.elems {
 			idx[string(e)]++
 		}
-		c.index[name] = idx
+		sh := c.shard(name)
+		sh.folders[name] = cp
+		sh.index[name] = idx
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Wire format. Folders must be easy to transfer between sites, so the codec
@@ -15,6 +16,13 @@ import (
 // The format is recursive by construction: a folder element may itself be an
 // encoded briefcase or folder, which is what lets brokers store queued
 // (agent, briefcase) pairs inside ordinary folders.
+//
+// Decoding is zero-copy: decoded elements alias the input buffer, so decode
+// takes ownership of its input — callers must not modify or reuse the bytes
+// afterwards. Encoding has append-style variants (AppendFolder,
+// AppendBriefcase) that write into caller-provided buffers, and GetBuffer/
+// PutBuffer expose a pooled scratch buffer for encode paths whose output
+// provably does not escape (the transport's request framing).
 const (
 	magicFolder    = 0xF0
 	magicBriefcase = 0xB0
@@ -24,19 +32,54 @@ const (
 // ErrCodec is wrapped by all decode failures.
 var ErrCodec = errors.New("folder: malformed encoding")
 
-// EncodeFolder serializes f.
-func EncodeFolder(f *Folder) []byte {
-	buf := make([]byte, 0, 16+f.Size())
-	buf = append(buf, magicFolder, codecVersion)
-	buf = binary.AppendUvarint(buf, uint64(f.Len()))
-	for _, e := range f.elems {
-		buf = binary.AppendUvarint(buf, uint64(len(e)))
-		buf = append(buf, e...)
-	}
-	return buf
+// bufPool recycles encode scratch buffers. Buffers whose capacity grew past
+// maxPooledBuf are dropped rather than pinned in the pool forever.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
 }
 
-// DecodeFolder parses an encoded folder, consuming the entire input.
+const maxPooledBuf = 1 << 20
+
+// GetBuffer returns an empty pooled byte slice for encode scratch use.
+// Return it with PutBuffer once the encoded bytes have been fully consumed
+// (written to a socket, hashed, ...). Never PutBuffer a buffer whose bytes
+// a decoded folder may still alias.
+func GetBuffer() []byte {
+	return (*bufPool.Get().(*[]byte))[:0]
+}
+
+// PutBuffer recycles a buffer obtained from GetBuffer (or grown from one).
+func PutBuffer(buf []byte) {
+	if cap(buf) > maxPooledBuf {
+		return
+	}
+	buf = buf[:0]
+	bufPool.Put(&buf)
+}
+
+// AppendFolder appends the encoding of f to dst and returns the extended
+// slice.
+func AppendFolder(dst []byte, f *Folder) []byte {
+	dst = append(dst, magicFolder, codecVersion)
+	dst = binary.AppendUvarint(dst, uint64(f.Len()))
+	for _, e := range f.elems {
+		dst = binary.AppendUvarint(dst, uint64(len(e)))
+		dst = append(dst, e...)
+	}
+	return dst
+}
+
+// EncodeFolder serializes f.
+func EncodeFolder(f *Folder) []byte {
+	return AppendFolder(make([]byte, 0, 16+f.Size()), f)
+}
+
+// DecodeFolder parses an encoded folder, consuming the entire input. The
+// returned folder aliases data; the caller transfers ownership of the buffer
+// and must not modify it afterwards.
 func DecodeFolder(data []byte) (*Folder, error) {
 	f, rest, err := decodeFolder(data)
 	if err != nil {
@@ -61,37 +104,51 @@ func decodeFolder(data []byte) (*Folder, []byte, error) {
 		return nil, nil, fmt.Errorf("%w: bad folder count", ErrCodec)
 	}
 	data = data[n:]
-	f := New()
+	// Preallocate the slot array, capping by the bytes actually present so a
+	// forged count cannot balloon memory (every element costs at least one
+	// length byte). Compare in uint64: a count >= 2^63 must clamp, not
+	// overflow int into a negative make() capacity.
+	slots := len(data)
+	if count < uint64(slots) {
+		slots = int(count)
+	}
+	f := &Folder{elems: make([][]byte, 0, slots)}
 	for i := uint64(0); i < count; i++ {
 		elen, n := binary.Uvarint(data)
 		if n <= 0 || uint64(len(data[n:])) < elen {
 			return nil, nil, fmt.Errorf("%w: bad element %d length", ErrCodec, i)
 		}
 		data = data[n:]
-		f.Push(data[:elen])
+		f.elems = append(f.elems, data[:elen:elen])
 		data = data[elen:]
 	}
 	return f, data, nil
 }
 
-// EncodeBriefcase serializes b. Folders are emitted in sorted name order so
-// the encoding is deterministic; two equal briefcases always encode to the
-// same bytes, which audit records depend on.
-func EncodeBriefcase(b *Briefcase) []byte {
-	buf := make([]byte, 0, 32+b.Size())
-	buf = append(buf, magicBriefcase, codecVersion)
+// AppendBriefcase appends the encoding of b to dst and returns the extended
+// slice. Folders are emitted in sorted name order so the encoding is
+// deterministic; two equal briefcases always encode to the same bytes, which
+// audit records depend on.
+func AppendBriefcase(dst []byte, b *Briefcase) []byte {
+	dst = append(dst, magicBriefcase, codecVersion)
 	names := b.Names()
-	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	dst = binary.AppendUvarint(dst, uint64(len(names)))
 	for _, name := range names {
-		buf = binary.AppendUvarint(buf, uint64(len(name)))
-		buf = append(buf, name...)
-		f, _ := b.Folder(name)
-		buf = append(buf, EncodeFolder(f)...)
+		dst = binary.AppendUvarint(dst, uint64(len(name)))
+		dst = append(dst, name...)
+		dst = AppendFolder(dst, b.folders[name])
 	}
-	return buf
+	return dst
+}
+
+// EncodeBriefcase serializes b.
+func EncodeBriefcase(b *Briefcase) []byte {
+	return AppendBriefcase(make([]byte, 0, 32+b.Size()), b)
 }
 
 // DecodeBriefcase parses an encoded briefcase, consuming the entire input.
+// The returned briefcase's folders alias data; the caller transfers
+// ownership of the buffer and must not modify it afterwards.
 func DecodeBriefcase(data []byte) (*Briefcase, error) {
 	if len(data) < 2 || data[0] != magicBriefcase {
 		return nil, fmt.Errorf("%w: missing briefcase magic", ErrCodec)
@@ -134,7 +191,7 @@ func EncodedSize(b *Briefcase) int {
 	size := 2 + uvarintLen(uint64(b.Len()))
 	for _, name := range b.Names() {
 		size += uvarintLen(uint64(len(name))) + len(name)
-		f, _ := b.Folder(name)
+		f := b.folders[name]
 		size += 2 + uvarintLen(uint64(f.Len()))
 		for _, e := range f.elems {
 			size += uvarintLen(uint64(len(e))) + len(e)

@@ -1,0 +1,222 @@
+package folder
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// --- copy-on-write semantics ---
+
+func TestCloneIsolationAfterMutation(t *testing.T) {
+	f := OfStrings("a", "b", "c")
+	g := f.Clone()
+
+	f.PushString("d")
+	if g.Len() != 3 {
+		t.Fatalf("clone saw original's push: len=%d", g.Len())
+	}
+	if err := g.Set(0, []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := f.StringAt(0); s != "a" {
+		t.Fatalf("original saw clone's set: %q", s)
+	}
+	if _, err := f.Pop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Strings(); got[0] != "z" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("clone corrupted: %v", got)
+	}
+}
+
+func TestCloneOfCloneChain(t *testing.T) {
+	a := OfStrings("x")
+	b := a.Clone()
+	c := b.Clone()
+	b.PushString("y")
+	if a.Len() != 1 || c.Len() != 1 || b.Len() != 2 {
+		t.Fatalf("chain isolation broken: a=%d b=%d c=%d", a.Len(), b.Len(), c.Len())
+	}
+}
+
+// Pop transfers ownership; after a clone, the returned bytes must be a
+// private copy so the caller mutating them cannot corrupt the clone.
+func TestPopAfterCloneReturnsPrivateBytes(t *testing.T) {
+	f := Of([]byte("hello"))
+	g := f.Clone()
+	e, err := f.Pop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range e {
+		e[i] = 'X'
+	}
+	if s, _ := g.StringAt(0); s != "hello" {
+		t.Fatalf("mutating popped bytes corrupted clone: %q", s)
+	}
+}
+
+func TestDequeueAfterCloneReturnsPrivateBytes(t *testing.T) {
+	f := Of([]byte("front"), []byte("back"))
+	g := f.Clone()
+	e, err := f.Dequeue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e[0] = '?'
+	if s, _ := g.StringAt(0); s != "front" {
+		t.Fatalf("mutating dequeued bytes corrupted clone: %q", s)
+	}
+}
+
+// Without any clone, Pop keeps its ownership-transfer contract and does not
+// copy.
+func TestPopWithoutCloneTransfersInPlace(t *testing.T) {
+	f := New()
+	f.PushString("solo")
+	e, err := f.Pop()
+	if err != nil || string(e) != "solo" {
+		t.Fatalf("pop: %q %v", e, err)
+	}
+}
+
+func TestPushCopiesArgument(t *testing.T) {
+	e := []byte("abc")
+	f := New()
+	f.Push(e)
+	e[0] = 'X'
+	if s, _ := f.StringAt(0); s != "abc" {
+		t.Fatalf("push aliased caller bytes: %q", s)
+	}
+}
+
+func TestPushOwnedAliases(t *testing.T) {
+	e := []byte("abc")
+	f := New()
+	f.PushOwned(e)
+	if raw := f.RawAt(0); !bytes.Equal(raw, e) || &raw[0] != &e[0] {
+		t.Fatal("PushOwned copied; expected aliasing")
+	}
+}
+
+func TestCloneAllocsConstant(t *testing.T) {
+	big := OfStrings()
+	for i := 0; i < 4096; i++ {
+		big.PushString(fmt.Sprintf("element-%d", i))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if big.Clone().Len() != 4096 {
+			t.Fatal("bad clone")
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("Clone allocates %v times; want O(1)", allocs)
+	}
+}
+
+// Concurrent clones of one folder (the cabinet snapshots under a read lock)
+// must be safe; run with -race.
+func TestConcurrentClones(t *testing.T) {
+	f := OfStrings("a", "b", "c")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				g := f.Clone()
+				if g.Len() != 3 {
+					t.Error("bad clone length")
+					return
+				}
+				g.PushString("mine") // mutating the clone is private
+			}
+		}()
+	}
+	wg.Wait()
+	if f.Len() != 3 {
+		t.Fatalf("original mutated: len=%d", f.Len())
+	}
+}
+
+// --- freeze semantics ---
+
+func TestFreezePanicsOnMutate(t *testing.T) {
+	f := OfStrings("sig").Freeze()
+	if !f.IsFrozen() {
+		t.Fatal("not frozen")
+	}
+	for name, mutate := range map[string]func(){
+		"Push":    func() { f.Push([]byte("x")) },
+		"Pop":     func() { f.Pop() },
+		"Set":     func() { f.Set(0, []byte("x")) },
+		"Clear":   func() { f.Clear() },
+		"Dequeue": func() { f.Dequeue() },
+		"Remove":  func() { f.Remove(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on frozen folder did not panic", name)
+				}
+			}()
+			mutate()
+		}()
+	}
+	if s, _ := f.StringAt(0); s != "sig" {
+		t.Fatalf("frozen folder changed: %q", s)
+	}
+}
+
+func TestFrozenCloneIsMutable(t *testing.T) {
+	f := OfStrings("v").Freeze()
+	g := f.Clone()
+	if g.IsFrozen() {
+		t.Fatal("clone inherited frozen state")
+	}
+	g.PushString("w")
+	if f.Len() != 1 || g.Len() != 2 {
+		t.Fatalf("freeze/clone isolation broken: f=%d g=%d", f.Len(), g.Len())
+	}
+}
+
+func TestFrozenFolderStillSerializes(t *testing.T) {
+	f := OfStrings("a", "b").Freeze()
+	back, err := DecodeFolder(EncodeFolder(f))
+	if err != nil || !back.Equal(f) {
+		t.Fatalf("frozen folder round trip: %v %v", back, err)
+	}
+}
+
+// --- cabinet copy-on-write behavior ---
+
+func TestCabinetSnapshotIsolation(t *testing.T) {
+	c := NewCabinet()
+	c.AppendString("F", "one")
+	snap := c.Snapshot("F")
+	c.AppendString("F", "two")
+	if snap.Len() != 1 {
+		t.Fatalf("snapshot saw later append: %v", snap.Strings())
+	}
+	snap.PushString("mine")
+	if c.FolderLen("F") != 2 {
+		t.Fatalf("mutating snapshot changed cabinet: %d", c.FolderLen("F"))
+	}
+}
+
+func TestCabinetSnapshotAllocsConstant(t *testing.T) {
+	c := NewCabinet()
+	for i := 0; i < 2048; i++ {
+		c.AppendString("BIG", fmt.Sprintf("e%d", i))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if c.Snapshot("BIG").Len() != 2048 {
+			t.Fatal("bad snapshot")
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("Snapshot allocates %v times; want O(1)", allocs)
+	}
+}

@@ -15,12 +15,36 @@
 // Folders and Briefcases are owned by a single agent at a time and are not
 // safe for concurrent use. FileCabinets are shared by every agent on a site
 // and are safe for concurrent use.
+//
+// # Ownership and copy-on-write
+//
+// Stored elements are immutable: no folder operation ever rewrites the bytes
+// of an element in place, only adds, removes, or replaces whole elements.
+// That invariant is what makes the cheap paths safe:
+//
+//   - Clone is O(1). The original and the clone share storage; the first
+//     structural mutation of either side copies the slot array (but never
+//     the element bytes, which both sides may keep sharing).
+//   - Pop and Dequeue transfer ownership of the returned element to the
+//     caller. When the element may still be shared with a clone, a private
+//     copy is returned instead.
+//   - Push copies its argument (callers keep ownership of what they pass
+//     in); PushOwned skips that copy for callers that hand the element over
+//     and promise never to mutate it again — the codec's decode path.
+//   - Freeze marks a folder permanently immutable. Mutating a frozen folder
+//     is a programming error and panics; TacL builtins check IsFrozen first
+//     and refuse with an error instead. The guard freezes the SIG folder it
+//     installs so no native agent can corrupt a signature in place.
+//
+// Clone and Freeze may be called concurrently with reads (the cabinet clones
+// under a read lock); the sharing state is therefore tracked atomically.
 package folder
 
 import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Common errors returned by folder operations.
@@ -31,12 +55,29 @@ var (
 	ErrNoFolder = errors.New("folder: no such folder")
 	// ErrBadIndex is returned for out-of-range element access.
 	ErrBadIndex = errors.New("folder: index out of range")
+	// ErrFrozen is reported when a mutation reaches a frozen folder through
+	// a path that can refuse politely (TacL builtins); direct mutation of a
+	// frozen folder from Go panics instead.
+	ErrFrozen = errors.New("folder: folder is frozen")
+)
+
+// Sharing state bits, tracked atomically so Clone/Freeze may race with reads.
+const (
+	// flagSlotsShared: the [][]byte slot array is shared with a clone; the
+	// next structural mutation must copy it first.
+	flagSlotsShared uint32 = 1 << iota
+	// flagEltsShared: element byte slices may be referenced by a clone;
+	// ownership-transferring reads (Pop, Dequeue) must copy out.
+	flagEltsShared
+	// flagFrozen: the folder is permanently immutable.
+	flagFrozen
 )
 
 // Folder is an ordered list of uninterpreted byte elements.
 // The zero value is an empty folder ready to use.
 type Folder struct {
 	elems [][]byte
+	flags atomic.Uint32
 }
 
 // New returns an empty folder.
@@ -59,6 +100,32 @@ func OfStrings(elems ...string) *Folder {
 	}
 	return f
 }
+
+// mutable prepares the folder for a structural mutation: it panics if the
+// folder is frozen and unshares the slot array if a clone still references
+// it. Element byte slices are never copied here — they are immutable.
+func (f *Folder) mutable() {
+	fl := f.flags.Load()
+	if fl&flagFrozen != 0 {
+		panic("folder: mutation of frozen folder")
+	}
+	if fl&flagSlotsShared != 0 {
+		f.elems = append(make([][]byte, 0, len(f.elems)+1), f.elems...)
+		f.flags.And(^flagSlotsShared)
+	}
+}
+
+// Freeze marks the folder permanently immutable and returns it. Reads,
+// Clone (which yields a mutable copy-on-write clone), and serialization keep
+// working; any mutation panics. TacL builtins consult IsFrozen and refuse
+// with ErrFrozen instead of panicking.
+func (f *Folder) Freeze() *Folder {
+	f.flags.Or(flagFrozen | flagSlotsShared | flagEltsShared)
+	return f
+}
+
+// IsFrozen reports whether the folder has been frozen.
+func (f *Folder) IsFrozen() bool { return f.flags.Load()&flagFrozen != 0 }
 
 // Len reports the number of elements in the folder.
 func (f *Folder) Len() int { return len(f.elems) }
@@ -92,31 +159,55 @@ func (f *Folder) RawAt(i int) []byte {
 	return f.elems[i]
 }
 
-// StringAt returns the i'th element as a string.
+// StringAt returns the i'th element as a string. The string conversion is
+// the only copy made.
 func (f *Folder) StringAt(i int) (string, error) {
-	b, err := f.At(i)
-	if err != nil {
-		return "", err
+	if i < 0 || i >= len(f.elems) {
+		return "", fmt.Errorf("%w: %d of %d", ErrBadIndex, i, len(f.elems))
 	}
-	return string(b), nil
+	return string(f.elems[i]), nil
 }
 
 // Push appends an element to the end of the folder (stack push / enqueue).
 // The element is copied.
-func (f *Folder) Push(e []byte) { f.elems = append(f.elems, clone(e)) }
+func (f *Folder) Push(e []byte) {
+	f.mutable()
+	f.elems = append(f.elems, clone(e))
+}
+
+// PushOwned appends an element without copying, taking ownership: the caller
+// must not mutate e afterwards. It is the zero-copy path the codec uses when
+// the element already lives in a buffer whose ownership is transferred.
+func (f *Folder) PushOwned(e []byte) {
+	f.mutable()
+	f.elems = append(f.elems, e)
+}
 
 // PushString appends a string element.
-func (f *Folder) PushString(s string) { f.elems = append(f.elems, []byte(s)) }
+func (f *Folder) PushString(s string) {
+	f.mutable()
+	f.elems = append(f.elems, []byte(s))
+}
 
-// Pop removes and returns the last element (stack discipline).
+// takeOut returns e, copied first when a clone may still reference it.
+func (f *Folder) takeOut(e []byte) []byte {
+	if f.flags.Load()&flagEltsShared != 0 {
+		return clone(e)
+	}
+	return e
+}
+
+// Pop removes and returns the last element (stack discipline). Ownership of
+// the returned slice transfers to the caller.
 func (f *Folder) Pop() ([]byte, error) {
 	if len(f.elems) == 0 {
 		return nil, ErrEmpty
 	}
+	f.mutable()
 	e := f.elems[len(f.elems)-1]
 	f.elems[len(f.elems)-1] = nil
 	f.elems = f.elems[:len(f.elems)-1]
-	return e, nil
+	return f.takeOut(e), nil
 }
 
 // PopString removes and returns the last element as a string.
@@ -129,14 +220,16 @@ func (f *Folder) PopString() (string, error) {
 }
 
 // Dequeue removes and returns the first element (queue discipline).
+// Ownership of the returned slice transfers to the caller.
 func (f *Folder) Dequeue() ([]byte, error) {
 	if len(f.elems) == 0 {
 		return nil, ErrEmpty
 	}
+	f.mutable()
 	e := f.elems[0]
 	f.elems[0] = nil
 	f.elems = f.elems[1:]
-	return e, nil
+	return f.takeOut(e), nil
 }
 
 // DequeueString removes and returns the first element as a string.
@@ -169,6 +262,7 @@ func (f *Folder) Set(i int, e []byte) error {
 	if i < 0 || i >= len(f.elems) {
 		return fmt.Errorf("%w: %d of %d", ErrBadIndex, i, len(f.elems))
 	}
+	f.mutable()
 	f.elems[i] = clone(e)
 	return nil
 }
@@ -178,14 +272,22 @@ func (f *Folder) Remove(i int) error {
 	if i < 0 || i >= len(f.elems) {
 		return fmt.Errorf("%w: %d of %d", ErrBadIndex, i, len(f.elems))
 	}
+	f.mutable()
 	copy(f.elems[i:], f.elems[i+1:])
 	f.elems[len(f.elems)-1] = nil
 	f.elems = f.elems[:len(f.elems)-1]
 	return nil
 }
 
-// Clear removes all elements.
-func (f *Folder) Clear() { f.elems = nil }
+// Clear removes all elements. A cleared folder references no shared storage,
+// so its sharing state resets too.
+func (f *Folder) Clear() {
+	if f.flags.Load()&flagFrozen != 0 {
+		panic("folder: mutation of frozen folder")
+	}
+	f.elems = nil
+	f.flags.Store(0)
+}
 
 // Contains reports whether any element equals e byte-for-byte.
 func (f *Folder) Contains(e []byte) bool {
@@ -218,9 +320,14 @@ func (f *Folder) Elements() [][]byte {
 	return out
 }
 
-// Clone returns a deep copy of the folder.
+// Clone returns a copy of the folder in O(1): storage is shared until either
+// side mutates (copy-on-write). Cloning a frozen folder yields an ordinary
+// mutable folder. Clone is safe to call concurrently with reads.
 func (f *Folder) Clone() *Folder {
-	return &Folder{elems: f.Elements()}
+	f.flags.Or(flagSlotsShared | flagEltsShared)
+	g := &Folder{elems: f.elems}
+	g.flags.Store(flagSlotsShared | flagEltsShared)
+	return g
 }
 
 // Equal reports whether two folders hold identical element sequences.
@@ -238,8 +345,9 @@ func (f *Folder) Equal(g *Folder) bool {
 
 // Append moves nothing: it copies every element of g onto the end of f.
 func (f *Folder) Append(g *Folder) {
+	f.mutable()
 	for _, e := range g.elems {
-		f.Push(e)
+		f.elems = append(f.elems, clone(e))
 	}
 }
 

@@ -125,11 +125,15 @@ func (k *Keyring) key(principal string) ([]byte, bool) {
 func SitePrincipal(id vnet.SiteID) string { return "site/" + string(id) }
 
 // sigMAC computes the HMAC over the principal name and the canonical
-// encodings of the named folders, in the order given.
+// encodings of the named folders, in the order given. Folder encodings go
+// through one pooled scratch buffer: the bytes are consumed by the MAC
+// before the buffer is recycled.
 func sigMAC(key []byte, principal string, names []string, bc *folder.Briefcase) ([]byte, error) {
 	mac := hmac.New(sha256.New, key)
 	mac.Write([]byte(principal))
 	mac.Write([]byte{0})
+	buf := folder.GetBuffer()
+	defer func() { folder.PutBuffer(buf) }()
 	for _, n := range names {
 		f, err := bc.Folder(n)
 		if err != nil {
@@ -137,7 +141,8 @@ func sigMAC(key []byte, principal string, names []string, bc *folder.Briefcase) 
 		}
 		mac.Write([]byte(n))
 		mac.Write([]byte{0})
-		mac.Write(folder.EncodeFolder(f))
+		buf = folder.AppendFolder(buf[:0], f)
+		mac.Write(buf)
 	}
 	return mac.Sum(nil), nil
 }
@@ -175,6 +180,13 @@ func Sign(k *Keyring, principal string, bc *folder.Briefcase, folders ...string)
 	}
 	bc.PutString(SigFolder,
 		principal+"|"+strings.Join(names, ",")+"|"+hex.EncodeToString(sum))
+	// The signature itself is immutable from here on: freezing the SIG
+	// folder instance means no agent — native or scripted — can corrupt it
+	// in place; re-signing installs a fresh folder. (TacL builtins refuse
+	// frozen-folder mutations with an error; see taclbind.)
+	if f := bc.Lookup(SigFolder); f != nil {
+		f.Freeze()
+	}
 	return nil
 }
 

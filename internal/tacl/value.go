@@ -42,6 +42,8 @@ func quoteElem(e string) string {
 			sb.WriteByte(c)
 		case '\n':
 			sb.WriteString("\\n")
+		case '\r':
+			sb.WriteString("\\r")
 		default:
 			sb.WriteByte(c)
 		}
@@ -49,8 +51,11 @@ func quoteElem(e string) string {
 	return sb.String()
 }
 
+// needsQuote must cover every byte ParseList treats as a separator (isSpace:
+// space, tab, newline, carriage return) or as syntax; a bare element
+// containing any of them would not survive the round trip.
 func needsQuote(e string) bool {
-	return strings.ContainsAny(e, " \t\n;\"{}[]$\\")
+	return strings.ContainsAny(e, " \t\n\r;\"{}[]$\\")
 }
 
 func bracesBalanced(e string) bool {

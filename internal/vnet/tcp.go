@@ -12,34 +12,52 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
+
+// maxWriteStall bounds how long one request frame may take to drain into a
+// shared pooled connection before the connection is declared dead; it
+// protects every caller queued on the connection's write lock from a peer
+// that stopped reading.
+const maxWriteStall = 30 * time.Second
 
 // ErrAuth is wrapped by all TCP authentication failures.
 var ErrAuth = errors.New("vnet: authentication failed")
 
 // TCPEndpoint implements Endpoint over real TCP sockets, so the same TACOMA
 // kernel that runs on the simulator runs between processes and machines
-// (cmd/tacomad). Each Call opens one connection, sends one request frame,
-// and reads one response frame; there is no connection pooling because site
-// daemons are long-lived and calls are coarse (whole briefcases).
+// (cmd/tacomad).
 //
-// Frame layout, all lengths uvarint-prefixed:
+// Connections are persistent and pipelined: the first Call to a peer dials
+// one connection, and every subsequent Call reuses it. Requests carry a
+// per-connection id; multiple calls may be in flight at once, their
+// responses demultiplexed by id, so concurrent remote meets batch onto one
+// socket instead of paying a dial + teardown per meet. A connection that
+// dies (peer restart, idle reset) fails its in-flight calls and is redialed
+// on the next Call.
 //
-//	request  := 'Q' from kind payload
-//	response := 'R' status(1: 0=ok, 1=error) payload-or-error-text
+// Pipelined frame layout, all variable parts uvarint-length-prefixed and the
+// id a bare uvarint:
+//
+//	request  := 'q' id from kind payload
+//	response := 'r' id status(1: 0=ok, 1=error) payload-or-error-text
 //
 // With a shared auth key installed (SetAuthKey), frames carry an HMAC
 // handshake instead:
 //
-//	request  := 'A' from nonce kind payload mac
-//	response := 'S' status payload-or-error-text mac
+//	request  := 'a' id from nonce kind payload mac
+//	response := 's' id status payload-or-error-text mac
 //
-// The request MAC covers (from, nonce, kind, payload) under HMAC-SHA256 of
-// the shared key; the response MAC covers (nonce, status, body), binding
-// the reply to the caller's nonce so a recorded response cannot be replayed
-// against a later call. An endpoint with a key refuses plain 'Q' frames and
-// requests whose MAC does not verify — this is the firewall handshake at
-// the transport layer, below the site-level briefcase checks.
+// The request MAC covers (id, from, nonce, kind, payload) under HMAC-SHA256
+// of the shared key; the response MAC covers (id, nonce, status, body),
+// binding the reply to the caller's nonce so a recorded response cannot be
+// replayed against a later call. An endpoint with a key refuses plain 'q'
+// frames and requests whose MAC does not verify — this is the firewall
+// handshake at the transport layer, below the site-level briefcase checks.
+//
+// The server side also still accepts the legacy single-shot 'Q'/'A' frames
+// (one request, one 'R'/'S' response) used by older clients and by
+// hand-crafted probes; they share the same auth rules.
 type TCPEndpoint struct {
 	id          SiteID
 	incarnation int64
@@ -57,6 +75,16 @@ type TCPEndpoint struct {
 	nonceMu    sync.Mutex
 	noncesCur  map[string]struct{}
 	noncesPrev map[string]struct{}
+
+	// pcmu guards the client-side connection pool: one persistent
+	// multiplexed connection per peer.
+	pcmu   sync.Mutex
+	pconns map[SiteID]*peerConn
+
+	// scmu tracks accepted server-side connections so Close can shut down
+	// persistent streams that would otherwise outlive the listener.
+	scmu   sync.Mutex
+	sconns map[net.Conn]struct{}
 
 	ln     net.Listener
 	closed chan struct{}
@@ -81,6 +109,8 @@ func NewTCPEndpoint(id SiteID, addr string) (*TCPEndpoint, error) {
 		id:          id,
 		incarnation: int64(binary.LittleEndian.Uint64(incb[:]) >> 1),
 		peers:       make(map[SiteID]string),
+		pconns:      make(map[SiteID]*peerConn),
+		sconns:      make(map[net.Conn]struct{}),
 		ln:          ln,
 		closed:      make(chan struct{}),
 	}
@@ -115,7 +145,8 @@ func (ep *TCPEndpoint) SetHandler(h HandlerFunc) {
 
 // SetAuthKey installs the cluster's shared authentication key. With a key
 // set, outgoing calls use the authenticated handshake and incoming calls
-// must pass it; a nil key restores the open protocol.
+// must pass it; a nil key restores the open protocol. Pooled connections
+// are retired so the new key takes effect for subsequent calls.
 func (ep *TCPEndpoint) SetAuthKey(key []byte) {
 	ep.mu.Lock()
 	if key == nil {
@@ -124,6 +155,12 @@ func (ep *TCPEndpoint) SetAuthKey(key []byte) {
 		ep.authKey = append([]byte(nil), key...)
 	}
 	ep.mu.Unlock()
+	ep.pcmu.Lock()
+	for id, pc := range ep.pconns {
+		pc.fail(errors.New("vnet: auth key changed"))
+		delete(ep.pconns, id)
+	}
+	ep.pcmu.Unlock()
 }
 
 func (ep *TCPEndpoint) auth() []byte {
@@ -172,7 +209,15 @@ func frameMAC(key []byte, label string, parts ...[]byte) []byte {
 	return mac.Sum(nil)
 }
 
-// Close stops the listener and waits for in-flight handlers.
+// uvarintBytes renders v as a uvarint for inclusion in a MAC.
+func uvarintBytes(v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return tmp[:n]
+}
+
+// Close stops the listener, retires pooled client connections, shuts down
+// persistent server streams, and waits for in-flight handlers.
 func (ep *TCPEndpoint) Close() error {
 	select {
 	case <-ep.closed:
@@ -181,6 +226,17 @@ func (ep *TCPEndpoint) Close() error {
 	}
 	close(ep.closed)
 	err := ep.ln.Close()
+	ep.pcmu.Lock()
+	for id, pc := range ep.pconns {
+		pc.fail(ErrClosed)
+		delete(ep.pconns, id)
+	}
+	ep.pcmu.Unlock()
+	ep.scmu.Lock()
+	for c := range ep.sconns {
+		c.Close()
+	}
+	ep.scmu.Unlock()
 	ep.wg.Wait()
 	return err
 }
@@ -197,45 +253,125 @@ func (ep *TCPEndpoint) acceptLoop() {
 				continue
 			}
 		}
+		ep.scmu.Lock()
+		ep.sconns[conn] = struct{}{}
+		ep.scmu.Unlock()
+		// Close may have swept sconns between the Accept and the insert
+		// above; re-checking here guarantees every registered connection is
+		// either swept by Close or closed by us, so wg.Wait cannot hang on
+		// a serveConn blocked reading an open pipelined stream.
+		select {
+		case <-ep.closed:
+			conn.Close()
+		default:
+		}
 		ep.wg.Add(1)
 		go func() {
 			defer ep.wg.Done()
-			defer conn.Close()
+			defer func() {
+				ep.scmu.Lock()
+				delete(ep.sconns, conn)
+				ep.scmu.Unlock()
+				conn.Close()
+			}()
 			ep.serveConn(conn)
 		}()
 	}
 }
 
+// request is one decoded inbound request frame.
+type request struct {
+	pipelined bool // 'q'/'a' (id-tagged, stream stays open) vs legacy 'Q'/'A'
+	authed    bool // 'a'/'A'
+	id        uint64
+	from      []byte
+	nonce     []byte
+	kind      []byte
+	payload   []byte
+	mac       []byte
+}
+
+// readRequest parses one request frame, returning io.EOF-ish errors when the
+// stream ends or the bytes are not a valid frame.
+func readRequest(r *bufio.Reader) (*request, error) {
+	tag, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	req := &request{}
+	switch tag {
+	case 'Q':
+	case 'A':
+		req.authed = true
+	case 'q':
+		req.pipelined = true
+	case 'a':
+		req.pipelined = true
+		req.authed = true
+	default:
+		return nil, fmt.Errorf("vnet: unknown frame tag %q", tag)
+	}
+	if req.pipelined {
+		if req.id, err = binary.ReadUvarint(r); err != nil {
+			return nil, err
+		}
+	}
+	if req.from, err = readChunk(r); err != nil {
+		return nil, err
+	}
+	if req.authed {
+		if req.nonce, err = readChunk(r); err != nil {
+			return nil, err
+		}
+	}
+	if req.kind, err = readChunk(r); err != nil {
+		return nil, err
+	}
+	if req.payload, err = readChunk(r); err != nil {
+		return nil, err
+	}
+	if req.authed {
+		if req.mac, err = readChunk(r); err != nil {
+			return nil, err
+		}
+	}
+	return req, nil
+}
+
+// serveConn serves one inbound connection: a loop over request frames.
+// Legacy clients send a single frame and close; pipelined clients keep the
+// stream open and may have several requests outstanding, each answered —
+// possibly out of order — under the shared write lock.
 func (ep *TCPEndpoint) serveConn(conn net.Conn) {
 	r := bufio.NewReader(conn)
-	tag, err := r.ReadByte()
-	if err != nil || (tag != 'Q' && tag != 'A') {
-		return
-	}
-	from, err := readChunk(r)
-	if err != nil {
-		return
-	}
-	var nonce []byte
-	if tag == 'A' {
-		if nonce, err = readChunk(r); err != nil {
+	w := bufio.NewWriter(conn)
+	var wmu sync.Mutex // serializes response frames from concurrent handlers
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	for {
+		req, err := readRequest(r)
+		if err != nil {
 			return
 		}
-	}
-	kind, err := readChunk(r)
-	if err != nil {
-		return
-	}
-	payload, err := readChunk(r)
-	if err != nil {
-		return
-	}
-	var mac []byte
-	if tag == 'A' {
-		if mac, err = readChunk(r); err != nil {
-			return
+		if req.pipelined {
+			// Pipelined requests are served concurrently: a slow meet must
+			// not head-of-line-block the responses of later requests on the
+			// same stream.
+			handlers.Add(1)
+			ep.wg.Add(1)
+			go func() {
+				defer handlers.Done()
+				defer ep.wg.Done()
+				ep.serveRequest(req, w, &wmu)
+			}()
+			continue
 		}
+		ep.serveRequest(req, w, &wmu)
 	}
+}
+
+// serveRequest authenticates, dispatches, and answers one request frame.
+func (ep *TCPEndpoint) serveRequest(req *request, w *bufio.Writer, wmu *sync.Mutex) {
 	ep.mu.RLock()
 	h := ep.handler
 	key := ep.authKey
@@ -247,30 +383,44 @@ func (ep *TCPEndpoint) serveConn(conn net.Conn) {
 	var status byte
 	var resp []byte
 	switch {
-	case key != nil && tag != 'A':
+	case key != nil && !req.authed:
 		status, resp = 1, []byte(fmt.Sprintf("site %s requires authentication", ep.id))
-	case key == nil && tag == 'A':
+	case key == nil && req.authed:
 		status, resp = 1, []byte(fmt.Sprintf("site %s does not accept authenticated frames", ep.id))
-	case key != nil && !hmac.Equal(mac, frameMAC(key, "req", from, nonce, kind, payload)):
+	case key != nil && !hmac.Equal(req.mac, ep.requestMAC(key, req)):
 		status, resp = 1, []byte(fmt.Sprintf("site %s: request authentication failed", ep.id))
-	case key != nil && !ep.nonceFresh(nonce):
+	case key != nil && !ep.nonceFresh(req.nonce):
 		status, resp = 1, []byte(fmt.Sprintf("site %s: replayed request refused", ep.id))
 	case h == nil:
 		status, resp = 1, []byte(ErrNoHandler.Error())
 	default:
-		if data, herr := h(SiteID(from), string(kind), payload); herr != nil {
+		if data, herr := h(SiteID(req.from), string(req.kind), req.payload); herr != nil {
 			status, resp = 1, []byte(herr.Error())
 		} else {
 			status, resp = 0, data
 		}
 	}
-	w := bufio.NewWriter(conn)
-	if tag == 'A' && key != nil {
+
+	wmu.Lock()
+	defer wmu.Unlock()
+	switch {
+	case req.pipelined && req.authed && key != nil:
+		w.WriteByte('s')
+		writeUvarint(w, req.id)
+		w.WriteByte(status)
+		writeChunk(w, resp)
+		writeChunk(w, frameMAC(key, "presp", uvarintBytes(req.id), req.nonce, []byte{status}, resp))
+	case req.pipelined:
+		w.WriteByte('r')
+		writeUvarint(w, req.id)
+		w.WriteByte(status)
+		writeChunk(w, resp)
+	case req.authed && key != nil:
 		w.WriteByte('S')
 		w.WriteByte(status)
 		writeChunk(w, resp)
-		writeChunk(w, frameMAC(key, "resp", nonce, []byte{status}, resp))
-	} else {
+		writeChunk(w, frameMAC(key, "resp", req.nonce, []byte{status}, resp))
+	default:
 		w.WriteByte('R')
 		w.WriteByte(status)
 		writeChunk(w, resp)
@@ -278,105 +428,314 @@ func (ep *TCPEndpoint) serveConn(conn net.Conn) {
 	w.Flush()
 }
 
-// Call dials the peer registered for to and performs one exchange.
+// requestMAC computes the expected MAC for an inbound authenticated request.
+func (ep *TCPEndpoint) requestMAC(key []byte, req *request) []byte {
+	if req.pipelined {
+		return frameMAC(key, "preq", uvarintBytes(req.id), req.from, req.nonce, req.kind, req.payload)
+	}
+	return frameMAC(key, "req", req.from, req.nonce, req.kind, req.payload)
+}
+
+// rpcResult is one demultiplexed response frame (or a connection error).
+type rpcResult struct {
+	authed bool // 's' frame
+	status byte
+	body   []byte
+	mac    []byte
+	err    error
+}
+
+// peerConn is one persistent multiplexed client connection to a peer.
+type peerConn struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	wmu  sync.Mutex // serializes request frames
+
+	mu      sync.Mutex
+	pending map[uint64]chan rpcResult
+	nextID  uint64
+	dead    bool
+	err     error
+}
+
+// register allocates a call id and its response channel.
+func (pc *peerConn) register() (uint64, chan rpcResult, error) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.dead {
+		return 0, nil, pc.err
+	}
+	pc.nextID++
+	id := pc.nextID
+	ch := make(chan rpcResult, 1)
+	pc.pending[id] = ch
+	return id, ch, nil
+}
+
+// forget abandons a call (context cancellation); a late response frame for
+// the id is discarded by the read loop.
+func (pc *peerConn) forget(id uint64) {
+	pc.mu.Lock()
+	delete(pc.pending, id)
+	pc.mu.Unlock()
+}
+
+// fail marks the connection dead and fails every in-flight call.
+func (pc *peerConn) fail(err error) {
+	pc.mu.Lock()
+	if pc.dead {
+		pc.mu.Unlock()
+		return
+	}
+	pc.dead = true
+	pc.err = err
+	pending := pc.pending
+	pc.pending = make(map[uint64]chan rpcResult)
+	pc.mu.Unlock()
+	pc.conn.Close()
+	for _, ch := range pending {
+		ch <- rpcResult{err: err}
+	}
+}
+
+// readLoop demultiplexes response frames to their callers.
+func (pc *peerConn) readLoop() {
+	r := bufio.NewReader(pc.conn)
+	for {
+		tag, err := r.ReadByte()
+		if err != nil {
+			pc.fail(fmt.Errorf("%w: connection lost: %v", ErrTimeout, err))
+			return
+		}
+		if tag != 'r' && tag != 's' {
+			pc.fail(fmt.Errorf("%w: bad response tag %q", ErrTimeout, tag))
+			return
+		}
+		id, err := binary.ReadUvarint(r)
+		if err != nil {
+			pc.fail(fmt.Errorf("%w: bad response id: %v", ErrTimeout, err))
+			return
+		}
+		status, err := r.ReadByte()
+		if err != nil {
+			pc.fail(fmt.Errorf("%w: bad response status: %v", ErrTimeout, err))
+			return
+		}
+		body, err := readChunk(r)
+		if err != nil {
+			pc.fail(fmt.Errorf("%w: bad response body: %v", ErrTimeout, err))
+			return
+		}
+		res := rpcResult{authed: tag == 's', status: status, body: body}
+		if res.authed {
+			if res.mac, err = readChunk(r); err != nil {
+				pc.fail(fmt.Errorf("%w: bad response mac: %v", ErrTimeout, err))
+				return
+			}
+		}
+		pc.mu.Lock()
+		ch, ok := pc.pending[id]
+		if ok {
+			delete(pc.pending, id)
+		}
+		pc.mu.Unlock()
+		if ok {
+			ch <- res
+		}
+	}
+}
+
+// peerConn returns the pooled connection to a peer, dialing a fresh one when
+// none is alive. The second return reports whether the connection was
+// reused (a reused connection that fails mid-call is worth one redial).
+func (ep *TCPEndpoint) peerConn(ctx context.Context, to SiteID) (*peerConn, bool, error) {
+	ep.mu.RLock()
+	addr, ok := ep.peers[to]
+	ep.mu.RUnlock()
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %s", ErrUnknownSite, to)
+	}
+	ep.pcmu.Lock()
+	if pc, ok := ep.pconns[to]; ok && !pc.isDead() {
+		ep.pcmu.Unlock()
+		return pc, true, nil
+	}
+	ep.pcmu.Unlock()
+
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: dial %s: %v", ErrTimeout, to, err)
+	}
+	pc := &peerConn{
+		conn:    conn,
+		bw:      bufio.NewWriter(conn),
+		pending: make(map[uint64]chan rpcResult),
+	}
+	ep.pcmu.Lock()
+	if cur, ok := ep.pconns[to]; ok && !cur.isDead() {
+		// Lost the dial race; use the winner and retire ours.
+		ep.pcmu.Unlock()
+		conn.Close()
+		return cur, true, nil
+	}
+	ep.pconns[to] = pc
+	ep.pcmu.Unlock()
+	// As with server connections: if Close swept pconns while we were
+	// dialing, retire this connection immediately instead of leaking its
+	// read loop past shutdown.
+	select {
+	case <-ep.closed:
+		ep.pcmu.Lock()
+		if ep.pconns[to] == pc {
+			delete(ep.pconns, to)
+		}
+		ep.pcmu.Unlock()
+		pc.fail(ErrClosed)
+		return nil, false, ErrClosed
+	default:
+	}
+	ep.wg.Add(1)
+	go func() {
+		defer ep.wg.Done()
+		pc.readLoop()
+	}()
+	return pc, false, nil
+}
+
+func (pc *peerConn) isDead() bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.dead
+}
+
+// Call performs one request/response exchange with a peer over the pooled
+// pipelined connection. Concurrent Calls to the same peer share the
+// connection; a dead pooled connection is redialed once.
 func (ep *TCPEndpoint) Call(ctx context.Context, to SiteID, kind string, payload []byte) ([]byte, error) {
 	select {
 	case <-ep.closed:
 		return nil, ErrClosed
 	default:
 	}
-	ep.mu.RLock()
-	addr, ok := ep.peers[to]
-	ep.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrUnknownSite, to)
-	}
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("%w: dial %s: %v", ErrTimeout, to, err)
-	}
-	defer conn.Close()
-	if dl, ok := ctx.Deadline(); ok {
-		conn.SetDeadline(dl)
-	}
-
 	key := ep.auth()
-	var nonce []byte
-	w := bufio.NewWriter(conn)
-	if key != nil {
-		nonce = make([]byte, 16)
-		if _, err := rand.Read(nonce); err != nil {
-			return nil, fmt.Errorf("vnet: nonce: %w", err)
-		}
-		w.WriteByte('A')
-		writeChunk(w, []byte(ep.id))
-		writeChunk(w, nonce)
-		writeChunk(w, []byte(kind))
-		writeChunk(w, payload)
-		writeChunk(w, frameMAC(key, "req", []byte(ep.id), nonce, []byte(kind), payload))
-	} else {
-		w.WriteByte('Q')
-		writeChunk(w, []byte(ep.id))
-		writeChunk(w, []byte(kind))
-		writeChunk(w, payload)
+	res, id, nonce, err := ep.callOnce(ctx, to, kind, payload, key)
+	if err != nil {
+		return nil, err
 	}
-	if err := w.Flush(); err != nil {
-		return nil, fmt.Errorf("vnet: send to %s: %w", to, err)
+	if res.err != nil {
+		return nil, res.err
 	}
 
-	r := bufio.NewReader(conn)
-	tag, err := r.ReadByte()
-	if err != nil {
-		return nil, fmt.Errorf("%w: bad response from %s", ErrTimeout, to)
-	}
 	switch {
-	case key != nil && tag == 'R':
-		// The peer answered in the clear; read its error so a handshake
-		// refusal surfaces as such rather than as a framing error.
-		status, body, rerr := readPlainResponse(r)
-		if rerr == nil && status != 0 {
-			return nil, fmt.Errorf("%w: remote %s: %s", ErrAuth, to, body)
+	case key != nil && !res.authed:
+		// The peer answered in the clear; surface its refusal as a
+		// handshake failure rather than a framing error.
+		if res.status != 0 {
+			return nil, fmt.Errorf("%w: remote %s: %s", ErrAuth, to, res.body)
 		}
 		return nil, fmt.Errorf("%w: unauthenticated reply from %s", ErrAuth, to)
-	case key != nil && tag != 'S', key == nil && tag != 'R':
-		return nil, fmt.Errorf("%w: bad response from %s", ErrTimeout, to)
-	}
-	status, err := r.ReadByte()
-	if err != nil {
-		return nil, fmt.Errorf("vnet: read status from %s: %w", to, err)
-	}
-	body, err := readChunk(r)
-	if err != nil {
-		return nil, fmt.Errorf("vnet: read body from %s: %w", to, err)
-	}
-	if key != nil {
-		mac, err := readChunk(r)
-		if err != nil {
-			return nil, fmt.Errorf("vnet: read mac from %s: %w", to, err)
-		}
-		if !hmac.Equal(mac, frameMAC(key, "resp", nonce, []byte{status}, body)) {
+	case key == nil && res.authed:
+		return nil, fmt.Errorf("%w: unexpected authenticated reply from %s", ErrTimeout, to)
+	case key != nil:
+		if !hmac.Equal(res.mac, frameMAC(key, "presp", uvarintBytes(id), nonce, []byte{res.status}, res.body)) {
 			return nil, fmt.Errorf("%w: response from %s", ErrAuth, to)
 		}
 	}
-	if status != 0 {
-		return nil, fmt.Errorf("vnet: remote %s: %s", to, body)
+	if res.status != 0 {
+		return nil, fmt.Errorf("vnet: remote %s: %s", to, res.body)
 	}
-	return body, nil
+	return res.body, nil
 }
 
-// readPlainResponse reads the body of an open-protocol 'R' response whose
-// tag byte has already been consumed.
-func readPlainResponse(r *bufio.Reader) (byte, []byte, error) {
-	status, err := r.ReadByte()
-	if err != nil {
-		return 0, nil, err
+// callOnce sends one request frame and waits for its response, redialing a
+// stale pooled connection once. It returns the raw result, the call id, and
+// the nonce used (both needed for response MAC verification).
+func (ep *TCPEndpoint) callOnce(ctx context.Context, to SiteID, kind string, payload []byte, key []byte) (rpcResult, uint64, []byte, error) {
+	for attempt := 0; ; attempt++ {
+		pc, reused, err := ep.peerConn(ctx, to)
+		if err != nil {
+			return rpcResult{}, 0, nil, err
+		}
+		id, ch, err := pc.register()
+		if err != nil {
+			if reused && attempt == 0 {
+				continue
+			}
+			return rpcResult{}, 0, nil, err
+		}
+
+		var nonce []byte
+		if key != nil {
+			nonce = make([]byte, 16)
+			if _, err := rand.Read(nonce); err != nil {
+				pc.forget(id)
+				return rpcResult{}, 0, nil, fmt.Errorf("vnet: nonce: %w", err)
+			}
+		}
+
+		// Bound the write: the connection is shared, so a peer that stops
+		// reading (frozen process, full receive window) must fail this
+		// frame's flush — and thereby the connection — rather than hang
+		// every caller behind wmu forever. The caller's ctx deadline is
+		// used when sooner than the fixed cap.
+		wdl := time.Now().Add(maxWriteStall)
+		if dl, ok := ctx.Deadline(); ok && dl.Before(wdl) {
+			wdl = dl
+		}
+		pc.wmu.Lock()
+		pc.conn.SetWriteDeadline(wdl)
+		if key != nil {
+			pc.bw.WriteByte('a')
+			writeUvarint(pc.bw, id)
+			writeChunk(pc.bw, []byte(ep.id))
+			writeChunk(pc.bw, nonce)
+			writeChunk(pc.bw, []byte(kind))
+			writeChunk(pc.bw, payload)
+			writeChunk(pc.bw, frameMAC(key, "preq", uvarintBytes(id), []byte(ep.id), nonce, []byte(kind), payload))
+		} else {
+			pc.bw.WriteByte('q')
+			writeUvarint(pc.bw, id)
+			writeChunk(pc.bw, []byte(ep.id))
+			writeChunk(pc.bw, []byte(kind))
+			writeChunk(pc.bw, payload)
+		}
+		werr := pc.bw.Flush()
+		pc.wmu.Unlock()
+		if werr != nil {
+			pc.fail(fmt.Errorf("%w: send to %s: %v", ErrTimeout, to, werr))
+			// A failed flush cannot have delivered a complete frame (a
+			// partial frame never parses, so the peer never dispatches it);
+			// retrying a reused connection once is safe and absorbs stale
+			// pooled connections to a restarted peer.
+			if reused && attempt == 0 {
+				continue
+			}
+			return rpcResult{}, 0, nil, fmt.Errorf("%w: send to %s: %v", ErrTimeout, to, werr)
+		}
+
+		select {
+		case res := <-ch:
+			// No retry here even on a connection error: the request was
+			// fully flushed, so the peer may already have executed the meet
+			// — re-sending would run a non-idempotent meet (cabinet
+			// mutations, cash debits) twice. Only pre-flush failures above
+			// are safe to redial.
+			return res, id, nonce, nil
+		case <-ctx.Done():
+			pc.forget(id)
+			return rpcResult{}, 0, nil, ctx.Err()
+		case <-ep.closed:
+			pc.forget(id)
+			return rpcResult{}, 0, nil, ErrClosed
+		}
 	}
-	body, err := readChunk(r)
-	if err != nil {
-		return 0, nil, err
-	}
-	return status, body, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	w.Write(tmp[:n])
 }
 
 func writeChunk(w *bufio.Writer, b []byte) {

@@ -39,6 +39,10 @@ var (
 
 // HandlerFunc serves an incoming call on a site. It runs on the callee's
 // node; the returned bytes travel back to the caller.
+//
+// Ownership: the payload belongs to the handler (it may alias it into
+// long-lived structures); the returned bytes belong to the caller and must
+// not be retained or reused by the handler after it returns.
 type HandlerFunc func(from SiteID, kind string, payload []byte) ([]byte, error)
 
 // Endpoint abstracts one site's attachment to a network. Both the simulated
@@ -48,6 +52,10 @@ type Endpoint interface {
 	// ID returns the site's name.
 	ID() SiteID
 	// Call sends a request to another site and waits for its reply.
+	//
+	// Ownership: the endpoint does not retain payload after Call returns
+	// (callers may recycle the buffer), and the returned bytes belong to
+	// the caller (they may be aliased by a zero-copy decode).
 	Call(ctx context.Context, to SiteID, kind string, payload []byte) ([]byte, error)
 	// SetHandler installs the function that serves incoming calls.
 	SetHandler(h HandlerFunc)
@@ -388,9 +396,15 @@ func (nd *Node) Call(ctx context.Context, to SiteID, kind string, payload []byte
 		data []byte
 		err  error
 	}
+	// The handler gets a private copy of the payload: Endpoint.Call promises
+	// the caller its buffer is free for reuse once Call returns, while the
+	// handler (which may outlive an abandoned call, and whose zero-copy
+	// briefcase decode aliases its input) owns what it receives — the same
+	// ownership transfer a real wire performs.
+	req := append([]byte(nil), payload...)
 	ch := make(chan result, 1)
 	go func() {
-		data, err := h(nd.id, kind, payload)
+		data, err := h(nd.id, kind, req)
 		ch <- result{data, err}
 	}()
 

@@ -1,0 +1,106 @@
+// Command benchdiff compares two tacobench reports (BENCH_meet.json) and
+// fails when meet throughput regressed beyond a threshold. CI runs it with
+// the committed baseline on the left and the freshly measured report on the
+// right:
+//
+//	go run ./scripts/benchdiff.go [-threshold 0.15] BENCH_meet.json /tmp/BENCH_new.json
+//
+// Exit status 0 when every baseline benchmark is present in the new report
+// and none lost more than threshold×100 % ops/sec; 1 otherwise. Benchmarks
+// only present in the new report are listed but never fail the run, so new
+// workloads can land together with their first measurements.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// result and report mirror the cmd/tacobench JSON schema; only the fields
+// benchdiff judges are declared.
+type result struct {
+	Name        string  `json:"name"`
+	Ops         int64   `json:"ops"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	P50Ns       int64   `json:"p50_ns"`
+	P99Ns       int64   `json:"p99_ns"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type report struct {
+	Schema     string   `json:"schema"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+const wantSchema = "tacoma-bench/v1"
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != wantSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, wantSchema)
+	}
+	if len(r.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &r, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.15, "maximum tolerated fractional ops/sec regression")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.15] baseline.json new.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	curByName := make(map[string]result, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		curByName[b.Name] = b
+	}
+
+	failed := false
+	fmt.Printf("%-10s %14s %14s %8s  %s\n", "benchmark", "base ops/sec", "new ops/sec", "delta", "verdict")
+	for _, b := range base.Benchmarks {
+		n, ok := curByName[b.Name]
+		if !ok {
+			fmt.Printf("%-10s %14.0f %14s %8s  MISSING\n", b.Name, b.OpsPerSec, "-", "-")
+			failed = true
+			continue
+		}
+		delete(curByName, b.Name)
+		delta := (n.OpsPerSec - b.OpsPerSec) / b.OpsPerSec
+		verdict := "ok"
+		if delta < -*threshold {
+			verdict = fmt.Sprintf("REGRESSION (>%.0f%% loss)", *threshold*100)
+			failed = true
+		}
+		fmt.Printf("%-10s %14.0f %14.0f %+7.1f%%  %s\n", b.Name, b.OpsPerSec, n.OpsPerSec, delta*100, verdict)
+	}
+	for name, n := range curByName {
+		fmt.Printf("%-10s %14s %14.0f %8s  new benchmark\n", name, "-", n.OpsPerSec, "-")
+	}
+	if failed {
+		fmt.Println("benchdiff: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: ok")
+}
