@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	tacobench [-modes local,cabinet,remote,guarded,mixed] [-concurrency N]
+//	tacobench [-modes local,cabinet,remote,guarded,script,mixed] [-concurrency N]
 //	          [-duration 2s] [-payload 64] [-out BENCH_meet.json] [-v]
 package main
 
@@ -27,6 +27,7 @@ import (
 	"time"
 
 	tacoma "repro"
+	"repro/internal/core"
 )
 
 // Result is the measurement of one workload.
@@ -55,7 +56,7 @@ const ReportSchema = "tacoma-bench/v1"
 
 func main() {
 	var (
-		modes       = flag.String("modes", "local,cabinet,remote,guarded,mixed", "comma-separated workloads to run")
+		modes       = flag.String("modes", "local,cabinet,remote,guarded,script,mixed", "comma-separated workloads to run")
 		concurrency = flag.Int("concurrency", 2*runtime.GOMAXPROCS(0), "concurrent client goroutines per workload")
 		duration    = flag.Duration("duration", 2*time.Second, "measurement window per workload")
 		payload     = flag.Int("payload", 64, "briefcase payload element size in bytes")
@@ -134,6 +135,8 @@ func buildWorkload(mode string, concurrency, payload int) (workload, error) {
 		return remoteWorkload(concurrency, payload)
 	case "guarded":
 		return guardedWorkload(concurrency, payload)
+	case "script":
+		return scriptWorkload(concurrency, payload), nil
 	case "mixed":
 		local := localWorkload(concurrency, payload)
 		cabinet := cabinetWorkload(concurrency, payload)
@@ -150,7 +153,7 @@ func buildWorkload(mode string, concurrency, payload int) (workload, error) {
 			cleanup: remote.cleanup,
 		}, nil
 	default:
-		return workload{}, fmt.Errorf("unknown mode %q (want local, cabinet, remote, guarded, or mixed)", mode)
+		return workload{}, fmt.Errorf("unknown mode %q (want local, cabinet, remote, guarded, script, or mixed)", mode)
 	}
 }
 
@@ -244,6 +247,22 @@ func guardedWorkload(concurrency, payload int) (workload, error) {
 	return workload{op: func(worker int) error {
 		return site.MeetClient(context.Background(), "visit", bcs[worker])
 	}}, nil
+}
+
+// scriptWorkload: the scripted-agent meet — each op pushes
+// core.ScriptWorkloadSrc (the same constant BenchmarkScriptedMeet runs, so
+// the CI gate and the Go benchmark measure one workload) onto CODE and
+// meets ag_tacl, exercising the compile cache, the pooled interpreter, and
+// the shared host-command table under concurrency.
+func scriptWorkload(concurrency, payload int) workload {
+	sys := tacoma.NewSystem(1, tacoma.SystemConfig{Seed: 1})
+	site := sys.SiteAt(0)
+	bcs := workerBriefcases(concurrency, payload)
+	return workload{op: func(worker int) error {
+		bc := bcs[worker]
+		bc.Ensure(tacoma.CodeFolder).PushString(core.ScriptWorkloadSrc)
+		return site.MeetClient(context.Background(), tacoma.AgTacl, bc)
+	}}
 }
 
 // workerBriefcases builds one briefcase per worker, each with a PAYLOAD

@@ -153,32 +153,56 @@ func BenchmarkMeetHotPath(b *testing.B) {
 		}
 	})
 	b.Run("remoteMeetTCP", func(b *testing.B) {
-		// Remote meet over real sockets: dominated by connection setup until
-		// the transport reuses connections.
-		epA, err := vnet.NewTCPEndpoint("site-a", "127.0.0.1:0")
-		if err != nil {
-			b.Fatal(err)
-		}
-		defer epA.Close()
-		epB, err := vnet.NewTCPEndpoint("site-b", "127.0.0.1:0")
-		if err != nil {
-			b.Fatal(err)
-		}
-		defer epB.Close()
-		epA.AddPeer("site-b", epB.Addr())
-		epB.AddPeer("site-a", epA.Addr())
-		siteA := core.NewSite(epA, core.SiteConfig{})
-		siteB := core.NewSite(epB, core.SiteConfig{})
-		siteB.Register("noop", core.AgentFunc(
-			func(*core.MeetContext, *folder.Briefcase) error { return nil }))
-		bc := folder.NewBriefcase()
-		bc.PutString("PAYLOAD", "x")
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if err := siteA.RemoteMeet(context.Background(), "site-b", "noop", bc); err != nil {
-				b.Fatal(err)
-			}
-		}
+		benchRemoteMeetTCP(b)
 	})
+}
+
+// BenchmarkScriptedMeet measures a full scripted-agent activation of
+// core.ScriptWorkloadSrc (the paper's actual workload shape — a roaming
+// script doing folder work at a site): CODE push, ag_tacl dispatch, script
+// execution. Before the compile-once engine this re-parsed the script,
+// every control-flow body, and every expr string on each activation and
+// each loop iteration.
+func BenchmarkScriptedMeet(b *testing.B) {
+	sys := core.NewSystem(1, core.SystemConfig{Seed: 7})
+	s := sys.SiteAt(0)
+	bc := folder.NewBriefcase()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bc.Ensure(folder.CodeFolder).PushString(core.ScriptWorkloadSrc)
+		if err := s.MeetClient(context.Background(), core.AgTacl, bc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchRemoteMeetTCP measures a remote meet over real sockets: dominated by
+// connection setup until the transport reuses connections.
+func benchRemoteMeetTCP(b *testing.B) {
+	epA, err := vnet.NewTCPEndpoint("site-a", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer epA.Close()
+	epB, err := vnet.NewTCPEndpoint("site-b", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer epB.Close()
+	epA.AddPeer("site-b", epB.Addr())
+	epB.AddPeer("site-a", epA.Addr())
+	siteA := core.NewSite(epA, core.SiteConfig{})
+	siteB := core.NewSite(epB, core.SiteConfig{})
+	siteB.Register("noop", core.AgentFunc(
+		func(*core.MeetContext, *folder.Briefcase) error { return nil }))
+	bc := folder.NewBriefcase()
+	bc.PutString("PAYLOAD", "x")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := siteA.RemoteMeet(context.Background(), "site-b", "noop", bc); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

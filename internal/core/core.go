@@ -17,13 +17,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
+	"math/bits"
+	"math/rand/v2"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/folder"
+	"repro/internal/tacl"
 	"repro/internal/vnet"
 )
 
@@ -122,8 +124,18 @@ type Site struct {
 	// meet path avoids a lock when no guard is installed.
 	guardv atomic.Value
 
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	// taclTable is the site's shared TacL command table (builtins + host
+	// commands), built once per site; scripts holds the site's compile-once
+	// script cache. Together they make a scripted activation free of
+	// per-activation parsing and command registration (see taclbind.go).
+	taclTable *tacl.Table
+	scripts   scriptCache
+
+	// rngSeed/rngSeq drive the lock-free site RNG: each Rand call derives
+	// an independent PCG stream from (seed, sequence counter), so
+	// concurrent scripted meets never serialize on a shared generator.
+	rngSeed uint64
+	rngSeq  atomic.Uint64
 
 	activations atomic.Int64 // total meets served
 	running     atomic.Int64 // currently executing meets
@@ -178,12 +190,13 @@ func NewSite(ep vnet.Endpoint, cfg SiteConfig) *Site {
 		cfg.MaxSteps = defaultMaxSteps
 	}
 	s := &Site{
-		id:       ep.ID(),
-		endpoint: ep,
-		cabinet:  folder.NewCabinet(),
-		cfg:      cfg,
-		agents:   newRegistry(),
-		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
+		id:        ep.ID(),
+		endpoint:  ep,
+		cabinet:   folder.NewCabinet(),
+		cfg:       cfg,
+		agents:    newRegistry(),
+		taclTable: newHostTable(),
+		rngSeed:   uint64(cfg.Seed + 1),
 	}
 	registerSystemAgents(s)
 	ep.SetHandler(s.handleCall)
@@ -219,11 +232,22 @@ func (s *Site) Activations() int64 { return s.activations.Load() }
 // monitor agent reports it to brokers.
 func (s *Site) Load() int64 { return s.running.Load() }
 
-// Rand returns a deterministic site-local random int in [0, n).
+// Rand returns a deterministic site-local random int in [0, n). Each call
+// seeds a stack-local PCG with (site seed, call sequence number), so there
+// is no shared generator state and no lock: concurrent scripted meets that
+// used to serialize on one mutex now draw independently. Under
+// single-threaded use the sequence is still a pure function of the site
+// seed, so equal-seed runs stay identical.
 func (s *Site) Rand(n int64) int64 {
-	s.rngMu.Lock()
-	defer s.rngMu.Unlock()
-	return s.rng.Int63n(n)
+	if n <= 0 {
+		panic("core: Rand: n must be positive") // matches rand.Int63n's precondition
+	}
+	var p rand.PCG
+	p.Seed(s.rngSeed, s.rngSeq.Add(1))
+	// Map the 64-bit draw onto [0, n) with a 128-bit multiply (Lemire);
+	// the bias for any realistic n is far below what agent decisions see.
+	hi, _ := bits.Mul64(p.Uint64(), uint64(n))
+	return int64(hi)
 }
 
 // Wait blocks until detached background work (async couriers, diffusion

@@ -8,7 +8,9 @@ import (
 	"strings"
 )
 
-func registerBuiltins(in *Interp) {
+// registerBuiltinsInto fills a command map with the full builtin set; the
+// shared builtin Table is built from it exactly once (see builtinTable).
+func registerBuiltinsInto(dst map[string]CmdFunc) {
 	b := map[string]CmdFunc{
 		"set":      cmdSet,
 		"unset":    cmdUnset,
@@ -44,10 +46,10 @@ func registerBuiltins(in *Interp) {
 		"info":     cmdInfo,
 	}
 	for name, fn := range b {
-		in.commands[name] = fn
+		dst[name] = fn
 	}
 	for name, fn := range extraBuiltins {
-		in.commands[name] = fn
+		dst[name] = fn
 	}
 }
 
@@ -163,7 +165,7 @@ func cmdIf(in *Interp, args []string) (string, error) {
 			return "", err
 		}
 		if ok {
-			return in.Eval(body)
+			return in.EvalCached(body)
 		}
 		i += 2
 		if i >= len(args) {
@@ -176,7 +178,7 @@ func cmdIf(in *Interp, args []string) (string, error) {
 			if i+1 != len(args)-1 {
 				return "", errors.New("extra args after else body")
 			}
-			return in.Eval(args[i+1])
+			return in.EvalCached(args[i+1])
 		default:
 			return "", fmt.Errorf("expected elseif or else, got %q", args[i])
 		}
@@ -195,7 +197,7 @@ func cmdWhile(in *Interp, args []string) (string, error) {
 		if !ok {
 			return "", nil
 		}
-		if _, err := in.Eval(args[1]); err != nil {
+		if _, err := in.EvalCached(args[1]); err != nil {
 			if err == errBreak {
 				return "", nil
 			}
@@ -211,7 +213,7 @@ func cmdFor(in *Interp, args []string) (string, error) {
 	if err := arity(args, 4, 4, "for init cond step body"); err != nil {
 		return "", err
 	}
-	if _, err := in.Eval(args[0]); err != nil {
+	if _, err := in.EvalCached(args[0]); err != nil {
 		return "", err
 	}
 	for {
@@ -222,7 +224,7 @@ func cmdFor(in *Interp, args []string) (string, error) {
 		if !ok {
 			return "", nil
 		}
-		if _, err := in.Eval(args[3]); err != nil {
+		if _, err := in.EvalCached(args[3]); err != nil {
 			if err == errBreak {
 				return "", nil
 			}
@@ -230,7 +232,7 @@ func cmdFor(in *Interp, args []string) (string, error) {
 				return "", err
 			}
 		}
-		if _, err := in.Eval(args[2]); err != nil {
+		if _, err := in.EvalCached(args[2]); err != nil {
 			return "", err
 		}
 	}
@@ -246,7 +248,7 @@ func cmdForeach(in *Interp, args []string) (string, error) {
 	}
 	for _, e := range elems {
 		in.setVar(args[0], e)
-		if _, err := in.Eval(args[2]); err != nil {
+		if _, err := in.EvalCached(args[2]); err != nil {
 			if err == errBreak {
 				return "", nil
 			}
@@ -267,9 +269,12 @@ func cmdProc(in *Interp, args []string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	body, err := Parse(args[2])
+	body, err := ParseCached(args[2])
 	if err != nil {
 		return "", err
+	}
+	if in.procs == nil {
+		in.procs = make(map[string]*procDef, 8)
 	}
 	in.procs[args[0]] = &procDef{name: args[0], params: params, body: body}
 	return "", nil
@@ -331,7 +336,7 @@ func cmdCatch(in *Interp, args []string) (string, error) {
 	if err := arity(args, 1, 2, "catch body ?varName?"); err != nil {
 		return "", err
 	}
-	res, err := in.Eval(args[0])
+	res, err := in.EvalCached(args[0])
 	if err != nil {
 		// Control-flow signals pass through; catch only traps errors, and
 		// budget exhaustion must not be catchable or a hostile agent could
@@ -360,7 +365,7 @@ func cmdEval(in *Interp, args []string) (string, error) {
 		return "", ErrDepth
 	}
 	defer func() { in.depth-- }()
-	return in.Eval(strings.Join(args, " "))
+	return in.EvalCached(strings.Join(args, " "))
 }
 
 func cmdPuts(in *Interp, args []string) (string, error) {

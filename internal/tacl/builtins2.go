@@ -82,7 +82,7 @@ func cmdSwitch(in *Interp, args []string) (string, error) {
 			}
 			body = pairs[i+1]
 		}
-		return in.Eval(body)
+		return in.EvalCached(body)
 	}
 	return "", nil
 }
@@ -341,5 +341,5 @@ func cmdUplevel(in *Interp, args []string) (string, error) {
 		}
 	}
 	defer func() { in.frames = saved }()
-	return in.Eval(src)
+	return in.EvalCached(src)
 }

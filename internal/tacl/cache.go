@@ -1,0 +1,132 @@
+package tacl
+
+import "sync"
+
+// Process-wide compile caches. Scripts and compiled expressions are
+// immutable once built, so any evaluation of the same source text can share
+// one compiled form: a while condition parses once, a proc body parses
+// once, and an agent script re-activated at a site parses once. Both caches
+// are sharded 16 ways (like the kernel's agent registry) so concurrent
+// activations rarely touch the same lock, and each shard is capped with
+// random eviction so hostile or computed one-shot sources cannot grow the
+// cache without bound.
+
+const (
+	cacheShards = 16
+	// cacheShardCap is sized for legitimate reuse (distinct loop bodies,
+	// conditions, and proc definitions in play at once), not for hostile
+	// churn: 16×64 entries per cache bounds what computed one-shot sources
+	// can pin while keeping every real workload's working set resident.
+	cacheShardCap = 64
+	// maxCacheableSrc bounds the size of a cached source: together with the
+	// entry cap it bounds the caches' total footprint (a hostile agent can
+	// route arbitrary computed strings through eval). Oversized sources
+	// still parse — they just aren't retained.
+	maxCacheableSrc = 8 << 10
+)
+
+type cacheShard[T any] struct {
+	mu sync.RWMutex
+	m  map[string]T
+	// seen is the admission filter: a source is cached on second sight.
+	// Substitution-generated one-shot sources (unbraced expr operands,
+	// computed eval strings) then only churn this key set — they never
+	// evict a hot compiled entry from m.
+	seen map[string]struct{}
+}
+
+type compileCache[T any] struct {
+	shards [cacheShards]cacheShard[T]
+}
+
+// shardIndex hashes a bounded prefix (FNV-1a) plus the length, so shard
+// selection stays O(1) even for large scripts; the map lookup inside the
+// shard does the exact matching.
+func shardIndex(key string) int {
+	h := uint32(2166136261)
+	n := len(key)
+	if n > 64 {
+		n = 64
+	}
+	for i := 0; i < n; i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	h ^= uint32(len(key))
+	return int(h & (cacheShards - 1))
+}
+
+func (c *compileCache[T]) get(key string) (T, bool) {
+	sh := &c.shards[shardIndex(key)]
+	sh.mu.RLock()
+	v, ok := sh.m[key]
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+func (c *compileCache[T]) put(key string, v T) {
+	if len(key) > maxCacheableSrc {
+		return
+	}
+	sh := &c.shards[shardIndex(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.m == nil {
+		sh.m = make(map[string]T, 64)
+		sh.seen = make(map[string]struct{}, 64)
+	}
+	if _, ok := sh.seen[key]; !ok {
+		// First sight: remember the key only. A source that is never
+		// evaluated twice never earns a cache slot.
+		if len(sh.seen) >= cacheShardCap {
+			for k := range sh.seen {
+				delete(sh.seen, k)
+				break
+			}
+		}
+		sh.seen[key] = struct{}{}
+		return
+	}
+	delete(sh.seen, key)
+	if len(sh.m) >= cacheShardCap {
+		// Evict an arbitrary entry (map iteration order is effectively
+		// random); hot entries that get evicted are simply re-compiled.
+		for k := range sh.m {
+			delete(sh.m, k)
+			break
+		}
+	}
+	sh.m[key] = v
+}
+
+var (
+	scriptCache compileCache[*Script]
+	exprCache   compileCache[*exprProg]
+)
+
+// ParseCached returns the parse of src, consulting the shared script cache.
+// Parse errors are not cached; the error path is never hot.
+func ParseCached(src string) (*Script, error) {
+	if s, ok := scriptCache.get(src); ok {
+		return s, nil
+	}
+	s, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	scriptCache.put(src, s)
+	return s, nil
+}
+
+// compileExprCached returns the compiled form of an expression, consulting
+// the shared expression cache.
+func compileExprCached(src string) (*exprProg, error) {
+	if p, ok := exprCache.get(src); ok {
+		return p, nil
+	}
+	p, err := compileExpr(src)
+	if err != nil {
+		return nil, err
+	}
+	exprCache.put(src, p)
+	return p, nil
+}

@@ -1,0 +1,335 @@
+package tacl
+
+import (
+	"bytes"
+	"errors"
+	"strconv"
+	"testing"
+)
+
+// The equivalence suite pins the compiled execution engine (cached script
+// ASTs + compiled expressions) to the reference string-walking interpreter:
+// same results, same error text, same step counts, same StepHook billing,
+// same puts output, same jump/budget behavior. The reference path is
+// selected with the unexported direct flag, which routes expr evaluation
+// through evalExprDirect and is otherwise the same interpreter.
+
+type equivResult struct {
+	out      string
+	isErr    bool
+	errText  string
+	steps    int
+	hooks    int
+	puts     string
+	isJump   bool
+	jumpDest string
+	isBudget bool
+}
+
+func runEquiv(src string, direct bool, maxSteps int) equivResult {
+	in := New()
+	in.direct = direct
+	in.MaxSteps = maxSteps
+	hooks := 0
+	in.StepHook = func() error { hooks++; return nil }
+	var buf bytes.Buffer
+	in.Out = &buf
+	// A stand-in for the kernel's migration command, so the suite can
+	// assert the jump signal passes through both engines identically.
+	in.Register("jump", func(_ *Interp, args []string) (string, error) {
+		if len(args) != 1 {
+			return "", errors.New("jump needs one arg")
+		}
+		return "", JumpSignal(args[0])
+	})
+	// A side-effecting host command, so the suite observes evaluation
+	// order and count of [command] substitutions.
+	probe := 0
+	in.Register("probe", func(*Interp, []string) (string, error) {
+		probe++
+		return strconv.Itoa(probe), nil
+	})
+	out, err := in.Eval(src)
+	r := equivResult{out: out, steps: in.Steps, hooks: hooks, puts: buf.String()}
+	if err != nil {
+		r.isErr = true
+		r.errText = err.Error()
+		if d, ok := IsJump(err); ok {
+			r.isJump, r.jumpDest = true, d
+		}
+		r.isBudget = errors.Is(err, ErrBudget)
+	}
+	return r
+}
+
+// equivCorpus exercises the full builtin set through both engines.
+var equivCorpus = []string{
+	// Variables and arithmetic.
+	`set x 5; set y [expr {$x * 3 + 1}]; expr {$y - $x}`,
+	`set x 0; incr x; incr x 41; expr {$x}`,
+	`set s a; append s b c; set s`,
+	`set x 5; unset x; catch {set x} msg; set msg`,
+	// Expression grammar: precedence, ternary, logic, floats, strings.
+	`expr {1 + 2 * 3 - 4 / 2}`,
+	`expr {7 % 3}`,
+	`expr {-7 / 2}`,
+	`expr {-7 % 3}`,
+	`expr {2.5 * 2}`,
+	`expr {10 / 4}`,
+	`expr {10.0 / 4}`,
+	`expr {1 < 2 && 2 < 1 || 3 > 2}`,
+	`expr {1 > 2 ? "big" : "small"}`,
+	`expr {!0 && !!1}`,
+	`expr {"abc" eq "abc"}`,
+	`expr {"abc" ne "abd"}`,
+	`expr {abc < abd}`,
+	`expr {"10" == 10}`,
+	`expr {"1e2" == 100}`,
+	`expr {{braced} eq "braced"}`,
+	`expr {(1 + 2) * (3 - 1)}`,
+	`expr {min(3, 1, 2)}`,
+	`expr {max(3, 1, 2)}`,
+	`expr {abs(-4)}`,
+	`expr {abs(-4.5)}`,
+	`expr {int(3.9)}`,
+	`expr {double(3)}`,
+	`expr {round(2.5)}`,
+	`expr {floor(2.9) + ceil(2.1)}`,
+	`expr {sqrt(16)}`,
+	`expr {pow(2, 10)}`,
+	`expr {fmod(7.5, 2)}`,
+	`expr {true && on || off}`,
+	`expr {+5 - -3}`,
+	`set i 1; expr {$i == 1 ? [probe] : [probe]}`, // both branches evaluate
+	`expr {[probe] + [probe]}`,
+	// Expression errors.
+	`expr {1 / 0}`,
+	`expr {1.0 / 0}`,
+	`expr {1 % 0}`,
+	`expr {abc + 1}`,
+	`expr {2.5 % 2}`,
+	`expr {sqrt(-1)}`,
+	`expr {nosuchfn(1)}`,
+	`expr {sqrt(1, 2)}`,
+	`expr {$nosuchvar + 1}`,
+	`expr {1 +}`,
+	`expr {(1 + 2}`,
+	`expr {}`,
+	`catch {expr {1 / 0}} msg; set msg`,
+	// Malformed expressions with side-effecting operands: compilation
+	// fails, and the fallback to the reference evaluator must preserve
+	// the side effects (a=5), step counts, and error text exactly.
+	`catch {expr {[set a 5] +}} msg; list [catch {set a} r] $r $msg`,
+	`catch {expr {[probe] + [probe] @}} msg; list $msg [probe]`,
+	// Control flow.
+	`set r {}; if {1 < 2} { set r then } else { set r else }; set r`,
+	`set r {}; if {1 > 2} { set r a } elseif {2 > 1} { set r b } else { set r c }; set r`,
+	`set i 0; set sum 0; while {$i < 10} { incr sum $i; incr i }; set sum`,
+	`set sum 0; for {set i 0} {$i < 5} {incr i} { incr sum $i }; set sum`,
+	`set sum 0; foreach x {1 2 3 4} { incr sum $x }; set sum`,
+	`set r {}; foreach x {a b c d} { if {$x eq "c"} { break }; append r $x }; set r`,
+	`set r {}; foreach x {a b c d} { if {$x eq "b"} { continue }; append r $x }; set r`,
+	`set i 0; while {1} { incr i; if {$i >= 3} { break } }; set i`,
+	`set r {}; switch b {a {set r A} b {set r B} default {set r D}}; set r`,
+	`set r {}; switch -glob "hello" {h* {set r glob} default {set r D}}; set r`,
+	`set r {}; switch x {a - b {set r AB} default {set r D}}; set r`,
+	// Procs, scopes, upvar, uplevel, global.
+	`proc add {a b} { expr {$a + $b} }; add 2 3`,
+	`proc greet {name {greeting hi}} { return "$greeting $name" }; greet bob`,
+	`proc many {args} { llength $args }; many a b c d`,
+	`proc fib {n} { if {$n < 2} { return $n }; expr {[fib [expr {$n-1}]] + [fib [expr {$n-2}]]} }; fib 10`,
+	`set g 10; proc bump {} { global g; incr g }; bump; bump; set g`,
+	`proc inner {vn} { upvar 1 $vn v; set v changed }; proc outer {} { set local x; inner local; set local }; outer`,
+	`set top 1; proc deep {} { upvar #0 top t; incr t 10 }; deep; set top`,
+	`proc lvl {} { uplevel 1 {set fromup yes} }; proc caller {} { lvl; set fromup }; caller`,
+	`proc esc {} { break }; catch {esc} msg; set msg`,
+	`proc missing {a b} {}; catch {missing 1} msg; set msg`,
+	// eval and catch.
+	`eval set x 7 {;} incr x; set x`,
+	`catch {error boom} msg; set msg`,
+	`catch {nosuchcmd} msg; set msg`,
+	`set code [catch {expr {1 + 1}} val]; list $code $val`,
+	// Lists.
+	`set l [list a b "c d"]; list [llength $l] [lindex $l 2] [lindex $l end]`,
+	`set l {}; lappend l x y; lappend l z; set l`,
+	`lrange {a b c d e} 1 3`,
+	`lrange {a b c d e} 3 end`,
+	`lsearch {a b c} b`,
+	`lsearch {a b c} z`,
+	`lreverse {1 2 3}`,
+	`lsort {pear apple orange}`,
+	`lsort -integer {10 2 33 4}`,
+	`join {a b c} -`,
+	`split a,b,,c ,`,
+	`split abc {}`,
+	`concat {a b} {} { c }`,
+	`lassign {1 2 3 4} a b; list $a $b`,
+	`linsert {a c} 1 b`,
+	`set l {a b c}; lset l 1 B; set l`,
+	`lrepeat 3 x y`,
+	// Strings.
+	`string length hello`,
+	`string toupper mix; string tolower MIX`,
+	`string trim "  pad  "`,
+	`string index hello 1`,
+	`string index hello end`,
+	`string range hello 1 3`,
+	`string repeat ab 3`,
+	`string equal a a`,
+	`string compare a b`,
+	`string first ll hello`,
+	`string last l hello`,
+	`string match "h*o" hello`,
+	`string replace hello 1 3 EY`,
+	`string reverse abc`,
+	`string map {a 1 b 2} abba`,
+	`string is integer 42`,
+	`string is double 4.2e1`,
+	`string is alpha abc`,
+	`string is digit 123x`,
+	// format and info.
+	`format "%s=%d (%05.1f) %x %%" k 42 2.5 255`,
+	`format "%i|%d" 7.9 " 8 "`,
+	`catch {format "%d" notanint} msg; set msg`,
+	`info exists nope`,
+	`set yes 1; info exists yes`,
+	`proc p1 {} {}; proc p2 {} {}; info procs`,
+	`info steps`,
+	// puts output.
+	`puts hello; puts -nonewline world`,
+	// Jump semantics: execution stops at the origin after a migration.
+	`set x 1; jump site-b; set x 2`,
+	`set i 0; while {$i < 10} { incr i; if {$i == 4} { jump dest } }`,
+	// Parse errors.
+	`set x {unclosed`,
+	`set x "unclosed`,
+	`expr {1 + [nosuch}`,
+	`{a}b`,
+}
+
+func TestCompiledEquivalence(t *testing.T) {
+	for _, src := range equivCorpus {
+		compiled := runEquiv(src, false, 10000)
+		direct := runEquiv(src, true, 10000)
+		if compiled != direct {
+			t.Errorf("divergence on %q:\n  compiled: %+v\n  direct:   %+v", src, compiled, direct)
+		}
+	}
+}
+
+// TestCompiledEquivalenceBudget pins ErrBudget behavior: the compiled path
+// must exhaust the same budget after the same number of steps and hook
+// calls as the reference path, and catch must not trap it in either.
+func TestCompiledEquivalenceBudget(t *testing.T) {
+	srcs := []string{
+		`set i 0; while {$i < 10000} { incr i }`,
+		`catch {set i 0; while {$i < 10000} { incr i }} msg; set msg`,
+		`proc spin {} { spin }; spin`,
+		`for {set i 0} {1} {incr i} { set x $i }`,
+	}
+	for _, src := range srcs {
+		for _, budget := range []int{1, 7, 50, 333} {
+			compiled := runEquiv(src, false, budget)
+			direct := runEquiv(src, true, budget)
+			if compiled != direct {
+				t.Errorf("budget %d divergence on %q:\n  compiled: %+v\n  direct:   %+v",
+					budget, src, compiled, direct)
+			}
+		}
+	}
+}
+
+// TestScriptCacheSharing pins that the cached-parse path returns the same
+// results as a cold parse: the same body text evaluated from two different
+// interpreters shares one *Script, and execution remains independent.
+func TestScriptCacheSharing(t *testing.T) {
+	src := `set i 0; while {$i < 5} { incr i }; set i`
+	// Admission is on second sight: the first call records the key, the
+	// second stores the parse, and from then on the pointer is stable.
+	if _, err := ParseCached(src); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := ParseCached(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseCached(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("ParseCached returned distinct scripts for identical source after warm-up")
+	}
+	a, b := New(), New()
+	ra, err := a.EvalScript(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.EvalScript(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra != "5" || rb != "5" {
+		t.Fatalf("shared script produced %q / %q, want 5/5", ra, rb)
+	}
+}
+
+// TestPooledInterpReset pins Put/Get hygiene: state from one activation
+// (globals, procs, overrides, steps, hooks) must never leak into the next.
+func TestPooledInterpReset(t *testing.T) {
+	tbl := NewTable()
+	in := Get(tbl)
+	in.MaxSteps = 10
+	in.StepHook = func() error { return nil }
+	in.Register("custom", func(*Interp, []string) (string, error) { return "x", nil })
+	if _, err := in.Eval(`set leak 1; proc ghost {} {}; custom`); err != nil {
+		t.Fatal(err)
+	}
+	Put(in)
+
+	in2 := Get(tbl)
+	defer Put(in2)
+	if in2.MaxSteps != 0 || in2.Steps != 0 || in2.StepHook != nil {
+		t.Fatalf("pooled interp not reset: MaxSteps=%d Steps=%d hook=%v",
+			in2.MaxSteps, in2.Steps, in2.StepHook != nil)
+	}
+	if _, ok := in2.Global("leak"); ok {
+		t.Fatal("global leaked through the pool")
+	}
+	if out, err := in2.Eval(`info procs`); err != nil || out != "" {
+		t.Fatalf("procs leaked through the pool: %q, %v", out, err)
+	}
+	if _, err := in2.Eval(`custom`); err == nil {
+		t.Fatal("per-interp command leaked through the pool")
+	}
+}
+
+// TestTableCommandsCached pins the Commands satellite: the sorted name list
+// is stable, complete, and not re-sorted per call (same backing array until
+// Register invalidates it).
+func TestTableCommandsCached(t *testing.T) {
+	tbl := NewTable()
+	a := tbl.Names()
+	b := tbl.Names()
+	if len(a) == 0 || &a[0] != &b[0] {
+		t.Fatal("Names not cached between calls")
+	}
+	tbl.Register("zzz_custom", func(*Interp, []string) (string, error) { return "", nil })
+	c := tbl.Names()
+	found := false
+	for _, n := range c {
+		if n == "zzz_custom" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Register did not invalidate cached Names")
+	}
+	in := Get(tbl)
+	defer Put(in)
+	in.Register("aaa_local", func(*Interp, []string) (string, error) { return "", nil })
+	names := in.Commands()
+	if names[0] != "aaa_local" {
+		t.Fatalf("Commands() merge broken: first = %q", names[0])
+	}
+}

@@ -10,8 +10,35 @@ import (
 
 // evalExpr evaluates a TacL expression. Like Tcl's expr, it performs its
 // own $variable and [command] substitution, so conditions can be passed in
-// braces and re-evaluated on every loop iteration.
+// braces and re-evaluated on every loop iteration. The hot path compiles
+// the expression once (through the shared cache) and walks the AST; the
+// string-walking evaluator below remains as the reference implementation
+// the equivalence suite and fuzz target compare against.
 func evalExpr(in *Interp, src string) (string, error) {
+	if in.direct {
+		return evalExprDirect(in, src)
+	}
+	prog, err := compileExprCached(src)
+	if err != nil {
+		// Compilation failed: run the reference evaluator instead, so a
+		// malformed expression behaves exactly as it always did — operands
+		// before the syntax error still evaluate (and bill steps, and leave
+		// their side effects) in the original order, and the error text is
+		// the original one. The error path is never hot, so re-scanning is
+		// fine.
+		return evalExprDirect(in, src)
+	}
+	v, err := prog.root.eval(in)
+	if err != nil {
+		return "", fmt.Errorf("expr %q: %w", src, err)
+	}
+	return v.text(), nil
+}
+
+// evalExprDirect is the original parse-and-evaluate-in-one-pass evaluator:
+// it re-scans the source on every call. Kept as the semantic reference for
+// the compiled path (see exprc.go and the equivalence tests).
+func evalExprDirect(in *Interp, src string) (string, error) {
 	p := &exprParser{in: in, src: src}
 	v, err := p.parseTernary()
 	if err != nil {
@@ -213,24 +240,7 @@ func (p *exprParser) parseEquality() (exprVal, error) {
 		if err != nil {
 			return exprVal{}, err
 		}
-		switch op {
-		case "eq":
-			left = boolVal(left.s == right.s)
-		case "ne":
-			left = boolVal(left.s != right.s)
-		case "==":
-			if left.isFlt && right.isFlt {
-				left = boolVal(left.f == right.f)
-			} else {
-				left = boolVal(left.s == right.s)
-			}
-		case "!=":
-			if left.isFlt && right.isFlt {
-				left = boolVal(left.f != right.f)
-			} else {
-				left = boolVal(left.s != right.s)
-			}
-		}
+		left = applyEquality(op, left, right)
 	}
 }
 
@@ -249,32 +259,7 @@ func (p *exprParser) parseRelational() (exprVal, error) {
 		if err != nil {
 			return exprVal{}, err
 		}
-		var res bool
-		if left.isFlt && right.isFlt {
-			switch op {
-			case "<":
-				res = left.f < right.f
-			case "<=":
-				res = left.f <= right.f
-			case ">":
-				res = left.f > right.f
-			case ">=":
-				res = left.f >= right.f
-			}
-		} else {
-			c := strings.Compare(left.s, right.s)
-			switch op {
-			case "<":
-				res = c < 0
-			case "<=":
-				res = c <= 0
-			case ">":
-				res = c > 0
-			case ">=":
-				res = c >= 0
-			}
-		}
-		left = boolVal(res)
+		left = applyRelational(op, left, right)
 	}
 }
 
@@ -293,24 +278,9 @@ func (p *exprParser) parseAdditive() (exprVal, error) {
 		if err != nil {
 			return exprVal{}, err
 		}
-		if err := left.needNum(); err != nil {
+		left, err = applyAdditive(op[0], left, right)
+		if err != nil {
 			return exprVal{}, err
-		}
-		if err := right.needNum(); err != nil {
-			return exprVal{}, err
-		}
-		if left.isInt && right.isInt {
-			if op == "+" {
-				left = numVal(left.i + right.i)
-			} else {
-				left = numVal(left.i - right.i)
-			}
-		} else {
-			if op == "+" {
-				left = fltVal(left.f + right.f)
-			} else {
-				left = fltVal(left.f - right.f)
-			}
 		}
 	}
 }
@@ -330,39 +300,9 @@ func (p *exprParser) parseMultiplicative() (exprVal, error) {
 		if err != nil {
 			return exprVal{}, err
 		}
-		if err := left.needNum(); err != nil {
+		left, err = applyMultiplicative(op[0], left, right)
+		if err != nil {
 			return exprVal{}, err
-		}
-		if err := right.needNum(); err != nil {
-			return exprVal{}, err
-		}
-		switch op {
-		case "*":
-			if left.isInt && right.isInt {
-				left = numVal(left.i * right.i)
-			} else {
-				left = fltVal(left.f * right.f)
-			}
-		case "/":
-			if left.isInt && right.isInt {
-				if right.i == 0 {
-					return exprVal{}, errors.New("division by zero")
-				}
-				left = numVal(floorDiv(left.i, right.i))
-			} else {
-				if right.f == 0 {
-					return exprVal{}, errors.New("division by zero")
-				}
-				left = fltVal(left.f / right.f)
-			}
-		case "%":
-			if !left.isInt || !right.isInt {
-				return exprVal{}, errors.New("%% requires integers")
-			}
-			if right.i == 0 {
-				return exprVal{}, errors.New("division by zero")
-			}
-			left = numVal(floorMod(left.i, right.i))
 		}
 	}
 }
@@ -646,6 +586,13 @@ func (p *exprParser) parseFuncCall(name string) (exprVal, error) {
 			return exprVal{}, fmt.Errorf("bad argument list for %s", name)
 		}
 	}
+	return applyFunc(name, args)
+}
+
+// applyFunc applies a math function to already-evaluated operands; shared
+// by the direct evaluator and the compiled path so both agree exactly on
+// arity checks, coercions, and error messages.
+func applyFunc(name string, args []exprVal) (exprVal, error) {
 	need := func(n int) error {
 		if len(args) != n {
 			return fmt.Errorf("%s expects %d args, got %d", name, n, len(args))

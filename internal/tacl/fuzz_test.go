@@ -1,0 +1,87 @@
+package tacl
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzCompileEval differentially fuzzes the two expression engines:
+// compile-then-run (production) against parse-per-eval (reference). The
+// invariant is full observational equality: same result or same error
+// text, same step count, same side-effect count. (When compilation fails,
+// the production path falls back to the reference evaluator, so even
+// malformed expressions with side-effecting operands behave identically.)
+func FuzzCompileEval(f *testing.F) {
+	seeds := []string{
+		`1 + 2 * 3 - 4 / 2`,
+		`$x > 3 && $y eq "abc"`,
+		`1 > 2 ? "big" : $f`,
+		`min(3, $x, 2) + max(1.5, $f)`,
+		`!($x % 2) || abs(-$x) >= 5`,
+		`[probe] + [probe]`,
+		`{braced} eq "braced"`,
+		`sqrt(pow($x, 2))`,
+		`7 % 3 + -7 / 2`,
+		`"1e2" == 100`,
+		`$x + `,
+		`nosuchfn(1)`,
+		`(1 + 2`,
+		`1 eq`,
+		`$nosuchvar`,
+		`0x`,
+		`. + 1`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 120 {
+			t.Skip()
+		}
+		run := func(direct bool) (string, error, int, int) {
+			in := New()
+			in.direct = direct
+			in.MaxSteps = 200
+			// The step budget only counts command evaluations, so a loop
+			// whose body contains no commands could spin forever; loops add
+			// nothing to expression coverage, so disable them (identically
+			// on both sides — the invariant is unaffected).
+			disabled := func(*Interp, []string) (string, error) {
+				return "", errors.New("disabled under fuzzing")
+			}
+			for _, name := range []string{"while", "for", "foreach", "eval", "uplevel"} {
+				in.Register(name, disabled)
+			}
+			in.SetGlobal("x", "5")
+			in.SetGlobal("y", "abc")
+			in.SetGlobal("f", "2.5")
+			probe := 0
+			in.Register("probe", func(*Interp, []string) (string, error) {
+				probe++
+				return "1", nil
+			})
+			out, err := evalExpr(in, src)
+			return out, err, in.Steps, probe
+		}
+		outC, errC, stepsC, probeC := run(false)
+		outD, errD, stepsD, probeD := run(true)
+		errTextC, errTextD := "", ""
+		if errC != nil {
+			errTextC = errC.Error()
+		}
+		if errD != nil {
+			errTextD = errD.Error()
+		}
+		if errTextC != errTextD {
+			t.Fatalf("error divergence on %q:\n  compiled: %q, %q\n  direct:   %q, %q",
+				src, outC, errTextC, outD, errTextD)
+		}
+		if errC == nil && outC != outD {
+			t.Fatalf("result divergence on %q:\n  compiled: %q\n  direct:   %q", src, outC, outD)
+		}
+		if stepsC != stepsD || probeC != probeD {
+			t.Fatalf("billing divergence on %q:\n  compiled: steps %d, probes %d\n  direct:   steps %d, probes %d",
+				src, stepsC, probeC, stepsD, probeD)
+		}
+	})
+}

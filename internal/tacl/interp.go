@@ -6,19 +6,23 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
-// Interp executes TacL scripts. Each agent activation gets a fresh
-// interpreter; host commands (briefcase access, meet, migration) are
-// registered by the kernel before the agent runs.
+// Interp executes TacL scripts. Hot activation paths obtain interpreters
+// from the pool (Get/Put) bound to a shared command Table, so a fresh
+// activation costs no map allocations and no command registrations; New
+// remains for one-off interpreters.
 //
 // An Interp is not safe for concurrent use; the kernel gives each agent
 // activation its own.
 type Interp struct {
 	globals  map[string]string
 	frames   []*frame
-	procs    map[string]*procDef
-	commands map[string]CmdFunc
+	procs    map[string]*procDef // lazily allocated by proc
+	commands map[string]CmdFunc  // per-interp overrides; lazily allocated by Register
+	table    *Table              // shared read-only command prototype
 
 	// MaxSteps bounds the number of command evaluations (0 = unlimited).
 	// Exceeding it aborts the script with ErrBudget: TACOMA sites are
@@ -32,8 +36,25 @@ type Interp struct {
 	StepHook func() error
 	// Out receives the output of puts.
 	Out io.Writer
+	// Host carries an opaque per-activation binding context for host
+	// commands registered on a shared Table: a command shared between all
+	// activations reads its briefcase and site through in.Host instead of
+	// closing over them, which is what lets one Table serve every
+	// activation at a site.
+	Host any
 
 	depth int
+	// direct selects the reference string-walking expr evaluator instead
+	// of the compiled AST path; only the equivalence tests set it.
+	direct bool
+	// freeFrames recycles proc call frames (and their maps) within this
+	// interpreter's lifetime.
+	freeFrames []*frame
+	// argScratch is the argument arena: evalCommand appends each command's
+	// evaluated words here and hands the command its sub-slice, restoring
+	// the length afterwards. Nested evaluation stacks cleanly because a
+	// nested command's region starts at or beyond its parent's end.
+	argScratch []string
 }
 
 // CmdFunc implements a command. args excludes the command name.
@@ -112,29 +133,182 @@ func IsJump(err error) (string, bool) {
 // kernel's migration commands should raise it.
 func JumpSignal(dest string) error { return &jumpSignal{dest: dest} }
 
-// New creates an interpreter with the full builtin command set.
-func New() *Interp {
-	in := &Interp{
-		globals:  make(map[string]string),
-		procs:    make(map[string]*procDef),
-		commands: make(map[string]CmdFunc),
-		Out:      io.Discard,
-	}
-	registerBuiltins(in)
-	return in
+// Table is a shared, read-mostly command table: the prototype for many
+// interpreters. Lookups are lock-free (an atomically published map
+// snapshot); Register copies the map, so it belongs in setup code, not on
+// hot paths. The sorted name list is cached on the snapshot and invalidated
+// by Register, so Commands/info commands never re-sort an unchanged table.
+type Table struct {
+	mu    sync.Mutex
+	state atomic.Pointer[tableState]
 }
 
-// Register installs (or replaces) a host command.
-func (in *Interp) Register(name string, fn CmdFunc) { in.commands[name] = fn }
+type tableState struct {
+	cmds  map[string]CmdFunc
+	names []string // sorted; nil until computed by Names
+}
 
-// Commands returns the names of all registered commands, sorted.
-func (in *Interp) Commands() []string {
-	names := make([]string, 0, len(in.commands))
-	for n := range in.commands {
+// NewTable returns a table preloaded with the full builtin command set.
+func NewTable() *Table {
+	base := builtinTable().state.Load().cmds
+	cmds := make(map[string]CmdFunc, len(base)+32)
+	for k, v := range base {
+		cmds[k] = v
+	}
+	t := &Table{}
+	t.state.Store(&tableState{cmds: cmds})
+	return t
+}
+
+// Register installs (or replaces) a command on the table. Not for hot
+// paths: it copies the table so concurrent lookups stay lock-free.
+func (t *Table) Register(name string, fn CmdFunc) {
+	t.RegisterAll(map[string]CmdFunc{name: fn})
+}
+
+// RegisterAll installs a batch of commands with a single copy of the table.
+func (t *Table) RegisterAll(cmds map[string]CmdFunc) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := t.state.Load().cmds
+	next := make(map[string]CmdFunc, len(old)+len(cmds))
+	for k, v := range old {
+		next[k] = v
+	}
+	for k, v := range cmds {
+		next[k] = v
+	}
+	t.state.Store(&tableState{cmds: next})
+}
+
+func (t *Table) lookup(name string) (CmdFunc, bool) {
+	fn, ok := t.state.Load().cmds[name]
+	return fn, ok
+}
+
+// Names returns the table's command names in sorted order. The list is
+// computed once and cached until the next Register; callers must not
+// mutate it.
+func (t *Table) Names() []string {
+	if st := t.state.Load(); st.names != nil {
+		return st.names
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.state.Load()
+	if st.names != nil {
+		return st.names
+	}
+	names := make([]string, 0, len(st.cmds))
+	for n := range st.cmds {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	t.state.Store(&tableState{cmds: st.cmds, names: names})
 	return names
+}
+
+// builtinTable is the shared prototype holding the builtin command set,
+// built once on first use (after all init-time builtin registration).
+var (
+	builtinOnce  sync.Once
+	builtinProto *Table
+)
+
+func builtinTable() *Table {
+	builtinOnce.Do(func() {
+		cmds := make(map[string]CmdFunc, 64)
+		registerBuiltinsInto(cmds)
+		t := &Table{}
+		t.state.Store(&tableState{cmds: cmds})
+		builtinProto = t
+	})
+	return builtinProto
+}
+
+// New creates an interpreter with the full builtin command set.
+func New() *Interp {
+	return &Interp{
+		globals: make(map[string]string),
+		table:   builtinTable(),
+		Out:     io.Discard,
+	}
+}
+
+// interpPool recycles interpreters across activations; see Get and Put.
+var interpPool = sync.Pool{New: func() any {
+	return &Interp{globals: make(map[string]string, 8), Out: io.Discard}
+}}
+
+// Get returns a pooled interpreter bound to the command table t. The
+// interpreter arrives reset (no globals, procs, overrides, or steps); the
+// caller sets MaxSteps, hooks, and Host, runs scripts, and hands the
+// interpreter back with Put.
+func Get(t *Table) *Interp {
+	in := interpPool.Get().(*Interp)
+	in.table = t
+	return in
+}
+
+// Put resets in and returns it to the pool. The caller must not use in
+// afterwards. Recycled interpreters keep their allocated maps and frame
+// freelist, which is what makes repeat activations allocation-free.
+func Put(in *Interp) {
+	clear(in.globals)
+	if in.procs != nil {
+		clear(in.procs)
+	}
+	if in.commands != nil {
+		clear(in.commands)
+	}
+	in.frames = in.frames[:0]
+	// Clear the whole argument arena (not just its length) so string
+	// headers from this activation don't pin large arguments for the
+	// pool's lifetime.
+	scratch := in.argScratch[:cap(in.argScratch)]
+	clear(scratch)
+	in.argScratch = scratch[:0]
+	in.table = nil
+	in.MaxSteps = 0
+	in.Steps = 0
+	in.StepHook = nil
+	in.Out = io.Discard
+	in.Host = nil
+	in.depth = 0
+	in.direct = false
+	interpPool.Put(in)
+}
+
+// Register installs (or replaces) a host command for this interpreter only,
+// shadowing any same-named command on the shared table.
+func (in *Interp) Register(name string, fn CmdFunc) {
+	if in.commands == nil {
+		in.commands = make(map[string]CmdFunc, 8)
+	}
+	in.commands[name] = fn
+}
+
+// Commands returns the names of all registered commands, sorted. With no
+// per-interpreter registrations this is a copy of the shared table's cached
+// sorted list — no re-sort per call.
+func (in *Interp) Commands() []string {
+	base := in.table.Names()
+	if len(in.commands) == 0 {
+		return append([]string(nil), base...)
+	}
+	seen := make(map[string]bool, len(base)+len(in.commands))
+	out := make([]string, 0, len(base)+len(in.commands))
+	for _, n := range base {
+		seen[n] = true
+		out = append(out, n)
+	}
+	for n := range in.commands {
+		if !seen[n] {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // SetGlobal sets a global variable.
@@ -149,6 +323,17 @@ func (in *Interp) Global(name string) (string, bool) {
 // Eval parses and runs a script, returning the result of its last command.
 func (in *Interp) Eval(src string) (string, error) {
 	s, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return in.EvalScript(s)
+}
+
+// EvalCached is Eval through the shared parse cache: the same source text
+// parses once process-wide. Control-flow builtins run their bodies through
+// it so a loop body is parsed exactly once, not once per iteration.
+func (in *Interp) EvalCached(src string) (string, error) {
+	s, err := ParseCached(src)
 	if err != nil {
 		return "", err
 	}
@@ -178,14 +363,16 @@ func (in *Interp) evalCommand(c *command) (string, error) {
 			return "", fmt.Errorf("tacl: line %d: %w", c.line, err)
 		}
 	}
-	args := make([]string, 0, len(c.words))
+	base := len(in.argScratch)
+	defer func() { in.argScratch = in.argScratch[:base] }()
 	for i := range c.words {
 		v, err := in.evalWord(&c.words[i])
 		if err != nil {
 			return "", err
 		}
-		args = append(args, v)
+		in.argScratch = append(in.argScratch, v)
 	}
+	args := in.argScratch[base:]
 	if len(args) == 0 {
 		return "", nil
 	}
@@ -193,7 +380,11 @@ func (in *Interp) evalCommand(c *command) (string, error) {
 	if p, ok := in.procs[name]; ok {
 		return in.callProc(p, rest, c.line)
 	}
-	if fn, ok := in.commands[name]; ok {
+	fn, ok := in.commands[name]
+	if !ok {
+		fn, ok = in.table.lookup(name)
+	}
+	if ok {
 		res, err := fn(in, rest)
 		if err != nil && !isControl(err) {
 			return "", decorate(err, name, c.line)
@@ -230,8 +421,25 @@ func isControl(err error) bool {
 }
 
 func (in *Interp) evalWord(w *word) (string, error) {
-	if len(w.segs) == 1 && w.segs[0].kind == segLit {
-		return w.segs[0].text, nil
+	// Single-segment words — bare literals, a lone $var, a lone [cmd] —
+	// are the common case and need no string building.
+	if len(w.segs) == 1 {
+		seg := &w.segs[0]
+		switch seg.kind {
+		case segLit:
+			return seg.text, nil
+		case segVar:
+			return in.getVar(seg.text)
+		case segCmd:
+			in.depth++
+			if in.depth > maxDepth {
+				in.depth--
+				return "", ErrDepth
+			}
+			v, err := in.EvalScript(seg.script)
+			in.depth--
+			return v, err
+		}
 	}
 	var sb strings.Builder
 	for i := range w.segs {
@@ -324,6 +532,25 @@ func (in *Interp) varExists(name string) bool {
 	return ok
 }
 
+// getFrame takes a frame from the freelist or allocates one. Frames are
+// recycled LIFO with proc calls, so the maps a deep call tree allocates are
+// paid for once per interpreter, not once per call.
+func (in *Interp) getFrame() *frame {
+	if n := len(in.freeFrames); n > 0 {
+		f := in.freeFrames[n-1]
+		in.freeFrames = in.freeFrames[:n-1]
+		return f
+	}
+	return &frame{vars: make(map[string]string), global: make(map[string]bool)}
+}
+
+func (in *Interp) putFrame(f *frame) {
+	clear(f.vars)
+	clear(f.global)
+	f.aliases = nil
+	in.freeFrames = append(in.freeFrames, f)
+}
+
 func (in *Interp) callProc(p *procDef, args []string, line int) (string, error) {
 	in.depth++
 	if in.depth > maxDepth {
@@ -332,7 +559,7 @@ func (in *Interp) callProc(p *procDef, args []string, line int) (string, error) 
 	}
 	defer func() { in.depth-- }()
 
-	f := &frame{vars: make(map[string]string), global: make(map[string]bool)}
+	f := in.getFrame()
 	i := 0
 	for pi, param := range p.params {
 		switch {
@@ -345,15 +572,20 @@ func (in *Interp) callProc(p *procDef, args []string, line int) (string, error) 
 		case param.hasDef:
 			f.vars[param.name] = param.def
 		default:
+			in.putFrame(f)
 			return "", fmt.Errorf("tacl: line %d: proc %q missing argument %q", line, p.name, p.params[pi].name)
 		}
 	}
 	if i < len(args) {
+		in.putFrame(f)
 		return "", fmt.Errorf("tacl: line %d: proc %q given %d args, takes %d", line, p.name, len(args), len(p.params))
 	}
 
 	in.frames = append(in.frames, f)
-	defer func() { in.frames = in.frames[:len(in.frames)-1] }()
+	defer func() {
+		in.frames = in.frames[:len(in.frames)-1]
+		in.putFrame(f)
+	}()
 
 	res, err := in.EvalScript(p.body)
 	var rs *returnSignal

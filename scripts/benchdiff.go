@@ -1,12 +1,16 @@
 // Command benchdiff compares two tacobench reports (BENCH_meet.json) and
-// fails when meet throughput regressed beyond a threshold. CI runs it with
-// the committed baseline on the left and the freshly measured report on the
-// right:
+// fails when the meet path regressed beyond a threshold — in throughput or
+// in tail latency. CI runs it with the committed baseline on the left and
+// the freshly measured report on the right:
 //
-//	go run ./scripts/benchdiff.go [-threshold 0.15] BENCH_meet.json /tmp/BENCH_new.json
+//	go run ./scripts/benchdiff.go [-threshold 0.15] [-p99-threshold 0.25] \
+//	    BENCH_meet.json /tmp/BENCH_new.json
 //
-// Exit status 0 when every baseline benchmark is present in the new report
-// and none lost more than threshold×100 % ops/sec; 1 otherwise. Benchmarks
+// Exit status 0 when every baseline benchmark is present in the new report,
+// none lost more than threshold×100 % ops/sec, and none grew its p99
+// latency by more than p99-threshold×100 %; 1 otherwise. The p99 gate
+// catches regressions throughput hides: a lock that serializes one percent
+// of operations barely moves ops/sec but multiplies the tail. Benchmarks
 // only present in the new report are listed but never fail the run, so new
 // workloads can land together with their first measurements.
 package main
@@ -56,9 +60,10 @@ func load(path string) (*report, error) {
 
 func main() {
 	threshold := flag.Float64("threshold", 0.15, "maximum tolerated fractional ops/sec regression")
+	p99Threshold := flag.Float64("p99-threshold", 0.25, "maximum tolerated fractional p99 latency regression")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.15] baseline.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.15] [-p99-threshold 0.25] baseline.json new.json")
 		os.Exit(2)
 	}
 	base, err := load(flag.Arg(0))
@@ -78,11 +83,13 @@ func main() {
 	}
 
 	failed := false
-	fmt.Printf("%-10s %14s %14s %8s  %s\n", "benchmark", "base ops/sec", "new ops/sec", "delta", "verdict")
+	fmt.Printf("%-10s %14s %14s %8s %12s %12s %8s  %s\n",
+		"benchmark", "base ops/sec", "new ops/sec", "delta", "base p99", "new p99", "delta", "verdict")
 	for _, b := range base.Benchmarks {
 		n, ok := curByName[b.Name]
 		if !ok {
-			fmt.Printf("%-10s %14.0f %14s %8s  MISSING\n", b.Name, b.OpsPerSec, "-", "-")
+			fmt.Printf("%-10s %14.0f %14s %8s %12s %12s %8s  MISSING\n",
+				b.Name, b.OpsPerSec, "-", "-", "-", "-", "-")
 			failed = true
 			continue
 		}
@@ -90,13 +97,28 @@ func main() {
 		delta := (n.OpsPerSec - b.OpsPerSec) / b.OpsPerSec
 		verdict := "ok"
 		if delta < -*threshold {
-			verdict = fmt.Sprintf("REGRESSION (>%.0f%% loss)", *threshold*100)
+			verdict = fmt.Sprintf("REGRESSION (>%.0f%% ops/sec loss)", *threshold*100)
 			failed = true
 		}
-		fmt.Printf("%-10s %14.0f %14.0f %+7.1f%%  %s\n", b.Name, b.OpsPerSec, n.OpsPerSec, delta*100, verdict)
+		p99Delta := 0.0
+		if b.P99Ns > 0 {
+			p99Delta = float64(n.P99Ns-b.P99Ns) / float64(b.P99Ns)
+			if p99Delta > *p99Threshold {
+				if verdict != "ok" {
+					verdict += "; "
+				} else {
+					verdict = ""
+				}
+				verdict += fmt.Sprintf("P99 REGRESSION (>%.0f%% slower tail)", *p99Threshold*100)
+				failed = true
+			}
+		}
+		fmt.Printf("%-10s %14.0f %14.0f %+7.1f%% %11dns %11dns %+7.1f%%  %s\n",
+			b.Name, b.OpsPerSec, n.OpsPerSec, delta*100, b.P99Ns, n.P99Ns, p99Delta*100, verdict)
 	}
 	for name, n := range curByName {
-		fmt.Printf("%-10s %14s %14.0f %8s  new benchmark\n", name, "-", n.OpsPerSec, "-")
+		fmt.Printf("%-10s %14s %14.0f %8s %12s %11dns %8s  new benchmark\n",
+			name, "-", n.OpsPerSec, "-", "-", n.P99Ns, "-")
 	}
 	if failed {
 		fmt.Println("benchdiff: FAIL")
