@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -28,6 +29,7 @@ import (
 
 	tacoma "repro"
 	"repro/internal/core"
+	"repro/internal/vnet"
 )
 
 // Result is the measurement of one workload.
@@ -55,15 +57,58 @@ type Report struct {
 const ReportSchema = "tacoma-bench/v1"
 
 func main() {
+	// All failure paths return through run() rather than os.Exit-ing in
+	// place, so the profile-finalizing defers always fire and a failed CI
+	// run still uploads usable pprof artifacts.
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tacobench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		modes       = flag.String("modes", "local,cabinet,remote,guarded,script,mixed", "comma-separated workloads to run")
+		modes       = flag.String("modes", "local,cabinet,remote,guarded,script,hop,mixed", "comma-separated workloads to run")
 		concurrency = flag.Int("concurrency", 2*runtime.GOMAXPROCS(0), "concurrent client goroutines per workload")
 		duration    = flag.Duration("duration", 2*time.Second, "measurement window per workload")
 		payload     = flag.Int("payload", 64, "briefcase payload element size in bytes")
 		out         = flag.String("out", "BENCH_meet.json", "output path for the JSON report ('-' for stdout)")
 		verbose     = flag.Bool("v", false, "print per-workload results as they finish")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile covering all workloads to this file")
+		memprofile  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
+
+	// pprof per run, so a lane regression in CI is diagnosable from the
+	// uploaded artifact instead of needing a local repro.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tacobench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "tacobench: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	report := Report{
 		Schema:     ReportSchema,
@@ -77,8 +122,7 @@ func main() {
 		}
 		res, err := runMode(mode, *concurrency, *duration, *payload)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tacobench: %s: %v\n", mode, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", mode, err)
 		}
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "%-10s %9.0f ops/sec  p50 %7dns  p99 %7dns  %6.1f allocs/op\n",
@@ -89,18 +133,17 @@ func main() {
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tacobench: marshal: %v\n", err)
-		os.Exit(1)
+		return fmt.Errorf("marshal: %w", err)
 	}
 	data = append(data, '\n')
 	if *out == "-" {
 		os.Stdout.Write(data)
-		return
+		return nil
 	}
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "tacobench: write %s: %v\n", *out, err)
-		os.Exit(1)
+		return fmt.Errorf("write %s: %w", *out, err)
 	}
+	return nil
 }
 
 // op is one client operation; worker identifies the issuing goroutine so
@@ -137,6 +180,8 @@ func buildWorkload(mode string, concurrency, payload int) (workload, error) {
 		return guardedWorkload(concurrency, payload)
 	case "script":
 		return scriptWorkload(concurrency, payload), nil
+	case "hop":
+		return hopWorkload(concurrency, payload)
 	case "mixed":
 		local := localWorkload(concurrency, payload)
 		cabinet := cabinetWorkload(concurrency, payload)
@@ -153,7 +198,7 @@ func buildWorkload(mode string, concurrency, payload int) (workload, error) {
 			cleanup: remote.cleanup,
 		}, nil
 	default:
-		return workload{}, fmt.Errorf("unknown mode %q (want local, cabinet, remote, guarded, script, or mixed)", mode)
+		return workload{}, fmt.Errorf("unknown mode %q (want local, cabinet, remote, guarded, script, hop, or mixed)", mode)
 	}
 }
 
@@ -263,6 +308,84 @@ func scriptWorkload(concurrency, payload int) workload {
 		bc.Ensure(tacoma.CodeFolder).PushString(core.ScriptWorkloadSrc)
 		return site.MeetClient(context.Background(), tacoma.AgTacl, bc)
 	}}
+}
+
+// hopScript is the itinerary agent the hop lane launches: at each station
+// it records the site in its TRAIL, then jumps to the next HOPS entry. The
+// briefcase accretes one result per hop; CODE is restored before each jump
+// and SIG is frozen at launch, so both stay byte-identical across the whole
+// itinerary — the workload wire protocol v2's content-addressed deltas are
+// built for.
+const hopScript = `
+set mission "multi-hop itinerary benchmark: record each station, then home"
+bc_push TRAIL [host]
+if {[bc_len HOPS] > 0} {
+	set next [bc_dequeue HOPS]
+	jump $next
+}
+bc_push TRAIL done
+`
+
+// hopWorkload: the paper's actual workload — a signed mobile agent carrying
+// its briefcase through a multi-hop TCP itinerary. Each op launches a
+// freshly signed agent at site hop-0 that jumps hop-1 → hop-2 → hop-3,
+// accreting a TRAIL entry per station; the op completes when the nested
+// meet chain unwinds back to the launcher. After the first itinerary warms
+// the per-link caches, SIG and CODE cross every link as 32-byte refs.
+func hopWorkload(concurrency, payload int) (workload, error) {
+	const nsites = 4
+	eps := make([]*vnet.TCPEndpoint, 0, nsites)
+	cleanup := func() {
+		for _, ep := range eps {
+			ep.Close()
+		}
+	}
+	sites := make([]*tacoma.Site, 0, nsites)
+	for i := 0; i < nsites; i++ {
+		ep, err := tacoma.NewTCPEndpoint(tacoma.SiteID(fmt.Sprintf("hop-%d", i)), "127.0.0.1:0")
+		if err != nil {
+			cleanup()
+			return workload{}, err
+		}
+		eps = append(eps, ep)
+	}
+	for i, ep := range eps {
+		for j, other := range eps {
+			if i != j {
+				ep.AddPeer(other.ID(), other.Addr())
+			}
+		}
+		sites = append(sites, tacoma.NewSite(ep, tacoma.SiteConfig{Seed: int64(i + 1)}))
+	}
+	keys := tacoma.NewKeyring()
+	keys.Enroll("hop-bench")
+
+	itinerary := []string{"hop-1", "hop-2", "hop-3"}
+	elem := make([]byte, payload)
+	return workload{
+		op: func(worker int) error {
+			bc, err := tacoma.SignedScript(keys, "hop-bench", "", hopScript, nil)
+			if err != nil {
+				return err
+			}
+			f := tacoma.NewFolder()
+			for _, h := range itinerary {
+				f.PushString(h)
+			}
+			bc.Put("HOPS", f)
+			p := tacoma.NewFolder()
+			p.Push(elem)
+			bc.Put("PAYLOAD", p)
+			if err := tacoma.LaunchSigned(context.Background(), sites[0], bc); err != nil {
+				return err
+			}
+			if trail, err := bc.Folder("TRAIL"); err != nil || trail.Len() != len(itinerary)+2 {
+				return fmt.Errorf("hop: TRAIL has %v stations (err %v), want %d", trail, err, len(itinerary)+2)
+			}
+			return nil
+		},
+		cleanup: cleanup,
+	}, nil
 }
 
 // workerBriefcases builds one briefcase per worker, each with a PAYLOAD

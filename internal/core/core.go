@@ -20,6 +20,7 @@ import (
 	"math/bits"
 	"math/rand/v2"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -137,9 +138,158 @@ type Site struct {
 	rngSeed uint64
 	rngSeq  atomic.Uint64
 
+	// Per-peer wire protocol state: the content-addressed folder cache and
+	// the sticky "peer speaks only v1" flag (see RemoteMeet). One entry per
+	// peer this site has exchanged meets with, in either direction.
+	wiremu    sync.RWMutex
+	wirePeers map[vnet.SiteID]*peerWire
+	wireStats wireCounters
+	wireRec   atomic.Value // func(peer vnet.SiteID, name string, tag byte, n int)
+
 	activations atomic.Int64 // total meets served
 	running     atomic.Int64 // currently executing meets
 	bg          workTracker
+}
+
+// peerWire is this site's wire-protocol state for one peer.
+type peerWire struct {
+	cache *folder.DeltaCache
+	// rec feeds the site's wire counters (and any test hook) for traffic
+	// with this peer; built once at peer creation so the hot path does not
+	// allocate a closure per meet.
+	rec folder.DeltaRecorder
+	// v1 is set when the peer answered "unknown message kind" to a meet2:
+	// subsequent remote meets to it skip straight to the legacy frame.
+	// The demotion is deliberately not permanent — see v1Seq.
+	v1 atomic.Bool
+	// v1Seq counts meets served on the v1 path; every v1ReprobeEvery'th
+	// meet retries v2. The unknown-kind signature is matched on error
+	// *text*, which a hostile agent at the destination can forge in its
+	// own meet error; periodic re-probing turns a forged demotion from a
+	// permanent protocol downgrade into a bounded blip (and lets a peer
+	// that upgraded from v1 in place get its delta lane back).
+	v1Seq atomic.Uint64
+}
+
+// v1ReprobeEvery is how often a v1-demoted peer is retried with v2.
+const v1ReprobeEvery = 256
+
+// maxWirePeers bounds the per-peer wire state map. The map is keyed by the
+// *claimed* sender site ID, which on an open (unauthenticated) endpoint is
+// attacker-chosen: without a bound, a client claiming a fresh site name per
+// request would mint a fresh 1MiB-budget DeltaCache each time. Evicting a
+// random peer only costs protocol efficiency — its next ref misses and the
+// miss fallback re-ships full bytes — never correctness.
+const maxWirePeers = 1024
+
+// peerWire returns (creating on first use) the wire state for a peer.
+func (s *Site) peerWire(id vnet.SiteID) *peerWire {
+	s.wiremu.RLock()
+	pw, ok := s.wirePeers[id]
+	s.wiremu.RUnlock()
+	if ok {
+		return pw
+	}
+	s.wiremu.Lock()
+	defer s.wiremu.Unlock()
+	if s.wirePeers == nil {
+		s.wirePeers = make(map[vnet.SiteID]*peerWire)
+	}
+	pw, ok = s.wirePeers[id]
+	if !ok {
+		if len(s.wirePeers) >= maxWirePeers {
+			for victim := range s.wirePeers { // random map order
+				delete(s.wirePeers, victim)
+				break
+			}
+		}
+		pw = &peerWire{cache: folder.NewDeltaCache(0), rec: s.deltaRecorder(id)}
+		s.wirePeers[id] = pw
+	}
+	return pw
+}
+
+// wireCounters aggregates delta-protocol accounting across all peers.
+type wireCounters struct {
+	meetsV2, meetsV1     atomic.Int64
+	misses               atomic.Int64
+	fullFolders          atomic.Int64
+	fullBytes            atomic.Int64
+	refFolders           atomic.Int64
+	refSavedBytes        atomic.Int64
+	legacyPeerFallbacks  atomic.Int64
+	forcedFullRetransmit atomic.Int64
+}
+
+// WireStats is a snapshot of the site's delta-protocol accounting.
+type WireStats struct {
+	// MeetsV2/MeetsV1 count outbound remote meets by protocol version.
+	MeetsV2, MeetsV1 int64
+	// Misses counts miss round trips (a ref the peer could not resolve).
+	Misses int64
+	// FullFolders/FullBytes count delta-eligible folders (and their
+	// canonical bytes) this site shipped in full, in either direction.
+	FullFolders, FullBytes int64
+	// RefFolders/RefSavedBytes count folders shipped as 32-byte refs and
+	// the canonical bytes that therefore did not cross the wire.
+	RefFolders, RefSavedBytes int64
+	// ForcedFullRetransmits counts miss retries that re-shipped every
+	// eligible folder in full.
+	ForcedFullRetransmits int64
+	// LegacyPeerFallbacks counts peers demoted to the v1 protocol.
+	LegacyPeerFallbacks int64
+}
+
+// WireStats returns a snapshot of the site's wire accounting.
+func (s *Site) WireStats() WireStats {
+	return WireStats{
+		MeetsV2:               s.wireStats.meetsV2.Load(),
+		MeetsV1:               s.wireStats.meetsV1.Load(),
+		Misses:                s.wireStats.misses.Load(),
+		FullFolders:           s.wireStats.fullFolders.Load(),
+		FullBytes:             s.wireStats.fullBytes.Load(),
+		RefFolders:            s.wireStats.refFolders.Load(),
+		RefSavedBytes:         s.wireStats.refSavedBytes.Load(),
+		ForcedFullRetransmits: s.wireStats.forcedFullRetransmit.Load(),
+		LegacyPeerFallbacks:   s.wireStats.legacyPeerFallbacks.Load(),
+	}
+}
+
+// SetWireRecorder installs a hook observing every delta-eligible folder
+// entry this site encodes (requests and replies): tag is
+// folder.EntryFullCached or folder.EntryRef, n the canonical encoding size
+// the entry represents. Tests use it to prove an itinerary ships SIG bytes
+// only on the first hop. Pass nil to remove.
+func (s *Site) SetWireRecorder(fn func(peer vnet.SiteID, name string, tag byte, n int)) {
+	s.wireRec.Store(fn)
+}
+
+// deltaRecorder builds the folder.DeltaRecorder feeding the site counters
+// (and the test hook, consulted per call so it may be installed any time)
+// for traffic with one peer. Built once per peerWire.
+func (s *Site) deltaRecorder(peer vnet.SiteID) folder.DeltaRecorder {
+	return func(name string, tag byte, n int) {
+		if tag == folder.EntryRef {
+			s.wireStats.refFolders.Add(1)
+			s.wireStats.refSavedBytes.Add(int64(n))
+		} else {
+			s.wireStats.fullFolders.Add(1)
+			s.wireStats.fullBytes.Add(int64(n))
+		}
+		if hook, _ := s.wireRec.Load().(func(vnet.SiteID, string, byte, int)); hook != nil {
+			hook(peer, name, tag, n)
+		}
+	}
+}
+
+// pinPool recycles the per-call hash → encoding pin maps.
+var pinPool = sync.Pool{New: func() any { return make(map[folder.Hash][]byte, 8) }}
+
+func getPins() map[folder.Hash][]byte { return pinPool.Get().(map[folder.Hash][]byte) }
+
+func putPins(m map[folder.Hash][]byte) {
+	clear(m)
+	pinPool.Put(m)
 }
 
 // workTracker counts detached background work. A plain sync.WaitGroup is
@@ -304,6 +454,12 @@ func (s *Site) MeetClient(ctx context.Context, agent string, bc *folder.Briefcas
 // RemoteMeet executes the named agent at another site, sending the
 // briefcase there and folding the mutated briefcase back on success. This
 // is the primitive under rexec; ordinary agents use the rexec agent.
+//
+// The briefcase travels in the v2 delta format (see wire.go): folders the
+// peer already holds ship as content refs instead of bytes, so a signed
+// multi-hop agent stops re-shipping its own code after the first hop over
+// a link. A peer that answers "unknown message kind" is remembered as
+// v1-only and served the legacy format from then on.
 func (s *Site) RemoteMeet(ctx context.Context, dest vnet.SiteID, agent string, bc *folder.Briefcase) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -312,6 +468,49 @@ func (s *Site) RemoteMeet(ctx context.Context, dest vnet.SiteID, agent string, b
 		// A meet addressed to the local site short-circuits the network.
 		return s.Meet(&MeetContext{Ctx: ctx}, agent, bc)
 	}
+	pw := s.peerWire(dest)
+	if pw.v1.Load() && pw.v1Seq.Add(1)%v1ReprobeEvery != 0 {
+		return s.remoteMeetV1(ctx, dest, agent, bc)
+	}
+	err := s.remoteMeetV2(ctx, dest, agent, bc, pw)
+	if err != nil && isUnknownKind(err, dest) && s.peerRefusesMeet2(ctx, dest) {
+		// The probe confirmed the peer really cannot dispatch meet2, which
+		// means the failed call above never executed — resending it on the
+		// legacy frame cannot double-run the meet.
+		if !pw.v1.Swap(true) {
+			s.wireStats.legacyPeerFallbacks.Add(1) // count peers, not events
+		}
+		return s.remoteMeetV1(ctx, dest, agent, bc)
+	}
+	if err == nil && pw.v1.Load() {
+		pw.v1.Store(false) // v2 works (again); leave the legacy lane
+	}
+	return err
+}
+
+// peerRefusesMeet2 sends a deliberately empty meet2 frame — which cannot
+// dispatch any meet — and reports whether the peer rejects the message kind
+// itself. The fallback match above is on error *text*, which an agent at
+// the destination can forge inside its own meet error; acting on the text
+// alone would resend (and so double-execute) a meet that already ran. The
+// probe separates the two cases: a v1 peer refuses the kind, a v2 peer
+// fails to decode the empty payload instead.
+func (s *Site) peerRefusesMeet2(ctx context.Context, dest vnet.SiteID) bool {
+	_, err := s.endpoint.Call(ctx, dest, msgMeet2, nil)
+	return err != nil && isUnknownKind(err, dest)
+}
+
+// isUnknownKind reports whether err is dest refusing the meet2 message kind
+// — the v1-peer signature. The site name is matched so a nested remote
+// meet's failure deeper in an itinerary cannot demote the wrong peer.
+func isUnknownKind(err error, dest vnet.SiteID) bool {
+	return strings.Contains(err.Error(),
+		fmt.Sprintf("site %s: unknown message kind %q", dest, msgMeet2))
+}
+
+// remoteMeetV1 is the legacy remote meet: whole briefcase bytes both ways.
+func (s *Site) remoteMeetV1(ctx context.Context, dest vnet.SiteID, agent string, bc *folder.Briefcase) error {
+	s.wireStats.meetsV1.Add(1)
 	// The request is framed into a pooled buffer: Endpoint.Call contracts
 	// not to retain the payload once it returns, so the buffer is recycled
 	// immediately after the exchange.
@@ -329,6 +528,83 @@ func (s *Site) RemoteMeet(ctx context.Context, dest vnet.SiteID, agent string, b
 	return nil
 }
 
+// remoteMeetV2 performs one delta-framed remote meet. Pins accumulate the
+// stable encodings of every eligible folder this call ships or references,
+// and resolve the reply's refs without depending on cache residency; a
+// miss reply (the peer evicted something we reffed) forgets the missed
+// hashes and retries once with refs disabled, which cannot miss again.
+func (s *Site) remoteMeetV2(ctx context.Context, dest vnet.SiteID, agent string, bc *folder.Briefcase, pw *peerWire) error {
+	s.wireStats.meetsV2.Add(1)
+	// The pin map is allocated (from the pool) only when something is
+	// actually pinned: meets whose briefcases carry no delta-eligible
+	// folders — the common small-payload case — skip it entirely.
+	var pins map[folder.Hash][]byte
+	defer func() {
+		if pins != nil {
+			putPins(pins)
+		}
+	}()
+	pin := func(h folder.Hash, enc []byte) {
+		if pins == nil {
+			pins = getPins()
+		}
+		pins[h] = enc
+	}
+	resolve := func(h folder.Hash) ([]byte, bool) {
+		if enc, ok := pins[h]; ok {
+			return enc, true
+		}
+		return pw.cache.Get(h)
+	}
+	refs := pw.cache.Get
+	for attempt := 0; ; attempt++ {
+		payload := appendMeetRequestV2(folder.GetBuffer(), agent, string(s.id), bc, pw.cache, refs, pin, pw.rec)
+		resp, err := s.endpoint.Call(ctx, dest, msgMeet2, payload)
+		folder.PutBuffer(payload)
+		if err != nil {
+			return fmt.Errorf("core: remote meet %s at %s: %w", agent, dest, err)
+		}
+		if len(resp) == 0 {
+			return fmt.Errorf("core: remote meet %s at %s: empty reply", agent, dest)
+		}
+		switch resp[0] {
+		case replyBriefcase:
+			out, missing, err := folder.DecodeBriefcaseDelta(resp[1:], resolve, func(h folder.Hash, enc []byte) {
+				pw.cache.PutCopy(h, enc)
+			})
+			if err != nil {
+				return fmt.Errorf("core: remote meet %s at %s: bad reply: %w", agent, dest, err)
+			}
+			if len(missing) > 0 {
+				// The peer broke the pin rule (or our cache lost a same-call
+				// pin, which pins exist to prevent); there is no safe retry —
+				// the meet already executed.
+				return fmt.Errorf("core: remote meet %s at %s: reply referenced %d unknown folder hashes", agent, dest, len(missing))
+			}
+			bc.ReplaceAll(out)
+			return nil
+		case replyMiss:
+			missing, err := decodeMissReply(resp[1:])
+			if err != nil {
+				return fmt.Errorf("core: remote meet %s at %s: %w", agent, dest, err)
+			}
+			s.wireStats.misses.Add(1)
+			for _, h := range missing {
+				pw.cache.Forget(h)
+			}
+			if attempt >= 1 {
+				return fmt.Errorf("core: remote meet %s at %s: persistent delta miss (%d hashes)", agent, dest, len(missing))
+			}
+			// Retry with refs disabled: every eligible folder re-ships as
+			// cacheable full bytes, repopulating the peer.
+			s.wireStats.forcedFullRetransmit.Add(1)
+			refs = nil
+		default:
+			return fmt.Errorf("core: remote meet %s at %s: bad reply tag %#x", agent, dest, resp[0])
+		}
+	}
+}
+
 // Go runs fn detached from the current meet, tracked so Wait can quiesce.
 // Detached work is how an agent "continues executing concurrently" after
 // terminating a meet.
@@ -342,8 +618,9 @@ func (s *Site) Go(fn func()) {
 
 // Message kinds on the wire.
 const (
-	msgMeet = "meet"
-	msgPing = "ping"
+	msgMeet  = "meet"
+	msgMeet2 = "meet2" // delta-framed meet, wire protocol v2
+	msgPing  = "ping"
 )
 
 // handleCall serves incoming network calls.
@@ -356,30 +633,120 @@ func (s *Site) handleCall(from vnet.SiteID, kind string, payload []byte) ([]byte
 		if err != nil {
 			return nil, err
 		}
-		// The firewall check: a guarded site screens inbound agents at the
-		// network boundary before any local meet is dispatched.
-		if g := s.Guard(); g != nil {
-			if err := g.CheckArrival(origin, agent, bc); err != nil {
-				return nil, fmt.Errorf("%w: arrival from %s at %s: %v", ErrRefused, origin, s.id, err)
-			}
-		}
-		// Meet derives the activation's From from mc.Agent, so the network
-		// caller's identity goes there: agents arriving over the wire are
-		// "rexec@<origin>" to the destination's policies (admission,
-		// billing).
-		mc := &MeetContext{
-			Ctx:   context.Background(),
-			Site:  s,
-			Agent: "rexec@" + origin,
-			Depth: 0,
-		}
-		if err := s.Meet(mc, agent, bc); err != nil {
+		if _, err := s.serveMeet(agent, origin, bc); err != nil {
 			return nil, err
 		}
 		return folder.EncodeBriefcase(bc), nil
+	case msgMeet2:
+		return s.serveMeet2(from, payload)
 	default:
 		return nil, fmt.Errorf("core: site %s: unknown message kind %q", s.id, kind)
 	}
+}
+
+// serveMeet runs the firewall check and the meet for a network arrival.
+func (s *Site) serveMeet(agent, origin string, bc *folder.Briefcase) (*folder.Briefcase, error) {
+	if err := s.checkArrival(agent, origin, bc); err != nil {
+		return nil, err
+	}
+	if err := s.dispatchArrival(agent, origin, bc); err != nil {
+		return nil, err
+	}
+	return bc, nil
+}
+
+// checkArrival is the firewall check: a guarded site screens inbound agents
+// at the network boundary before any local meet is dispatched.
+func (s *Site) checkArrival(agent, origin string, bc *folder.Briefcase) error {
+	if g := s.Guard(); g != nil {
+		if err := g.CheckArrival(origin, agent, bc); err != nil {
+			return fmt.Errorf("%w: arrival from %s at %s: %v", ErrRefused, origin, s.id, err)
+		}
+	}
+	return nil
+}
+
+// dispatchArrival runs the meet for an admitted network arrival. Meet
+// derives the activation's From from mc.Agent, so the network caller's
+// identity goes there: agents arriving over the wire are "rexec@<origin>"
+// to the destination's policies (admission, billing).
+func (s *Site) dispatchArrival(agent, origin string, bc *folder.Briefcase) error {
+	mc := &MeetContext{
+		Ctx:   context.Background(),
+		Site:  s,
+		Agent: "rexec@" + origin,
+		Depth: 0,
+	}
+	return s.Meet(mc, agent, bc)
+}
+
+// serveMeet2 serves one delta-framed meet: resolve refs against the peer
+// cache (answering a miss, without executing, when the caller reffed
+// something we no longer hold), run the meet, and delta-encode the reply.
+// Reply refs are restricted to hashes pinned by this request, so the
+// caller can always resolve them.
+func (s *Site) serveMeet2(from vnet.SiteID, payload []byte) ([]byte, error) {
+	pw := s.peerWire(from)
+	var pins map[folder.Hash][]byte // lazily pooled, as in remoteMeetV2
+	defer func() {
+		if pins != nil {
+			putPins(pins)
+		}
+	}()
+	resolve := func(h folder.Hash) ([]byte, bool) {
+		enc, ok := pw.cache.Get(h)
+		if ok {
+			if pins == nil {
+				pins = getPins()
+			}
+			pins[h] = enc
+		}
+		return enc, ok
+	}
+	// Cacheable segments are only *collected* during decode; nothing enters
+	// the per-peer cache until the firewall has admitted the arrival. The
+	// peer key is the attacker-mintable claimed sender ID, so inserting
+	// before CheckArrival would let refused agents pin
+	// maxWirePeers × cache-budget bytes of junk on a guarded open site.
+	// The segments alias the request payload, which outlives the handler.
+	type pending struct {
+		h   folder.Hash
+		enc []byte
+	}
+	var admit []pending
+	cached := func(h folder.Hash, enc []byte) {
+		if pins == nil {
+			pins = getPins()
+		}
+		pins[h] = enc
+		admit = append(admit, pending{h, enc})
+	}
+	agent, origin, bc, missing, err := decodeMeetRequestV2(payload, resolve, cached)
+	if err != nil {
+		return nil, err
+	}
+	if len(missing) > 0 {
+		s.wireStats.misses.Add(1)
+		return appendMissReply(nil, missing), nil
+	}
+	if err := s.checkArrival(agent, origin, bc); err != nil {
+		return nil, err
+	}
+	// Admitted: make the collected segments durable (the sender inserted
+	// them optimistically on ship; a refusal above leaves it believing the
+	// invariant holds, which at worst costs one miss round trip later).
+	for _, p := range admit {
+		pins[p.h] = pw.cache.PutCopy(p.h, p.enc)
+	}
+	if err := s.dispatchArrival(agent, origin, bc); err != nil {
+		return nil, err
+	}
+	refs := func(h folder.Hash) ([]byte, bool) {
+		enc, ok := pins[h]
+		return enc, ok
+	}
+	out := append(make([]byte, 0, 64+bc.Size()), replyBriefcase)
+	return folder.AppendBriefcaseDelta(out, bc, pw.cache, refs, nil, pw.rec), nil
 }
 
 // Ping checks reachability of another site.

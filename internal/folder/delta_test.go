@@ -1,0 +1,204 @@
+package folder
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func deltaFolder(fill byte, n int) *Folder {
+	e := make([]byte, n)
+	for i := range e {
+		e[i] = fill
+	}
+	return Of(e)
+}
+
+func TestDeltaCacheBasics(t *testing.T) {
+	c := NewDeltaCache(1 << 10)
+	enc := EncodeFolder(deltaFolder('a', 100))
+	h := HashBytes(enc)
+	stored := c.PutCopy(h, enc)
+	if !bytes.Equal(stored, enc) {
+		t.Fatal("PutCopy mangled bytes")
+	}
+	enc[0] ^= 0xFF // caller may reuse its buffer; the cache must hold a copy
+	got, ok := c.Get(h)
+	if !ok || got[0] == enc[0] {
+		t.Fatal("cache aliased the caller's buffer")
+	}
+	c.Forget(h)
+	if _, ok := c.Get(h); ok {
+		t.Fatal("Forget left the entry")
+	}
+	if c.Bytes() != 0 {
+		t.Fatalf("Bytes = %d after Forget", c.Bytes())
+	}
+}
+
+// TestDeltaCacheHostilePeerCannotPinUnboundedBytes floods a cache the way a
+// hostile peer would — an endless stream of unique cacheable folders — and
+// checks the byte bound holds throughout, old entries are evicted rather
+// than new ones refused (so the attacker degrades itself to full sends,
+// not the victim to unbounded memory), and the eviction bookkeeping stays
+// consistent.
+func TestDeltaCacheHostilePeerCannotPinUnboundedBytes(t *testing.T) {
+	const maxBytes = 4 << 10
+	c := NewDeltaCache(maxBytes)
+	var hashes []Hash
+	for i := 0; i < 1000; i++ {
+		enc := EncodeFolder(OfStrings(fmt.Sprintf("unique-folder-%06d-%s", i, string(make([]byte, 100)))))
+		h := HashBytes(enc)
+		c.PutCopy(h, enc)
+		hashes = append(hashes, h)
+		if c.Bytes() > maxBytes {
+			t.Fatalf("after %d inserts cache holds %d bytes > bound %d", i+1, c.Bytes(), maxBytes)
+		}
+	}
+	if _, ok := c.Get(hashes[0]); ok {
+		t.Fatal("oldest entry survived a 1000-entry flood of a 4KiB cache")
+	}
+	if _, ok := c.Get(hashes[len(hashes)-1]); !ok {
+		t.Fatal("newest entry was refused — victim degraded instead of attacker")
+	}
+	// An entry bigger than the whole cache must not wipe it.
+	before := c.Len()
+	huge := EncodeFolder(deltaFolder('h', maxBytes+1))
+	c.PutCopy(HashBytes(huge), huge)
+	if c.Len() != before {
+		t.Fatal("oversized entry disturbed the cache")
+	}
+}
+
+// TestDeltaCacheForgetThenReinsert pins the miss-repair path: after Forget
+// (a peer reported a miss) and re-insert, the entry must age as the newest
+// in the cache — a stale eviction-order slot from before the Forget must
+// not get it evicted ahead of genuinely older entries, which would re-miss
+// exactly the entry the miss protocol just repaired.
+func TestDeltaCacheForgetThenReinsert(t *testing.T) {
+	entry := func(i int) ([]byte, Hash) {
+		enc := EncodeFolder(OfStrings(fmt.Sprintf("entry-%03d-%s", i, string(make([]byte, 60)))))
+		return enc, HashBytes(enc)
+	}
+	enc0, h0 := entry(0)
+	c := NewDeltaCache(5 * len(enc0)) // room for ~5 entries
+	c.PutCopy(h0, enc0)
+	_, h1 := entry(1)
+	enc1, _ := entry(1)
+	c.PutCopy(h1, enc1)
+
+	c.Forget(h0)
+	c.PutCopy(h0, enc0) // repaired: h0 is now the newest entry
+
+	// Fill until the oldest genuine entry (h1) evicts; h0 must survive it.
+	for i := 2; i < 6; i++ {
+		enc, h := entry(i)
+		c.PutCopy(h, enc)
+	}
+	if _, ok := c.Get(h0); !ok {
+		t.Fatal("re-inserted entry evicted via its stale pre-Forget order slot")
+	}
+	if _, ok := c.Get(h1); ok {
+		t.Fatal("oldest entry survived while capacity forced an eviction")
+	}
+}
+
+// TestDeltaEncodeWarmRefs pins the ref mechanics outside the kernel: second
+// encode of the same briefcase against a warm cache must be much smaller
+// and must decode identically through the receiver's cache.
+func TestDeltaEncodeWarmRefs(t *testing.T) {
+	bc := NewBriefcase()
+	bc.Put("BIG", deltaFolder('x', 1000))
+	bc.Put("FROZEN", deltaFolder('f', 500).Freeze())
+	bc.PutString("SMALL", "tiny")
+
+	tx, rx := NewDeltaCache(0), NewDeltaCache(0)
+	receive := func(enc []byte) *Briefcase {
+		t.Helper()
+		got, missing, err := DecodeBriefcaseDelta(enc, rx.Get, func(h Hash, seg []byte) { rx.PutCopy(h, seg) })
+		if err != nil || len(missing) > 0 {
+			t.Fatalf("decode: err=%v missing=%d", err, len(missing))
+		}
+		return got
+	}
+
+	cold := AppendBriefcaseDelta(nil, bc, tx, tx.Get, nil, nil)
+	if got := receive(cold); !bc.Equal(got) {
+		t.Fatal("cold round trip changed briefcase")
+	}
+	warm := AppendBriefcaseDelta(nil, bc, tx, tx.Get, nil, nil)
+	if got := receive(warm); !bc.Equal(got) {
+		t.Fatal("warm round trip changed briefcase")
+	}
+	if len(warm) >= len(cold)/4 {
+		t.Fatalf("warm encode %dB not much smaller than cold %dB — refs not taken", len(warm), len(cold))
+	}
+}
+
+// FuzzDecodeDelta holds the delta decoder to the transport's safety bar:
+// arbitrary bytes never panic, anything that decodes cleanly round-trips
+// through a cold re-encode, warm re-encodes (refs) decode identically, and
+// the miss path is lossless — refs against an empty receiver report exactly
+// the missing hashes, and the forced-full fallback re-ships a briefcase
+// that decodes equal. This is the codec half of the meet2 miss protocol.
+func FuzzDecodeDelta(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{magicBriefcaseDelta, codecVersion, 0})
+	f.Add([]byte{magicBriefcaseDelta, codecVersion, 1, 1, 'F', EntryRef})
+
+	seed := NewBriefcase()
+	seed.Put("CODE", OfStrings("bc_push TRAIL [host]", string(make([]byte, 100))))
+	seed.PutString("HOST", "site-1")
+	seed.Put("BLOB", deltaFolder('b', 80))
+	f.Add(AppendBriefcaseDelta(nil, seed, NewDeltaCache(0), nil, nil, nil))
+	warmTx := NewDeltaCache(0)
+	AppendBriefcaseDelta(nil, seed, warmTx, warmTx.Get, nil, nil)
+	f.Add(AppendBriefcaseDelta(nil, seed, warmTx, warmTx.Get, nil, nil)) // ref-bearing seed
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		empty := func(Hash) ([]byte, bool) { return nil, false }
+		bc, missing, err := DecodeBriefcaseDelta(data, empty, nil)
+		if err != nil {
+			return // malformed input may fail, never panic
+		}
+		if bc == nil {
+			if len(missing) == 0 {
+				t.Fatal("nil briefcase with no missing hashes and no error")
+			}
+			return // unresolvable refs: nothing further to check from raw bytes
+		}
+		// Cold re-encode must round-trip.
+		tx, rx := NewDeltaCache(0), NewDeltaCache(0)
+		enc := AppendBriefcaseDelta(nil, bc, tx, tx.Get, nil, nil)
+		back, miss2, err := DecodeBriefcaseDelta(enc, rx.Get, func(h Hash, seg []byte) { rx.PutCopy(h, seg) })
+		if err != nil || len(miss2) > 0 {
+			t.Fatalf("re-decode of fresh encoding failed: err=%v missing=%d", err, len(miss2))
+		}
+		if !bc.Equal(back) {
+			t.Fatal("cold round trip changed briefcase")
+		}
+		// Warm re-encode (refs against tx) must decode identically via rx,
+		// which holds the same entries per the mutual-insertion invariant.
+		warm := AppendBriefcaseDelta(nil, bc, tx, tx.Get, nil, nil)
+		back2, miss3, err := DecodeBriefcaseDelta(warm, rx.Get, func(h Hash, seg []byte) { rx.PutCopy(h, seg) })
+		if err != nil || len(miss3) > 0 {
+			t.Fatalf("warm decode failed: err=%v missing=%d", err, len(miss3))
+		}
+		if !bc.Equal(back2) {
+			t.Fatal("warm round trip changed briefcase")
+		}
+		// Miss path: the same warm encoding against an empty receiver must
+		// report misses (if it contains refs), and the forced-full fallback
+		// must round-trip — the codec half of the meet2 retry.
+		if _, missWarm, err := DecodeBriefcaseDelta(warm, empty, nil); err == nil && len(missWarm) > 0 {
+			full := AppendBriefcaseDelta(nil, bc, NewDeltaCache(0), nil, nil, nil)
+			back3, miss4, err := DecodeBriefcaseDelta(full, empty, nil)
+			if err != nil || len(miss4) > 0 {
+				t.Fatalf("forced-full fallback failed: err=%v missing=%d", err, len(miss4))
+			}
+			if !bc.Equal(back3) {
+				t.Fatal("miss→full fallback changed briefcase")
+			}
+		}
+	})
+}

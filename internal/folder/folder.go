@@ -78,6 +78,64 @@ const (
 type Folder struct {
 	elems [][]byte
 	flags atomic.Uint32
+
+	// digest memoizes the canonical encoding and its content hash while the
+	// folder's contents are known unchanged: set when the folder is frozen,
+	// when the wire codec ships it, or when the delta decoder materializes
+	// it from the wire (which already knows both); invalidated by the next
+	// structural mutation. It backs the content-addressed wire deltas: a
+	// SIG folder is hashed once per process at the launch site, and at
+	// every intermediate hop the decoded instance re-encodes toward the
+	// next site without hashing at all.
+	digest atomic.Pointer[folderDigest]
+}
+
+// folderDigest is a memoized canonical encoding + content hash. owned
+// reports that enc is a tight, self-contained allocation (safe to share
+// into long-lived caches); un-owned encodings alias a larger decode buffer
+// — sharing one into a cache would pin the whole buffer while accounting
+// only the segment, so cache inserts must copy those.
+type folderDigest struct {
+	enc   []byte
+	hash  Hash
+	owned bool
+}
+
+// cachedDigest returns the folder's memoized canonical encoding and content
+// hash. For frozen folders it computes and caches them on first call; for
+// mutable folders it only reports a digest some earlier encode or decode
+// installed (and no mutation has invalidated since) — ok is false
+// otherwise. owned mirrors folderDigest.owned.
+func (f *Folder) cachedDigest() (enc []byte, h Hash, owned, ok bool) {
+	if d := f.digest.Load(); d != nil {
+		return d.enc, d.hash, d.owned, true
+	}
+	if !f.IsFrozen() {
+		return nil, Hash{}, false, false
+	}
+	e := AppendFolder(make([]byte, 0, 16+f.Size()), f)
+	d := &folderDigest{enc: e, hash: HashBytes(e), owned: true}
+	// A concurrent first call may have published first; both computed the
+	// same digest from the same frozen bytes, so either wins.
+	f.digest.CompareAndSwap(nil, d)
+	d = f.digest.Load()
+	return d.enc, d.hash, d.owned, true
+}
+
+// setDigest installs a known (encoding, hash) pair. enc must be stable for
+// the folder's lifetime and must be the folder's current canonical
+// encoding; owned asserts it is a tight self-contained allocation (see
+// folderDigest).
+func (f *Folder) setDigest(enc []byte, h Hash, owned bool) {
+	f.digest.Store(&folderDigest{enc: enc, hash: h, owned: owned})
+}
+
+// invalidateDigest drops the memoized digest; every structural mutation
+// goes through here (via mutable or Clear).
+func (f *Folder) invalidateDigest() {
+	if f.digest.Load() != nil {
+		f.digest.Store(nil)
+	}
 }
 
 // New returns an empty folder.
@@ -109,6 +167,7 @@ func (f *Folder) mutable() {
 	if fl&flagFrozen != 0 {
 		panic("folder: mutation of frozen folder")
 	}
+	f.invalidateDigest()
 	if fl&flagSlotsShared != 0 {
 		f.elems = append(make([][]byte, 0, len(f.elems)+1), f.elems...)
 		f.flags.And(^flagSlotsShared)
@@ -285,6 +344,7 @@ func (f *Folder) Clear() {
 	if f.flags.Load()&flagFrozen != 0 {
 		panic("folder: mutation of frozen folder")
 	}
+	f.invalidateDigest()
 	f.elems = nil
 	f.flags.Store(0)
 }
@@ -327,6 +387,9 @@ func (f *Folder) Clone() *Folder {
 	f.flags.Or(flagSlotsShared | flagEltsShared)
 	g := &Folder{elems: f.elems}
 	g.flags.Store(flagSlotsShared | flagEltsShared)
+	// The clone starts with identical contents, so a memoized digest is
+	// equally valid for it (and invalidates independently on mutation).
+	g.digest.Store(f.digest.Load())
 	return g
 }
 

@@ -10,7 +10,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	mrand "math/rand/v2"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 )
@@ -216,6 +218,225 @@ func uvarintBytes(v uint64) []byte {
 	return tmp[:n]
 }
 
+// --- write coalescing ---
+//
+// Every frame (request or response) is rendered into a pooled scratch buffer
+// and handed to the connection's connWriter. The writer batches frames that
+// arrive while a flush is in progress into the next single flush: a lone
+// caller flushes immediately (no added latency), while N concurrent callers
+// on one connection pay ~1 flush syscall instead of N. Frame bytes reach the
+// socket atomically per frame, so batching never interleaves frames.
+
+// maxPooledFrame bounds the capacity of scratch buffers kept in framePool so
+// one huge briefcase cannot pin its buffer in the pool forever.
+const maxPooledFrame = 64 << 10
+
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+func getFrame() []byte { return (*framePool.Get().(*[]byte))[:0] }
+
+func putFrame(b []byte) {
+	if cap(b) > maxPooledFrame {
+		return
+	}
+	b = b[:0]
+	framePool.Put(&b)
+}
+
+// appendChunk appends a uvarint-length-prefixed chunk.
+func appendChunk(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// appendChunkString is appendChunk without a []byte(s) conversion alloc.
+func appendChunkString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// Write-failure classification for the redial logic in callOnce.
+var (
+	// errWriteUnsent marks a frame that was never handed to the socket
+	// (queued behind a flush that failed, or enqueued on an already-dead
+	// writer). The peer cannot have seen it; redialing is always safe.
+	errWriteUnsent = errors.New("vnet: frame not sent")
+	// errWriteLone marks a single-frame batch whose flush failed. As with
+	// the old per-call flush, a failed lone flush cannot have delivered a
+	// complete frame, so one redial on a reused connection is safe.
+	errWriteLone = errors.New("vnet: lone frame flush failed")
+)
+
+// wframe is one queued frame: pooled bytes, an optional write-outcome
+// channel (buffered; nil for fire-and-forget server responses), and an
+// optional caller deadline that tightens the cycle's write deadline (zero
+// for none).
+type wframe struct {
+	buf []byte
+	res chan error
+	dl  time.Time
+}
+
+// maxCycleBytes bounds how much one flush cycle writes before flushing and
+// returning to the outer loop. The gather loop is naturally bounded for
+// client writers (one frame in flight per caller) but not for a server
+// writer under sustained pipelined load; without this cap a healthy
+// saturated connection could keep gathering past the cycle's write
+// deadline and fail on a spurious timeout. Each cycle re-arms the
+// deadline, so steady progress never trips it.
+const maxCycleBytes = 256 << 10
+
+// connWriter serializes and batches frame writes on one connection.
+type connWriter struct {
+	conn  net.Conn
+	bw    *bufio.Writer
+	onErr func(error) // invoked once, outside mu, on the first write error
+
+	mu       sync.Mutex
+	queue    []wframe
+	batch    []wframe // recycled accumulator for flushCycle
+	flushing bool
+	err      error
+}
+
+func newConnWriter(conn net.Conn, onErr func(error)) *connWriter {
+	return &connWriter{
+		conn:  conn,
+		bw:    bufio.NewWriterSize(conn, 64<<10),
+		onErr: onErr,
+	}
+}
+
+// enqueue hands one frame to the writer, taking ownership of buf (a pooled
+// frame buffer). If no flush is in progress the calling goroutine becomes
+// the flusher and drains the queue — including frames other goroutines
+// append while it is flushing — with one buffered flush per batch.
+func (w *connWriter) enqueue(buf []byte, res chan error, dl time.Time) {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		putFrame(buf)
+		if res != nil {
+			res <- fmt.Errorf("%w: %v", errWriteUnsent, err)
+		}
+		return
+	}
+	w.queue = append(w.queue, wframe{buf, res, dl})
+	if w.flushing {
+		w.mu.Unlock()
+		return
+	}
+	w.flushing = true
+	for w.err == nil && len(w.queue) > 0 {
+		w.flushCycle() // unlocks and relocks w.mu around the socket I/O
+	}
+	w.flushing = false
+	w.mu.Unlock()
+}
+
+// flushCycle writes every queued frame and flushes once. Called with w.mu
+// held by the flusher; the lock is released around socket I/O.
+//
+// Between writing frames and flushing, the flusher yields the processor
+// once: callers that are already runnable get to append their frames, which
+// the flusher then folds into the same flush. Under load this turns N
+// concurrent calls into one write syscall; on an idle connection the yield
+// returns immediately and a lone frame flushes with no added latency.
+// Gathering is bounded two ways: each client caller has at most one frame
+// in flight per connection, and a cycle flushes after maxCycleBytes even
+// when new frames keep arriving (the server's fire-and-forget responses
+// under sustained pipelined load), so a healthy saturated connection makes
+// steady progress and re-arms its write deadline every cycle.
+func (w *connWriter) flushCycle() {
+	// Bound the write: the connection is shared, so a peer that stops
+	// reading (frozen process, full receive window) must fail this batch —
+	// and thereby the connection — rather than hang every caller forever.
+	// A caller deadline sooner than the stall cap tightens it, as the old
+	// per-call flush did; a timed-out write fails the shared connection.
+	dl := time.Now().Add(maxWriteStall)
+	w.conn.SetWriteDeadline(dl)
+	// The queue and batch backing arrays live on the connWriter and are
+	// reused across cycles, so steady-state coalescing allocates nothing.
+	batch := w.batch[:0]
+	w.batch = nil
+	var werr error
+	written := 0    // frames fully handed to the buffered writer
+	cycleBytes := 0 // flush early once the cycle has written maxCycleBytes
+	for werr == nil && len(w.queue) > 0 && cycleBytes < maxCycleBytes {
+		wrote := len(batch)
+		batch = append(batch, w.queue...)
+		clear(w.queue) // drop frame refs so the array does not pin buffers
+		w.queue = w.queue[:0]
+		w.mu.Unlock()
+		for _, f := range batch[wrote:] {
+			if !f.dl.IsZero() && f.dl.Before(dl) {
+				dl = f.dl
+				w.conn.SetWriteDeadline(dl)
+			}
+			if _, werr = w.bw.Write(f.buf); werr != nil {
+				break
+			}
+			written++
+			cycleBytes += len(f.buf)
+		}
+		if werr == nil {
+			runtime.Gosched() // gather: let runnable callers join this flush
+		}
+		w.mu.Lock()
+	}
+	w.mu.Unlock()
+	if werr == nil {
+		werr = w.bw.Flush()
+	}
+	for i, f := range batch {
+		putFrame(f.buf)
+		if f.res == nil {
+			continue
+		}
+		switch {
+		case werr == nil:
+			f.res <- nil
+		case i > written:
+			// Never handed to the buffered writer: the failure hit an
+			// earlier frame's Write. Provably unsent, safe to redial.
+			f.res <- fmt.Errorf("%w: %v", errWriteUnsent, werr)
+		case len(batch) == 1:
+			f.res <- fmt.Errorf("%w: %v", errWriteLone, werr)
+		default:
+			// At or before the failure point of a multi-frame batch: bytes
+			// may have reached the peer; the caller must not resend.
+			f.res <- werr
+		}
+	}
+	w.mu.Lock()
+	clear(batch)
+	w.batch = batch[:0]
+	if werr != nil {
+		w.err = werr
+		// Frames enqueued while the failing batch was in flight were never
+		// handed to the socket.
+		stranded := w.queue
+		w.queue = nil
+		w.mu.Unlock()
+		for _, f := range stranded {
+			putFrame(f.buf)
+			if f.res != nil {
+				f.res <- fmt.Errorf("%w: %v", errWriteUnsent, werr)
+			}
+		}
+		if w.onErr != nil {
+			w.onErr(werr)
+		}
+		w.mu.Lock()
+	}
+}
+
 // Close stops the listener, retires pooled client connections, shuts down
 // persistent server streams, and waits for in-flight handlers.
 func (ep *TCPEndpoint) Close() error {
@@ -341,11 +562,13 @@ func readRequest(r *bufio.Reader) (*request, error) {
 // serveConn serves one inbound connection: a loop over request frames.
 // Legacy clients send a single frame and close; pipelined clients keep the
 // stream open and may have several requests outstanding, each answered —
-// possibly out of order — under the shared write lock.
+// possibly out of order — through the connection's coalescing writer, so
+// responses that finish together leave in one flush.
 func (ep *TCPEndpoint) serveConn(conn net.Conn) {
 	r := bufio.NewReader(conn)
-	w := bufio.NewWriter(conn)
-	var wmu sync.Mutex // serializes response frames from concurrent handlers
+	// A response write error means the client is gone (or stopped reading
+	// past the stall bound); closing the connection unblocks the read loop.
+	cw := newConnWriter(conn, func(error) { conn.Close() })
 	var handlers sync.WaitGroup
 	defer handlers.Wait()
 	for {
@@ -362,16 +585,16 @@ func (ep *TCPEndpoint) serveConn(conn net.Conn) {
 			go func() {
 				defer handlers.Done()
 				defer ep.wg.Done()
-				ep.serveRequest(req, w, &wmu)
+				ep.serveRequest(req, cw)
 			}()
 			continue
 		}
-		ep.serveRequest(req, w, &wmu)
+		ep.serveRequest(req, cw)
 	}
 }
 
 // serveRequest authenticates, dispatches, and answers one request frame.
-func (ep *TCPEndpoint) serveRequest(req *request, w *bufio.Writer, wmu *sync.Mutex) {
+func (ep *TCPEndpoint) serveRequest(req *request, cw *connWriter) {
 	ep.mu.RLock()
 	h := ep.handler
 	key := ep.authKey
@@ -401,31 +624,28 @@ func (ep *TCPEndpoint) serveRequest(req *request, w *bufio.Writer, wmu *sync.Mut
 		}
 	}
 
-	wmu.Lock()
-	defer wmu.Unlock()
+	buf := getFrame()
 	switch {
 	case req.pipelined && req.authed && key != nil:
-		w.WriteByte('s')
-		writeUvarint(w, req.id)
-		w.WriteByte(status)
-		writeChunk(w, resp)
-		writeChunk(w, frameMAC(key, "presp", uvarintBytes(req.id), req.nonce, []byte{status}, resp))
+		buf = append(buf, 's')
+		buf = binary.AppendUvarint(buf, req.id)
+		buf = append(buf, status)
+		buf = appendChunk(buf, resp)
+		buf = appendChunk(buf, frameMAC(key, "presp", uvarintBytes(req.id), req.nonce, []byte{status}, resp))
 	case req.pipelined:
-		w.WriteByte('r')
-		writeUvarint(w, req.id)
-		w.WriteByte(status)
-		writeChunk(w, resp)
+		buf = append(buf, 'r')
+		buf = binary.AppendUvarint(buf, req.id)
+		buf = append(buf, status)
+		buf = appendChunk(buf, resp)
 	case req.authed && key != nil:
-		w.WriteByte('S')
-		w.WriteByte(status)
-		writeChunk(w, resp)
-		writeChunk(w, frameMAC(key, "resp", req.nonce, []byte{status}, resp))
+		buf = append(buf, 'S', status)
+		buf = appendChunk(buf, resp)
+		buf = appendChunk(buf, frameMAC(key, "resp", req.nonce, []byte{status}, resp))
 	default:
-		w.WriteByte('R')
-		w.WriteByte(status)
-		writeChunk(w, resp)
+		buf = append(buf, 'R', status)
+		buf = appendChunk(buf, resp)
 	}
-	w.Flush()
+	cw.enqueue(buf, nil, time.Time{})
 }
 
 // requestMAC computes the expected MAC for an inbound authenticated request.
@@ -445,11 +665,20 @@ type rpcResult struct {
 	err    error
 }
 
+// Channel pools for the two per-call rendezvous channels. A channel is
+// recycled only after its receiver got a value: every registered response
+// channel and every write-result channel is sent to exactly once, so a
+// completed receive proves no other goroutine still holds the channel.
+// Abandoned channels (context cancellation) are left to the GC.
+var (
+	rpcChPool = sync.Pool{New: func() any { return make(chan rpcResult, 1) }}
+	werrPool  = sync.Pool{New: func() any { return make(chan error, 1) }}
+)
+
 // peerConn is one persistent multiplexed client connection to a peer.
 type peerConn struct {
 	conn net.Conn
-	bw   *bufio.Writer
-	wmu  sync.Mutex // serializes request frames
+	w    *connWriter // coalesces concurrent request frames
 
 	mu      sync.Mutex
 	pending map[uint64]chan rpcResult
@@ -467,7 +696,7 @@ func (pc *peerConn) register() (uint64, chan rpcResult, error) {
 	}
 	pc.nextID++
 	id := pc.nextID
-	ch := make(chan rpcResult, 1)
+	ch := rpcChPool.Get().(chan rpcResult)
 	pc.pending[id] = ch
 	return id, ch, nil
 }
@@ -569,9 +798,11 @@ func (ep *TCPEndpoint) peerConn(ctx context.Context, to SiteID) (*peerConn, bool
 	}
 	pc := &peerConn{
 		conn:    conn,
-		bw:      bufio.NewWriter(conn),
 		pending: make(map[uint64]chan rpcResult),
 	}
+	pc.w = newConnWriter(conn, func(werr error) {
+		pc.fail(fmt.Errorf("%w: send to %s: %v", ErrTimeout, to, werr))
+	})
 	ep.pcmu.Lock()
 	if cur, ok := ep.pconns[to]; ok && !cur.isDead() {
 		// Lost the dial race; use the winner and retire ours.
@@ -648,6 +879,21 @@ func (ep *TCPEndpoint) Call(ctx context.Context, to SiteID, kind string, payload
 	return res.body, nil
 }
 
+// redialBackoff sleeps a small jittered delay before a stale-pool redial.
+// When a pooled connection to a restarted peer dies, every caller queued on
+// it fails at once; without jitter they would all redial in the same
+// instant, a thundering herd the dial-race handling resolves by dialing N
+// connections and keeping one.
+func redialBackoff(ctx context.Context) {
+	d := time.Duration(200+mrand.Int64N(1800)) * time.Microsecond
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
 // callOnce sends one request frame and waits for its response, redialing a
 // stale pooled connection once. It returns the raw result, the call id, and
 // the nonce used (both needed for response MAC verification).
@@ -660,6 +906,7 @@ func (ep *TCPEndpoint) callOnce(ctx context.Context, to SiteID, kind string, pay
 		id, ch, err := pc.register()
 		if err != nil {
 			if reused && attempt == 0 {
+				redialBackoff(ctx)
 				continue
 			}
 			return rpcResult{}, 0, nil, err
@@ -674,41 +921,68 @@ func (ep *TCPEndpoint) callOnce(ctx context.Context, to SiteID, kind string, pay
 			}
 		}
 
-		// Bound the write: the connection is shared, so a peer that stops
-		// reading (frozen process, full receive window) must fail this
-		// frame's flush — and thereby the connection — rather than hang
-		// every caller behind wmu forever. The caller's ctx deadline is
-		// used when sooner than the fixed cap.
-		wdl := time.Now().Add(maxWriteStall)
-		if dl, ok := ctx.Deadline(); ok && dl.Before(wdl) {
-			wdl = dl
-		}
-		pc.wmu.Lock()
-		pc.conn.SetWriteDeadline(wdl)
+		// Render the request into a pooled scratch buffer and hand it to
+		// the connection's coalescing writer: a lone call flushes at once,
+		// concurrent calls batch into one flush.
+		buf := getFrame()
 		if key != nil {
-			pc.bw.WriteByte('a')
-			writeUvarint(pc.bw, id)
-			writeChunk(pc.bw, []byte(ep.id))
-			writeChunk(pc.bw, nonce)
-			writeChunk(pc.bw, []byte(kind))
-			writeChunk(pc.bw, payload)
-			writeChunk(pc.bw, frameMAC(key, "preq", uvarintBytes(id), []byte(ep.id), nonce, []byte(kind), payload))
+			buf = append(buf, 'a')
+			buf = binary.AppendUvarint(buf, id)
+			buf = appendChunkString(buf, string(ep.id))
+			buf = appendChunk(buf, nonce)
+			buf = appendChunkString(buf, kind)
+			buf = appendChunk(buf, payload)
+			buf = appendChunk(buf, frameMAC(key, "preq", uvarintBytes(id), []byte(ep.id), nonce, []byte(kind), payload))
 		} else {
-			pc.bw.WriteByte('q')
-			writeUvarint(pc.bw, id)
-			writeChunk(pc.bw, []byte(ep.id))
-			writeChunk(pc.bw, []byte(kind))
-			writeChunk(pc.bw, payload)
+			buf = append(buf, 'q')
+			buf = binary.AppendUvarint(buf, id)
+			buf = appendChunkString(buf, string(ep.id))
+			buf = appendChunkString(buf, kind)
+			buf = appendChunk(buf, payload)
 		}
-		werr := pc.bw.Flush()
-		pc.wmu.Unlock()
+		var wdl time.Time
+		if d, ok := ctx.Deadline(); ok {
+			wdl = d
+		}
+		wres := werrPool.Get().(chan error)
+		pc.w.enqueue(buf, wres, wdl)
+
+		var werr error
+		select {
+		case werr = <-wres:
+			// Fast path: when this call became the flusher, enqueue returned
+			// with the outcome already delivered.
+			werrPool.Put(wres)
+		default:
+			select {
+			case werr = <-wres:
+				werrPool.Put(wres)
+			case <-ctx.Done():
+				// The frame may still be flushed by the active batch; a late
+				// response for the forgotten id is discarded by the read loop.
+				pc.forget(id)
+				return rpcResult{}, 0, nil, ctx.Err()
+			case <-ep.closed:
+				pc.forget(id)
+				return rpcResult{}, 0, nil, ErrClosed
+			}
+		}
 		if werr != nil {
+			pc.forget(id)
+			// Fail the connection here, synchronously, even though the
+			// flusher's onErr hook does the same: the write outcome is
+			// delivered before onErr runs, so a retry racing ahead of it
+			// could otherwise pull the same dying connection back out of
+			// the pool and burn its one redial on it. fail is idempotent.
 			pc.fail(fmt.Errorf("%w: send to %s: %v", ErrTimeout, to, werr))
-			// A failed flush cannot have delivered a complete frame (a
-			// partial frame never parses, so the peer never dispatches it);
-			// retrying a reused connection once is safe and absorbs stale
-			// pooled connections to a restarted peer.
-			if reused && attempt == 0 {
+			// Redial only when this frame provably never reached the peer:
+			// it was never handed to the socket (errWriteUnsent), or it was
+			// a lone-frame batch whose failed flush cannot have delivered a
+			// complete frame (errWriteLone). A frame inside a failed
+			// multi-frame batch may have been executed by the peer;
+			// re-sending would run a non-idempotent meet twice.
+			if (errors.Is(werr, errWriteUnsent) || errors.Is(werr, errWriteLone)) && reused && attempt == 0 {
+				redialBackoff(ctx)
 				continue
 			}
 			return rpcResult{}, 0, nil, fmt.Errorf("%w: send to %s: %v", ErrTimeout, to, werr)
@@ -721,6 +995,7 @@ func (ep *TCPEndpoint) callOnce(ctx context.Context, to SiteID, kind string, pay
 			// — re-sending would run a non-idempotent meet (cabinet
 			// mutations, cash debits) twice. Only pre-flush failures above
 			// are safe to redial.
+			rpcChPool.Put(ch)
 			return res, id, nonce, nil
 		case <-ctx.Done():
 			pc.forget(id)
@@ -730,19 +1005,6 @@ func (ep *TCPEndpoint) callOnce(ctx context.Context, to SiteID, kind string, pay
 			return rpcResult{}, 0, nil, ErrClosed
 		}
 	}
-}
-
-func writeUvarint(w *bufio.Writer, v uint64) {
-	var tmp [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(tmp[:], v)
-	w.Write(tmp[:n])
-}
-
-func writeChunk(w *bufio.Writer, b []byte) {
-	var tmp [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(tmp[:], uint64(len(b)))
-	w.Write(tmp[:n])
-	w.Write(b)
 }
 
 func readChunk(r *bufio.Reader) ([]byte, error) {

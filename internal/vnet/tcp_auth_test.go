@@ -2,7 +2,6 @@ package vnet
 
 import (
 	"bufio"
-	"bytes"
 	"context"
 	"errors"
 	"net"
@@ -115,17 +114,14 @@ func TestTCPAuthReplayRejected(t *testing.T) {
 	// Hand-build one authenticated frame and send the identical bytes
 	// twice — a recorded-and-replayed request.
 	frame := func() []byte {
-		var buf bytes.Buffer
-		w := bufio.NewWriter(&buf)
 		nonce := []byte("0123456789abcdef")
-		w.WriteByte('A')
-		writeChunk(w, []byte("a"))
-		writeChunk(w, nonce)
-		writeChunk(w, []byte("k"))
-		writeChunk(w, []byte("payload"))
-		writeChunk(w, frameMAC(secret, "req", []byte("a"), nonce, []byte("k"), []byte("payload")))
-		w.Flush()
-		return buf.Bytes()
+		buf := []byte{'A'}
+		buf = appendChunk(buf, []byte("a"))
+		buf = appendChunk(buf, nonce)
+		buf = appendChunk(buf, []byte("k"))
+		buf = appendChunk(buf, []byte("payload"))
+		buf = appendChunk(buf, frameMAC(secret, "req", []byte("a"), nonce, []byte("k"), []byte("payload")))
+		return buf
 	}()
 	send := func() (byte, string) {
 		conn, err := net.Dial("tcp", b.Addr())

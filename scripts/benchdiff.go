@@ -1,18 +1,23 @@
 // Command benchdiff compares two tacobench reports (BENCH_meet.json) and
-// fails when the meet path regressed beyond a threshold — in throughput or
-// in tail latency. CI runs it with the committed baseline on the left and
-// the freshly measured report on the right:
+// fails when the meet path regressed beyond a threshold — in throughput,
+// in tail latency, or in allocations. CI runs it with the committed
+// baseline on the left and the freshly measured report on the right:
 //
 //	go run ./scripts/benchdiff.go [-threshold 0.15] [-p99-threshold 0.25] \
-//	    BENCH_meet.json /tmp/BENCH_new.json
+//	    [-allocs-threshold 0.20] BENCH_meet.json /tmp/BENCH_new.json
 //
 // Exit status 0 when every baseline benchmark is present in the new report,
-// none lost more than threshold×100 % ops/sec, and none grew its p99
-// latency by more than p99-threshold×100 %; 1 otherwise. The p99 gate
-// catches regressions throughput hides: a lock that serializes one percent
-// of operations barely moves ops/sec but multiplies the tail. Benchmarks
-// only present in the new report are listed but never fail the run, so new
-// workloads can land together with their first measurements.
+// none lost more than threshold×100 % ops/sec, none grew its p99 latency by
+// more than p99-threshold×100 %, and none grew allocs/op by more than
+// allocs-threshold×100 %; 1 otherwise. The p99 gate catches regressions
+// throughput hides: a lock that serializes one percent of operations barely
+// moves ops/sec but multiplies the tail. The allocs gate defends the alloc
+// wins the hot-path PRs bought: an accidental per-op allocation barely
+// shows in a 2-second throughput sample but costs GC time at scale.
+// Benchmarks only present in the new report are listed but never fail the
+// run, so new workloads can land together with their first measurements.
+// Alloc deltas on baselines below minGatedAllocs allocs/op are ignored —
+// at that level a ±1 alloc jitter would trip any percentage gate.
 package main
 
 import (
@@ -40,6 +45,25 @@ type report struct {
 
 const wantSchema = "tacoma-bench/v1"
 
+// addFailure accumulates one gate's verdict text and marks the run failed.
+func addFailure(verdict *string, failed *bool, msg string) {
+	if *verdict == "ok" {
+		*verdict = msg
+	} else {
+		*verdict += "; " + msg
+	}
+	*failed = true
+}
+
+// minGatedAllocs: below this many allocs/op in the baseline, the allocation
+// gate is skipped — a single-alloc jitter on a 2-alloc lane is 50%.
+const minGatedAllocs = 8
+
+// minGatedP99Ns: below this baseline p99, the tail gate is skipped — on a
+// sub-5µs lane one GC pause or scheduler hiccup in the p99 sample is a
+// ±50% swing, and a real regression there moves ops/sec anyway.
+const minGatedP99Ns = 5000
+
 func load(path string) (*report, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -61,9 +85,10 @@ func load(path string) (*report, error) {
 func main() {
 	threshold := flag.Float64("threshold", 0.15, "maximum tolerated fractional ops/sec regression")
 	p99Threshold := flag.Float64("p99-threshold", 0.25, "maximum tolerated fractional p99 latency regression")
+	allocsThreshold := flag.Float64("allocs-threshold", 0.20, "maximum tolerated fractional allocs/op regression")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.15] [-p99-threshold 0.25] baseline.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.15] [-p99-threshold 0.25] [-allocs-threshold 0.20] baseline.json new.json")
 		os.Exit(2)
 	}
 	base, err := load(flag.Arg(0))
@@ -83,13 +108,14 @@ func main() {
 	}
 
 	failed := false
-	fmt.Printf("%-10s %14s %14s %8s %12s %12s %8s  %s\n",
-		"benchmark", "base ops/sec", "new ops/sec", "delta", "base p99", "new p99", "delta", "verdict")
+	fmt.Printf("%-10s %14s %14s %8s %12s %12s %8s %7s %7s %8s  %s\n",
+		"benchmark", "base ops/sec", "new ops/sec", "delta", "base p99", "new p99", "delta",
+		"allocs", "allocs", "delta", "verdict")
 	for _, b := range base.Benchmarks {
 		n, ok := curByName[b.Name]
 		if !ok {
-			fmt.Printf("%-10s %14.0f %14s %8s %12s %12s %8s  MISSING\n",
-				b.Name, b.OpsPerSec, "-", "-", "-", "-", "-")
+			fmt.Printf("%-10s %14.0f %14s %8s %12s %12s %8s %7s %7s %8s  MISSING\n",
+				b.Name, b.OpsPerSec, "-", "-", "-", "-", "-", "-", "-", "-")
 			failed = true
 			continue
 		}
@@ -97,28 +123,29 @@ func main() {
 		delta := (n.OpsPerSec - b.OpsPerSec) / b.OpsPerSec
 		verdict := "ok"
 		if delta < -*threshold {
-			verdict = fmt.Sprintf("REGRESSION (>%.0f%% ops/sec loss)", *threshold*100)
-			failed = true
+			addFailure(&verdict, &failed, fmt.Sprintf("REGRESSION (>%.0f%% ops/sec loss)", *threshold*100))
 		}
 		p99Delta := 0.0
-		if b.P99Ns > 0 {
+		if b.P99Ns >= minGatedP99Ns {
 			p99Delta = float64(n.P99Ns-b.P99Ns) / float64(b.P99Ns)
 			if p99Delta > *p99Threshold {
-				if verdict != "ok" {
-					verdict += "; "
-				} else {
-					verdict = ""
-				}
-				verdict += fmt.Sprintf("P99 REGRESSION (>%.0f%% slower tail)", *p99Threshold*100)
-				failed = true
+				addFailure(&verdict, &failed, fmt.Sprintf("P99 REGRESSION (>%.0f%% slower tail)", *p99Threshold*100))
 			}
 		}
-		fmt.Printf("%-10s %14.0f %14.0f %+7.1f%% %11dns %11dns %+7.1f%%  %s\n",
-			b.Name, b.OpsPerSec, n.OpsPerSec, delta*100, b.P99Ns, n.P99Ns, p99Delta*100, verdict)
+		allocsDelta := 0.0
+		if b.AllocsPerOp >= minGatedAllocs {
+			allocsDelta = (n.AllocsPerOp - b.AllocsPerOp) / b.AllocsPerOp
+			if allocsDelta > *allocsThreshold {
+				addFailure(&verdict, &failed, fmt.Sprintf("ALLOCS REGRESSION (>%.0f%% more allocs/op)", *allocsThreshold*100))
+			}
+		}
+		fmt.Printf("%-10s %14.0f %14.0f %+7.1f%% %11dns %11dns %+7.1f%% %7.1f %7.1f %+7.1f%%  %s\n",
+			b.Name, b.OpsPerSec, n.OpsPerSec, delta*100, b.P99Ns, n.P99Ns, p99Delta*100,
+			b.AllocsPerOp, n.AllocsPerOp, allocsDelta*100, verdict)
 	}
 	for name, n := range curByName {
-		fmt.Printf("%-10s %14s %14.0f %8s %12s %11dns %8s  new benchmark\n",
-			name, "-", n.OpsPerSec, "-", "-", n.P99Ns, "-")
+		fmt.Printf("%-10s %14s %14.0f %8s %12s %11dns %8s %7s %7.1f %8s  new benchmark\n",
+			name, "-", n.OpsPerSec, "-", "-", n.P99Ns, "-", "-", n.AllocsPerOp, "-")
 	}
 	if failed {
 		fmt.Println("benchdiff: FAIL")
