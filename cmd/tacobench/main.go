@@ -68,7 +68,7 @@ func main() {
 
 func run() error {
 	var (
-		modes       = flag.String("modes", "local,cabinet,remote,guarded,script,hop,mixed", "comma-separated workloads to run")
+		modes       = flag.String("modes", "local,cabinet,remote,guarded,script,hop,durable,durable-naive,mixed", "comma-separated workloads to run")
 		concurrency = flag.Int("concurrency", 2*runtime.GOMAXPROCS(0), "concurrent client goroutines per workload")
 		duration    = flag.Duration("duration", 2*time.Second, "measurement window per workload")
 		payload     = flag.Int("payload", 64, "briefcase payload element size in bytes")
@@ -154,6 +154,11 @@ type op func(worker int) error
 type workload struct {
 	op      op
 	cleanup func()
+	// concurrency, when non-zero, pins the workload's worker count
+	// regardless of the -concurrency flag. The durable lanes use it: group
+	// commit is a concurrency phenomenon, and the committed baseline's
+	// numbers are only meaningful at the concurrency they were measured at.
+	concurrency int
 }
 
 // runMode builds the named workload and measures it.
@@ -164,6 +169,9 @@ func runMode(mode string, concurrency int, d time.Duration, payload int) (Result
 	}
 	if w.cleanup != nil {
 		defer w.cleanup()
+	}
+	if w.concurrency > 0 {
+		concurrency = w.concurrency
 	}
 	return measure(mode, concurrency, d, w.op)
 }
@@ -182,6 +190,10 @@ func buildWorkload(mode string, concurrency, payload int) (workload, error) {
 		return scriptWorkload(concurrency, payload), nil
 	case "hop":
 		return hopWorkload(concurrency, payload)
+	case "durable":
+		return durableWorkload(payload, false)
+	case "durable-naive":
+		return durableWorkload(payload, true)
 	case "mixed":
 		local := localWorkload(concurrency, payload)
 		cabinet := cabinetWorkload(concurrency, payload)
@@ -198,7 +210,7 @@ func buildWorkload(mode string, concurrency, payload int) (workload, error) {
 			cleanup: remote.cleanup,
 		}, nil
 	default:
-		return workload{}, fmt.Errorf("unknown mode %q (want local, cabinet, remote, guarded, script, hop, or mixed)", mode)
+		return workload{}, fmt.Errorf("unknown mode %q (want local, cabinet, remote, guarded, script, hop, durable, durable-naive, or mixed)", mode)
 	}
 }
 
@@ -385,6 +397,114 @@ func hopWorkload(concurrency, payload int) (workload, error) {
 			return nil
 		},
 		cleanup: cleanup,
+	}, nil
+}
+
+// Durable-lane shape: worker count is pinned (group commit batches across
+// concurrent meets, so the measurement is only meaningful at a fixed
+// concurrency) and every meet delivers a batch of elements, the paper's
+// courier pattern — one durability barrier amortizes over the batch AND
+// over the other workers' concurrent barriers.
+const (
+	durableConcurrency = 8
+	durableBatch       = 8
+)
+
+// durableWorkload is the WAL-backed cabinet meet: each op meets "deliver",
+// which appends the briefcase's 8-element WORK batch to the worker's
+// mailbox folder, records the visit, and drains the mailbox FIFO once it
+// exceeds 1k elements — all journaled, with one group-committed fdatasync
+// barrier per meet. naive switches the WAL to fsync-per-mutation, the
+// baseline the group-commit design exists to beat (see DESIGN.md § Durable
+// cabinets for the measured gap).
+func durableWorkload(payload int, naive bool) (workload, error) {
+	dir, err := os.MkdirTemp("", "tacobench-wal-")
+	if err != nil {
+		return workload{}, err
+	}
+	elem := make([]byte, payload)
+
+	// Pre-fill every mailbox to the drain threshold through a sync-free WAL
+	// generation, so the measured run is in steady state (append + drain,
+	// 17 records per op) from its first op — and so the measured WAL boots
+	// through a real recovery replay of that generation.
+	pcab := tacoma.NewFileCabinet()
+	prefill, err := tacoma.OpenWAL(dir, pcab, tacoma.WALOptions{NoSync: true})
+	if err != nil {
+		os.RemoveAll(dir)
+		return workload{}, err
+	}
+	for i := 0; i < durableConcurrency; i++ {
+		for j := 0; j < 1024; j++ {
+			pcab.Append(fmt.Sprintf("MBOX:w%d", i), elem)
+		}
+	}
+	if err := prefill.Close(); err != nil {
+		os.RemoveAll(dir)
+		return workload{}, err
+	}
+
+	sys := tacoma.NewSystem(1, tacoma.SystemConfig{Seed: 1})
+	site := sys.SiteAt(0)
+	wal, err := tacoma.OpenWAL(dir, site.Cabinet(), tacoma.WALOptions{SyncEveryRecord: naive})
+	if err != nil {
+		os.RemoveAll(dir)
+		return workload{}, err
+	}
+	site.SetDurable(wal)
+	site.Register("deliver", tacoma.AgentFunc(
+		func(mc *tacoma.MeetContext, bc *tacoma.Briefcase) error {
+			req, err := bc.GetString("REQ")
+			if err != nil {
+				return err
+			}
+			client, err := bc.GetString("CLIENT")
+			if err != nil {
+				return err
+			}
+			work, err := bc.Folder("WORK")
+			if err != nil {
+				return err
+			}
+			cab := mc.Site.Cabinet()
+			mbox := "MBOX:" + client
+			for i := 0; i < work.Len(); i++ {
+				cab.Append(mbox, work.RawAt(i))
+			}
+			cab.TestAndAppendString("SEEN", req)
+			if cab.FolderLen(mbox) > 1024 {
+				for i := 0; i < work.Len(); i++ {
+					if _, err := cab.Dequeue(mbox); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}))
+
+	bcs := make([]*tacoma.Briefcase, durableConcurrency)
+	seqs := make([]int, durableConcurrency)
+	for i := range bcs {
+		bc := tacoma.NewBriefcase()
+		bc.PutString("CLIENT", fmt.Sprintf("w%d", i))
+		work := tacoma.NewFolder()
+		for j := 0; j < durableBatch; j++ {
+			work.Push(elem)
+		}
+		bc.Put("WORK", work)
+		bcs[i] = bc
+	}
+	return workload{
+		op: func(worker int) error {
+			seqs[worker]++
+			bcs[worker].PutString("REQ", fmt.Sprintf("%d/%d", worker, seqs[worker]))
+			return site.MeetClient(context.Background(), "deliver", bcs[worker])
+		},
+		cleanup: func() {
+			wal.Close()
+			os.RemoveAll(dir)
+		},
+		concurrency: durableConcurrency,
 	}, nil
 }
 

@@ -9,7 +9,7 @@ import (
 // Every workload must run and produce a sane measurement; this is what keeps
 // the CI bench job from discovering a broken generator only on main.
 func TestWorkloadsSmoke(t *testing.T) {
-	for _, mode := range []string{"local", "cabinet", "remote", "guarded", "script", "hop", "mixed"} {
+	for _, mode := range []string{"local", "cabinet", "remote", "guarded", "script", "hop", "durable", "durable-naive", "mixed"} {
 		t.Run(mode, func(t *testing.T) {
 			res, err := runMode(mode, 2, 30*time.Millisecond, 16)
 			if err != nil {

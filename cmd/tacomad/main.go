@@ -26,17 +26,21 @@ import (
 	"encoding/hex"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/folder"
 	"repro/internal/guard"
 	"repro/internal/mail"
 	"repro/internal/rearguard"
+	"repro/internal/store"
 	"repro/internal/vnet"
 )
 
@@ -68,7 +72,9 @@ func main() {
 	site := flag.String("site", "site-0", "this site's name")
 	listen := flag.String("listen", "127.0.0.1:7100", "listen address")
 	maxSteps := flag.Int("max-steps", 1<<20, "TacL step budget per agent activation")
-	cabinetPath := flag.String("cabinet", "", "file to persist the site's file cabinet across restarts")
+	cabinetPath := flag.String("cabinet", "", "file to persist the site's file cabinet at shutdown (see -wal for crash durability)")
+	walDir := flag.String("wal", "", "write-ahead-log directory: every cabinet mutation is crash-durable, recovered on boot (recommended over -cabinet)")
+	flushInterval := flag.Duration("flush-interval", 0, "with -cabinet, also flush periodically at this interval (stopgap durability for non-WAL mode)")
 	var peers peerList
 	flag.Var(&peers, "peer", "peer site as name=host:port (repeatable)")
 
@@ -94,9 +100,41 @@ func main() {
 		}
 		ep.SetAuthKey(key)
 	}
-	s := core.NewSite(ep, core.SiteConfig{MaxSteps: *maxSteps})
+	if *walDir != "" && *cabinetPath != "" {
+		log.Fatalf("tacomad: -wal and -cabinet are alternative persistence modes; pick one")
+	}
+	if *flushInterval != 0 && *cabinetPath == "" {
+		log.Fatalf("tacomad: -flush-interval needs -cabinet")
+	}
+	if *flushInterval < 0 {
+		log.Fatalf("tacomad: -flush-interval must be positive, got %v", *flushInterval)
+	}
+
+	// "File cabinets can be flushed to disk when permanence is required."
+	// -wal is the recommended mode: every mutation is crash-durable via the
+	// group-committed write-ahead log, and a restarted site replays
+	// snapshot + log tail and re-arms its rear guards. Recovery runs
+	// BEFORE the site exists: NewSite installs the network handler (calls
+	// are refused until then), so no boot-window meet can be served — and
+	// acknowledged — against a half-recovered, journal-less cabinet.
+	// -cabinet remains as the legacy whole-image mode (shutdown flush,
+	// optionally periodic).
+	var wal *store.WAL
+	siteCfg := core.SiteConfig{MaxSteps: *maxSteps}
+	if *walDir != "" {
+		cab := folder.NewCabinet()
+		var werr error
+		wal, werr = store.Open(*walDir, cab, store.Options{Logf: log.Printf})
+		if werr != nil {
+			log.Fatalf("tacomad: open WAL %s: %v", *walDir, werr)
+		}
+		siteCfg.Cabinet = cab
+		siteCfg.Durable = wal
+	}
+
+	s := core.NewSite(ep, siteCfg)
 	mail.InstallMailbox(s)
-	rearguard.Install(s)
+	rgm := rearguard.Install(s)
 
 	if *firewall || *requireCash || *meterSteps > 0 || *activationFee > 0 ||
 		len(enrolls) > 0 || len(allows) > 0 {
@@ -109,17 +147,54 @@ func main() {
 			*firewall, g.Meter != nil, g.Keys.Principals())
 	}
 
-	// "File cabinets can be flushed to disk when permanence is required."
+	if wal != nil {
+		guards := rgm.Recover()
+		log.Printf("tacomad: WAL %s recovered (%d folders, %d rear guards re-armed)",
+			*walDir, s.Cabinet().Len(), guards)
+	}
 	if *cabinetPath != "" {
 		if f, err := os.Open(*cabinetPath); err == nil {
 			if err := s.Cabinet().Load(f); err != nil {
 				log.Fatalf("tacomad: load cabinet %s: %v", *cabinetPath, err)
 			}
 			f.Close()
-			log.Printf("tacomad: restored cabinet from %s (%d folders)", *cabinetPath, s.Cabinet().Len())
+			// A flushed image can hold rear-guard checkpoints too (they
+			// live in ordinary cabinet folders); re-arm them just as the
+			// WAL path does. Whole-image staleness applies here like it
+			// does to every other folder in the image: a guard released
+			// after the last flush is resurrected and may relaunch a
+			// finished computation (the per-computation hop marks
+			// deduplicate re-execution where they survived). -wal has no
+			// such window.
+			guards := rgm.Recover()
+			log.Printf("tacomad: restored cabinet from %s (%d folders, %d rear guards re-armed)",
+				*cabinetPath, s.Cabinet().Len(), guards)
 		} else if !os.IsNotExist(err) {
 			log.Fatalf("tacomad: open cabinet %s: %v", *cabinetPath, err)
 		}
+	}
+
+	// Periodic stopgap flushes for non-WAL mode: bounded loss instead of
+	// total loss when the process dies without a graceful signal.
+	var flushWG sync.WaitGroup
+	stopFlush := make(chan struct{})
+	if *flushInterval > 0 {
+		flushWG.Add(1)
+		go func() {
+			defer flushWG.Done()
+			t := time.NewTicker(*flushInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopFlush:
+					return
+				case <-t.C:
+					if err := flushCabinet(s, *cabinetPath); err != nil {
+						log.Printf("tacomad: periodic flush: %v", err)
+					}
+				}
+			}
+		}()
 	}
 
 	for _, p := range peers {
@@ -135,16 +210,28 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Printf("tacomad: site %s shutting down", *site)
+	// Shutdown failures are logged, never fatal: each cleanup step must run
+	// even when an earlier one fails.
 	if err := ep.Close(); err != nil {
 		log.Printf("tacomad: close: %v", err)
 	}
 	s.Wait()
+	close(stopFlush)
+	flushWG.Wait()
 
+	if wal != nil {
+		if err := wal.Close(); err != nil {
+			log.Printf("tacomad: close WAL: %v", err)
+		} else {
+			log.Printf("tacomad: WAL %s synced", *walDir)
+		}
+	}
 	if *cabinetPath != "" {
 		if err := flushCabinet(s, *cabinetPath); err != nil {
-			log.Fatalf("tacomad: %v", err)
+			log.Printf("tacomad: shutdown flush: %v", err)
+		} else {
+			log.Printf("tacomad: cabinet flushed to %s", *cabinetPath)
 		}
-		log.Printf("tacomad: cabinet flushed to %s", *cabinetPath)
 	}
 }
 
@@ -179,21 +266,22 @@ func buildGuard(firewall, requireCash bool, meterSteps int, activationFee int64,
 	return g, nil
 }
 
-// flushCabinet writes the cabinet atomically: temp file + rename.
+// flushMu serializes flushCabinet calls: the periodic flusher and the
+// shutdown flush share one temp-file path.
+var flushMu sync.Mutex
+
+// flushCabinet writes the cabinet atomically and durably via the store
+// engine's shared temp-file + fsync + rename + directory-fsync discipline.
+// Without the fsyncs the atomic-rename intent is hollow — a crash shortly
+// after rename can surface an empty target (data never flushed) or no
+// target at all (rename never journaled).
 func flushCabinet(s *core.Site, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
+	flushMu.Lock()
+	defer flushMu.Unlock()
+	if err := store.WriteFileAtomic(path, true, func(w io.Writer) error {
+		return s.Cabinet().Flush(w)
+	}); err != nil {
 		return fmt.Errorf("flush cabinet: %w", err)
 	}
-	if err := s.Cabinet().Flush(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("flush cabinet: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("flush cabinet: %w", err)
-	}
-	return os.Rename(tmp, path)
+	return nil
 }

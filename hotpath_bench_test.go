@@ -10,10 +10,13 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/folder"
+	"repro/internal/store"
 	"repro/internal/vnet"
 )
 
@@ -204,5 +207,71 @@ func benchRemoteMeetTCP(b *testing.B) {
 		if err := siteA.RemoteMeet(context.Background(), "site-b", "noop", bc); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDurableMeet quantifies the durability tax and the group-commit
+// win (see DESIGN.md § Durable cabinets). A meet appends one element to a
+// worker-private cabinet folder and marks the visit; the sub-benchmarks run
+// it with no WAL (the in-memory ceiling), with the group-committed WAL (one
+// shared fdatasync per batch of concurrent meets), and with the naive
+// fsync-per-mutation WAL the group commit is measured against. Runs with
+// exactly 8 concurrent workers: group commit is a concurrency phenomenon.
+func BenchmarkDurableMeet(b *testing.B) {
+	for _, mode := range []string{"off", "group", "naive"} {
+		b.Run("wal="+mode, func(b *testing.B) {
+			sys := core.NewSystem(1, core.SystemConfig{Seed: 7})
+			s := sys.SiteAt(0)
+			if mode != "off" {
+				wal, err := store.Open(b.TempDir(), s.Cabinet(), store.Options{
+					SyncEveryRecord: mode == "naive",
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer wal.Close()
+				s.SetDurable(wal)
+			}
+			s.Register("deliver", core.AgentFunc(func(mc *core.MeetContext, bc *folder.Briefcase) error {
+				id, err := bc.GetString("REQ")
+				if err != nil {
+					return err
+				}
+				elem, err := bc.Folder("PAYLOAD")
+				if err != nil {
+					return err
+				}
+				mc.Site.Cabinet().Append("MBOX:"+id, elem.RawAt(0))
+				return nil
+			}))
+			// Exactly 8 workers whatever GOMAXPROCS is (SetParallelism is a
+			// multiplier, which would vary the batching factor with core
+			// count); matches the tacobench durable lane's pinned
+			// concurrency so the two measurements stay comparable.
+			const workers = 8
+			b.ReportAllocs()
+			b.ResetTimer()
+			var remaining atomic.Int64
+			remaining.Store(int64(b.N))
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					bc := folder.NewBriefcase()
+					bc.PutString("REQ", fmt.Sprintf("w%d", w))
+					p := folder.New()
+					p.Push(bytes.Repeat([]byte("p"), 64))
+					bc.Put("PAYLOAD", p)
+					for remaining.Add(-1) >= 0 {
+						if err := s.MeetClient(context.Background(), "deliver", bc); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
 	}
 }

@@ -103,6 +103,16 @@ type SiteConfig struct {
 	StepHookFactory func(agent, from string) func() error
 	// Seed seeds the site-local deterministic RNG exposed to agents.
 	Seed int64
+	// Cabinet, if non-nil, is adopted as the site's file cabinet instead
+	// of a fresh empty one. Durable deployments recover their WAL into a
+	// cabinet *before* creating the site — NewSite installs the network
+	// handler, so recovery must be complete by then or a boot-window meet
+	// could be acknowledged un-journaled and wiped by the replay.
+	Cabinet *folder.FileCabinet
+	// Durable, if non-nil, is installed as the cabinet's commit barrier
+	// (see SetDurable) before the site serves its first call, so no meet
+	// is ever acknowledged without its durability barrier.
+	Durable CommitSyncer
 }
 
 // defaultMaxSteps bounds runaway agents when the site does not configure a
@@ -124,6 +134,11 @@ type Site struct {
 	// guardv holds the installed Guard (see guard.go); atomic so the hot
 	// meet path avoids a lock when no guard is installed.
 	guardv atomic.Value
+
+	// durablev holds the optional durable-cabinet barrier (see SetDurable);
+	// atomic so the hot meet path pays one lock-free load when the cabinet
+	// is not write-ahead logged.
+	durablev atomic.Value // CommitSyncer
 
 	// taclTable is the site's shared TacL command table (builtins + host
 	// commands), built once per site; scripts holds the site's compile-once
@@ -339,14 +354,21 @@ func NewSite(ep vnet.Endpoint, cfg SiteConfig) *Site {
 	if cfg.MaxSteps <= 0 {
 		cfg.MaxSteps = defaultMaxSteps
 	}
+	cab := cfg.Cabinet
+	if cab == nil {
+		cab = folder.NewCabinet()
+	}
 	s := &Site{
 		id:        ep.ID(),
 		endpoint:  ep,
-		cabinet:   folder.NewCabinet(),
+		cabinet:   cab,
 		cfg:       cfg,
 		agents:    newRegistry(),
 		taclTable: newHostTable(),
 		rngSeed:   uint64(cfg.Seed + 1),
+	}
+	if cfg.Durable != nil {
+		s.durablev.Store(cfg.Durable)
 	}
 	registerSystemAgents(s)
 	ep.SetHandler(s.handleCall)
@@ -358,6 +380,39 @@ func (s *Site) ID() vnet.SiteID { return s.id }
 
 // Cabinet returns the site-local file cabinet.
 func (s *Site) Cabinet() *folder.FileCabinet { return s.cabinet }
+
+// CommitSyncer is the durability barrier of a write-ahead-logged cabinet
+// (store.WAL implements it). Sync returns once every cabinet mutation
+// recorded before the call is on stable storage.
+type CommitSyncer interface {
+	Sync() error
+}
+
+// SetDurable marks the site's cabinet as durable: cs.Sync() is invoked at
+// the end of every depth-0 meet, so a meet's caller — local client or
+// remote peer — only sees the meet complete once its cabinet effects are
+// crash-durable. Mutations inside the meet never block individually; the
+// one barrier per transaction is what lets the WAL group-commit both the
+// mutations of one meet and the barriers of concurrent meets into a single
+// fdatasync. Install it right after recovery, before the site serves
+// traffic.
+func (s *Site) SetDurable(cs CommitSyncer) { s.durablev.Store(cs) }
+
+// Durable returns the installed commit barrier, or nil.
+func (s *Site) Durable() CommitSyncer {
+	cs, _ := s.durablev.Load().(CommitSyncer)
+	return cs
+}
+
+// DurableSync forces the durability barrier outside a meet (rear guards arm
+// checkpoints from detached goroutines). A site without a durable cabinet
+// returns nil immediately.
+func (s *Site) DurableSync() error {
+	if cs := s.Durable(); cs != nil {
+		return cs.Sync()
+	}
+	return nil
+}
 
 // Endpoint returns the site's network attachment.
 func (s *Site) Endpoint() vnet.Endpoint { return s.endpoint }
@@ -442,7 +497,20 @@ func (s *Site) Meet(mc *MeetContext, agent string, bc *folder.Briefcase) error {
 	s.activations.Add(1)
 	s.running.Add(1)
 	defer s.running.Add(-1)
-	return a.Meet(sub, bc)
+	err := a.Meet(sub, bc)
+	if mc.Depth == 0 {
+		// The whole transitive meet is one transaction: its cabinet
+		// mutations become durable before the initiator sees it complete.
+		// Nested meets skip the barrier, and a failed barrier fails the
+		// meet — the caller must not act on an acknowledgement the site
+		// could forget.
+		if cs := s.Durable(); cs != nil {
+			if serr := cs.Sync(); serr != nil && err == nil {
+				err = fmt.Errorf("core: durable commit at %s: %w", s.id, serr)
+			}
+		}
+	}
+	return err
 }
 
 // MeetClient starts a computation from outside the agent system: it meets

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // cabinetShardCount is the number of lock stripes in a cabinet. Folders are
@@ -51,6 +52,22 @@ type cabShard struct {
 // test-and-set, and Flush/Load for permanence.
 type FileCabinet struct {
 	shards [cabinetShardCount]cabShard
+
+	// journal, when set, receives a redo record for every mutation (see
+	// Journal). Held in an atomic.Value so the common in-memory cabinet
+	// pays one lock-free load per mutation and nothing else.
+	journal atomic.Value // Journal
+}
+
+// SetJournal attaches a mutation journal. Pass the journal before the
+// cabinet serves concurrent traffic; replayed recovery mutations must be
+// applied before attaching, or they would be re-journaled.
+func (c *FileCabinet) SetJournal(j Journal) { c.journal.Store(j) }
+
+// journalHook returns the attached journal, or nil.
+func (c *FileCabinet) journalHook() Journal {
+	j, _ := c.journal.Load().(Journal)
+	return j
 }
 
 // NewCabinet returns an empty file cabinet.
@@ -73,21 +90,32 @@ func (c *FileCabinet) Append(name string, e []byte) {
 	sh := c.shard(name)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	sh.appendLocked(name, e)
+	stored := sh.appendLocked(name, e)
+	if j := c.journalHook(); j != nil {
+		// The journal gets the stored copy, not e: e must not flow into the
+		// interface call, or escape analysis would heap-allocate every
+		// caller's []byte(s) conversion even on journal-less cabinets.
+		j.RecordAppend(name, stored)
+	}
 }
 
 // AppendString adds a string element to the named folder.
 func (c *FileCabinet) AppendString(name, s string) { c.Append(name, []byte(s)) }
 
-func (sh *cabShard) appendLocked(name string, e []byte) {
+// appendLocked stores a private copy of e and returns that copy (heap
+// storage the cabinet owns for the element's lifetime — safe to hand to the
+// journal without forcing e itself to escape).
+func (sh *cabShard) appendLocked(name string, e []byte) []byte {
 	f, ok := sh.folders[name]
 	if !ok {
 		f = New()
 		sh.folders[name] = f
 		sh.index[name] = make(map[string]int)
 	}
-	f.Push(e)
-	sh.index[name][string(e)]++
+	stored := clone(e)
+	f.PushOwned(stored)
+	sh.index[name][string(stored)]++
+	return stored
 }
 
 // Contains reports whether the named folder holds an element equal to e.
@@ -120,7 +148,10 @@ func (c *FileCabinet) TestAndAppend(name string, e []byte) bool {
 	if idx, ok := sh.index[name]; ok && idx[string(e)] > 0 {
 		return false
 	}
-	sh.appendLocked(name, e)
+	stored := sh.appendLocked(name, e)
+	if j := c.journalHook(); j != nil {
+		j.RecordAppend(name, stored)
+	}
 	return true
 }
 
@@ -156,6 +187,9 @@ func (c *FileCabinet) Put(name string, f *Folder) {
 	defer sh.mu.Unlock()
 	sh.folders[name] = cp
 	sh.index[name] = idx
+	if j := c.journalHook(); j != nil {
+		j.RecordPut(name, cp)
+	}
 }
 
 // Dequeue removes and returns the first element of the named folder.
@@ -179,6 +213,9 @@ func (c *FileCabinet) Dequeue(name string) ([]byte, error) {
 	} else {
 		idx[string(e)]--
 	}
+	if j := c.journalHook(); j != nil {
+		j.RecordDequeue(name)
+	}
 	return e, nil
 }
 
@@ -189,6 +226,9 @@ func (c *FileCabinet) Delete(name string) {
 	defer sh.mu.Unlock()
 	delete(sh.folders, name)
 	delete(sh.index, name)
+	if j := c.journalHook(); j != nil {
+		j.RecordDelete(name)
+	}
 }
 
 // Len reports the number of folders in the cabinet.
@@ -252,11 +292,14 @@ func (c *FileCabinet) lockAll(write bool) (unlock func()) {
 	}
 }
 
-// Flush writes the entire cabinet to w in the wire format, providing the
-// paper's "file cabinets can be flushed to disk when permanence is
-// required". All shards are held read-locked together, so the flushed image
-// is a consistent point-in-time snapshot.
-func (c *FileCabinet) Flush(w io.Writer) error {
+// SnapshotAll returns a point-in-time briefcase copy of every folder. All
+// shards are held read-locked together, so the image is consistent across
+// folders; the copies are O(1) copy-on-write. If locked is non-nil it is
+// invoked while the locks are still held — no mutation (and therefore no
+// journal record) can be concurrent with the callback, which is how the
+// write-ahead log rotates its segment at the exact point the snapshot
+// represents.
+func (c *FileCabinet) SnapshotAll(locked func()) *Briefcase {
 	b := NewBriefcase()
 	unlock := c.lockAll(false)
 	for i := range c.shards {
@@ -264,8 +307,19 @@ func (c *FileCabinet) Flush(w io.Writer) error {
 			b.Put(name, f.Clone())
 		}
 	}
+	if locked != nil {
+		locked()
+	}
 	unlock()
-	_, err := w.Write(EncodeBriefcase(b))
+	return b
+}
+
+// Flush writes the entire cabinet to w in the wire format, providing the
+// paper's "file cabinets can be flushed to disk when permanence is
+// required". All shards are held read-locked together, so the flushed image
+// is a consistent point-in-time snapshot.
+func (c *FileCabinet) Flush(w io.Writer) error {
+	_, err := w.Write(EncodeBriefcase(c.SnapshotAll(nil)))
 	return err
 }
 
@@ -295,6 +349,11 @@ func (c *FileCabinet) Load(r io.Reader) error {
 		sh := c.shard(name)
 		sh.folders[name] = cp
 		sh.index[name] = idx
+	}
+	if j := c.journalHook(); j != nil {
+		// Recorded while every shard is still write-locked, so the load's
+		// position in the journal is consistent with all per-shard records.
+		j.RecordLoad(data)
 	}
 	return nil
 }

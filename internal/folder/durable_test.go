@@ -1,0 +1,231 @@
+package folder
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// TestFlushUnderConcurrentMutation pins the point-in-time snapshot
+// invariant the WAL's compactor (and tacomad's periodic flush) depend on:
+// a Flush taken while writers mutate must capture, for every writer, an
+// exact prefix of its per-folder appends, and must be causally consistent
+// across folders — each writer appends to CAUSE before EFFECT, so no
+// snapshot may ever show more EFFECT than CAUSE entries. Run under -race
+// this also proves Flush and mutation are properly synchronized.
+func TestFlushUnderConcurrentMutation(t *testing.T) {
+	cab := NewCabinet()
+	const writers, rounds, flushes = 4, 400, 25
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				cab.AppendString(fmt.Sprintf("W%d", g), strconv.Itoa(i))
+				cab.AppendString("CAUSE", fmt.Sprintf("%d-%d", g, i))
+				cab.AppendString("EFFECT", fmt.Sprintf("%d-%d", g, i))
+			}
+		}(g)
+	}
+
+	images := make([][]byte, 0, flushes)
+	go func() {
+		defer close(stop)
+		wg.Wait()
+	}()
+	for len(images) < flushes {
+		var buf bytes.Buffer
+		if err := cab.Flush(&buf); err != nil {
+			t.Error(err)
+			return
+		}
+		images = append(images, buf.Bytes())
+	}
+	<-stop
+
+	for n, img := range images {
+		b, err := DecodeBriefcase(img)
+		if err != nil {
+			t.Fatalf("flush %d: %v", n, err)
+		}
+		for g := 0; g < writers; g++ {
+			f, err := b.Folder(fmt.Sprintf("W%d", g))
+			if err != nil {
+				continue // writer had not started when this flush ran
+			}
+			for i, s := range f.Strings() {
+				if s != strconv.Itoa(i) {
+					t.Fatalf("flush %d: W%d[%d] = %q: not an append prefix", n, g, i, s)
+				}
+			}
+		}
+		causes := map[string]bool{}
+		if f, err := b.Folder("CAUSE"); err == nil {
+			for _, s := range f.Strings() {
+				causes[s] = true
+			}
+		}
+		if f, err := b.Folder("EFFECT"); err == nil {
+			for _, s := range f.Strings() {
+				if !causes[s] {
+					t.Fatalf("flush %d: EFFECT %q snapshot without its CAUSE — not point-in-time", n, s)
+				}
+			}
+		}
+	}
+}
+
+// TestLoadUnderConcurrentMutation drives Load, Flush, and mutations
+// concurrently (the -race payoff is the synchronization proof) and then
+// verifies the cabinet still satisfies its index invariant.
+func TestLoadUnderConcurrentMutation(t *testing.T) {
+	cab := NewCabinet()
+	replacement := NewBriefcase()
+	replacement.Put("BASE", OfStrings("r1", "r2"))
+	img := EncodeBriefcase(replacement)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				cab.AppendString(fmt.Sprintf("M%d", g), strconv.Itoa(i))
+				cab.TestAndAppendString("SEEN", fmt.Sprintf("%d-%d", g, i))
+				if i%10 == 0 {
+					// A concurrent Load may legally wipe M<g> between the
+					// append and this dequeue; only unexpected errors fail.
+					if _, err := cab.Dequeue(fmt.Sprintf("M%d", g)); err != nil &&
+						!errors.Is(err, ErrNoFolder) && !errors.Is(err, ErrEmpty) {
+						t.Error(err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if err := cab.Load(bytes.NewReader(img)); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			if err := cab.Flush(&buf); err != nil {
+				t.Error(err)
+			}
+			if _, err := DecodeBriefcase(buf.Bytes()); err != nil {
+				t.Errorf("torn flush image: %v", err)
+			}
+		}
+	}()
+	wg.Wait()
+
+	for _, name := range cab.Names() {
+		f := cab.Snapshot(name)
+		for i := 0; i < f.Len(); i++ {
+			e, _ := f.At(i)
+			if !cab.Contains(name, e) {
+				t.Fatalf("index lost element %d of %q", i, name)
+			}
+		}
+		if cab.FolderLen(name) != f.Len() {
+			t.Fatalf("length mismatch on %q", name)
+		}
+	}
+}
+
+// memJournal records appends per folder, mimicking what a WAL would replay.
+type memJournal struct {
+	mu       sync.Mutex
+	appends  map[string][]string
+	loads    int
+	deletes  map[string]int
+	dequeues map[string]int
+}
+
+func newMemJournal() *memJournal {
+	return &memJournal{
+		appends:  map[string][]string{},
+		deletes:  map[string]int{},
+		dequeues: map[string]int{},
+	}
+}
+
+func (m *memJournal) RecordAppend(name string, e []byte) {
+	m.mu.Lock()
+	m.appends[name] = append(m.appends[name], string(e))
+	m.mu.Unlock()
+}
+func (m *memJournal) RecordPut(name string, f *Folder) {}
+func (m *memJournal) RecordDequeue(name string) {
+	m.mu.Lock()
+	m.dequeues[name]++
+	m.mu.Unlock()
+}
+func (m *memJournal) RecordDelete(name string) {
+	m.mu.Lock()
+	m.deletes[name]++
+	m.mu.Unlock()
+}
+func (m *memJournal) RecordLoad(enc []byte) {
+	m.mu.Lock()
+	m.loads++
+	m.mu.Unlock()
+}
+
+// TestJournalRecordsOrdered pins the Journal contract: records are emitted
+// under the shard lock, so for any single folder the journal's append
+// sequence is exactly the folder's element sequence — the property replay
+// correctness rests on.
+func TestJournalRecordsOrdered(t *testing.T) {
+	cab := NewCabinet()
+	j := newMemJournal()
+	cab.SetJournal(Journal(j))
+
+	const writers, rounds = 8, 300
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			shared := fmt.Sprintf("SHARED%d", g%2) // contended across writers
+			for i := 0; i < rounds; i++ {
+				cab.AppendString(shared, fmt.Sprintf("%d/%d", g, i))
+				cab.TestAndAppendString("DEDUP", strconv.Itoa(i)) // mostly duplicates
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for _, name := range []string{"SHARED0", "SHARED1", "DEDUP"} {
+		got := cab.Snapshot(name).Strings()
+		want := j.appends[name]
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d elements vs %d journal records", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s[%d]: cabinet %q, journal %q — records out of order", name, i, got[i], want[i])
+			}
+		}
+	}
+	if len(j.appends["DEDUP"]) != rounds {
+		t.Fatalf("DEDUP journaled %d appends, want %d (duplicates must not journal)",
+			len(j.appends["DEDUP"]), rounds)
+	}
+	if j.loads != 0 || len(j.deletes) != 0 {
+		t.Fatalf("unexpected records: %d loads, %v deletes", j.loads, j.deletes)
+	}
+}

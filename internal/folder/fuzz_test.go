@@ -60,6 +60,67 @@ func FuzzDecodeBriefcase(f *testing.F) {
 	})
 }
 
+// FuzzCabinetLoad mirrors FuzzDecodeBriefcase for the cabinet restore path
+// tacomad boots through: loading arbitrary bytes never panics, a failed
+// load leaves the cabinet untouched, and a successful load rebuilds a
+// membership index consistent with the folder contents and survives a
+// Flush/Load round trip unchanged.
+func FuzzCabinetLoad(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{magicBriefcase, codecVersion, 0})
+
+	seed := NewBriefcase()
+	seed.PutString("MBOX:alice", "a message")
+	seed.Put("SEEN", OfStrings("roamer-1", "roamer-1", "roamer-2"))
+	seed.Put("BLOB", Of([]byte{0, 1, 2, 0xFF}, nil, []byte("x")))
+	f.Add(EncodeBriefcase(seed))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cab := NewCabinet()
+		cab.AppendString("PRE", "existing")
+		if err := cab.Load(bytes.NewReader(data)); err != nil {
+			// Malformed input must fail cleanly and leave prior contents.
+			if !cab.ContainsString("PRE", "existing") {
+				t.Fatal("failed load clobbered the cabinet")
+			}
+			return
+		}
+		// Index consistency: every stored element is indexed, and lengths
+		// agree between the index-backed and snapshot views.
+		for _, name := range cab.Names() {
+			fo := cab.Snapshot(name)
+			if cab.FolderLen(name) != fo.Len() {
+				t.Fatalf("folder %q: FolderLen %d, snapshot %d", name, cab.FolderLen(name), fo.Len())
+			}
+			for i := 0; i < fo.Len(); i++ {
+				e, err := fo.At(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !cab.Contains(name, e) {
+					t.Fatalf("folder %q: element %d missing from index", name, i)
+				}
+			}
+		}
+		// Flush/Load round trip: the loaded state re-persists unchanged.
+		var buf bytes.Buffer
+		if err := cab.Flush(&buf); err != nil {
+			t.Fatal(err)
+		}
+		cab2 := NewCabinet()
+		if err := cab2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("re-load of flushed image failed: %v", err)
+		}
+		var buf2 bytes.Buffer
+		if err := cab2.Flush(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatal("Flush/Load round trip changed the cabinet image")
+		}
+	})
+}
+
 // FuzzDecodeFolder is the folder-level analogue; folders also arrive as raw
 // elements (queued meeting requests) and must never panic the decoder.
 func FuzzDecodeFolder(f *testing.F) {

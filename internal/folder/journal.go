@@ -1,0 +1,45 @@
+package folder
+
+// Journal observes every cabinet mutation for write-ahead logging. The
+// paper's permanence story — "file cabinets can be flushed to disk when
+// permanence is required" — needs more than a shutdown-time flush: a durable
+// cabinet must survive a crash at any instant. A Journal attached with
+// SetJournal is invoked at each mutation point (Append, Put, Dequeue, Delete,
+// TestAndAppend's append half, Load) so an implementation can append a
+// redo record to stable storage and replay it after a crash.
+//
+// Contract:
+//
+//   - Record* methods are called while the mutated shard's write lock is
+//     held, immediately after the in-memory mutation is applied. That lock
+//     is what gives the log its per-folder ordering guarantee: two appends
+//     to one folder are recorded in the order they were applied. In return,
+//     implementations must be fast and must never call back into the
+//     cabinet (deadlock).
+//   - Record* methods do not block for durability. The durability barrier
+//     is the implementation's own commit primitive (store.WAL.Sync), invoked
+//     by the kernel at transaction boundaries — the end of a depth-0 meet —
+//     so a burst of mutations inside one meet, and across concurrent meets,
+//     group-commits into one sync.
+//   - Argument slices and folders are owned by the cabinet; implementations
+//     must copy what they keep. Elements are immutable, so reading them
+//     inside the call is safe without copying.
+//
+// internal/store implements Journal with a CRC-framed write-ahead log; the
+// interface lives here so the folder package does not depend on the storage
+// engine.
+type Journal interface {
+	// RecordAppend logs "element e appended to folder name" (also the
+	// journal image of a successful TestAndAppend).
+	RecordAppend(name string, e []byte)
+	// RecordPut logs "folder name replaced by f". f must not be retained;
+	// its encoding must be taken before returning.
+	RecordPut(name string, f *Folder)
+	// RecordDequeue logs "first element of folder name removed".
+	RecordDequeue(name string)
+	// RecordDelete logs "folder name removed entirely".
+	RecordDelete(name string)
+	// RecordLoad logs "cabinet contents replaced by this encoded
+	// briefcase" (the wire-format bytes Load consumed).
+	RecordLoad(enc []byte)
+}

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -51,6 +52,16 @@ const (
 	opFolder        = "RG_OP"
 	hopOfGuard      = "RG_GHOP"
 )
+
+// ArmFolderPrefix prefixes the cabinet folders holding armed-guard
+// checkpoints. Every arm writes (and every release deletes) one
+// "RG_ARM:<id>/<hop>" folder with [id, hop, watched site, encoded
+// checkpoint briefcase], so on a site whose cabinet is write-ahead logged
+// (store.WAL) the fault-tolerance subsystem survives the faults it exists
+// for: Recover re-arms the guards a crash dropped, closing the paper's loop
+// where stable storage and rear guards together make agent computations
+// survive site failures.
+const ArmFolderPrefix = "RG_ARM:"
 
 // Errors.
 var (
@@ -128,6 +139,77 @@ func Install(site *core.Site) *Manager {
 }
 
 func guardKey(id string, hop int) string { return id + "/" + strconv.Itoa(hop) }
+
+// persistGuard checkpoints an armed guard into the site cabinet. Called
+// with m.mu held: the Put is serialized against release's Delete, so a
+// released guard can never be re-persisted into a stale checkpoint. The
+// checkpoint briefcase is immutable once armed, so encoding it here is
+// race-free. Callers force the durability barrier (DurableSync) after
+// dropping m.mu — the barrier is the slow part, and holding the manager
+// lock across an fdatasync would serialize every guard operation on disk
+// latency.
+func (m *Manager) persistGuard(g *guard) {
+	f := folder.New()
+	f.PushString(g.id)
+	f.PushString(strconv.Itoa(g.hop))
+	f.PushString(string(g.watch))
+	f.PushOwned(folder.EncodeBriefcase(g.bc))
+	m.site.Cabinet().Put(ArmFolderPrefix+guardKey(g.id, g.hop), f)
+}
+
+// syncCheckpoint forces the durability barrier for a checkpoint mutation.
+// A failure (sticky WAL error) cannot be handled here — the guard still
+// works for this process's lifetime, but a crash would lose it — so the
+// degradation is surfaced in the site log; every meet on the site is
+// already failing its own durability barrier with the same error, so the
+// operator is being told loudly anyway.
+func (m *Manager) syncCheckpoint(op string) {
+	if err := m.site.DurableSync(); err != nil {
+		m.site.Cabinet().AppendString("LOG",
+			fmt.Sprintf("rearguard: %s checkpoint not durable: %v", op, err))
+	}
+}
+
+// unpersistGuard drops a released guard's checkpoint.
+func (m *Manager) unpersistGuard(id string, hop int) {
+	m.site.Cabinet().Delete(ArmFolderPrefix + guardKey(id, hop))
+}
+
+// Recover re-arms every guard whose checkpoint survives in the site
+// cabinet, returning how many were restored. Call it after the cabinet has
+// been recovered from stable storage (tacomad does, right after its WAL
+// replay) — a restarted site resumes watching the agents it was guarding
+// when it crashed. Unreadable checkpoints are dropped rather than trusted.
+func (m *Manager) Recover() int {
+	n := 0
+	for _, name := range m.site.Cabinet().Names() {
+		if !strings.HasPrefix(name, ArmFolderPrefix) {
+			continue
+		}
+		f := m.site.Cabinet().Snapshot(name)
+		id, err0 := f.StringAt(0)
+		hopStr, err1 := f.StringAt(1)
+		watch, err2 := f.StringAt(2)
+		enc, err3 := f.At(3)
+		if err0 != nil || err1 != nil || err2 != nil || err3 != nil {
+			m.site.Cabinet().Delete(name)
+			continue
+		}
+		hop, err := strconv.Atoi(hopStr)
+		if err != nil {
+			m.site.Cabinet().Delete(name)
+			continue
+		}
+		bc, err := folder.DecodeBriefcase(enc)
+		if err != nil {
+			m.site.Cabinet().Delete(name)
+			continue
+		}
+		m.armGuard(id, hop, vnet.SiteID(watch), bc, false)
+		n++
+	}
+	return n
+}
 
 // Launch starts a guarded computation from this manager's site and returns
 // a channel that delivers the Result when the computation comes home.
@@ -340,6 +422,7 @@ func (m *Manager) guardOps(mc *core.MeetContext, bc *folder.Briefcase) error {
 		m.mu.Lock()
 		g := m.guards[guardKey(id, hop)]
 		delete(m.guards, guardKey(id, hop))
+		m.unpersistGuard(id, hop)
 		m.mu.Unlock()
 		if g != nil {
 			g.release()
@@ -354,6 +437,14 @@ func (m *Manager) guardOps(mc *core.MeetContext, bc *folder.Briefcase) error {
 // the destination stops answering pings before the guard is released, the
 // guard relaunches the computation from its checkpoint.
 func (m *Manager) arm(id string, hop int, watch vnet.SiteID, checkpoint *folder.Briefcase) {
+	m.armGuard(id, hop, watch, checkpoint, true)
+}
+
+// armGuard arms a rear guard; persist=false is the recovery path, where
+// the checkpoint being re-armed was just read from the cabinet — its
+// durability is the very thing recovery proved, so re-journaling it (and
+// paying one fdatasync per recovered guard) would be pure waste.
+func (m *Manager) armGuard(id string, hop int, watch vnet.SiteID, checkpoint *folder.Briefcase, persist bool) {
 	g := &guard{id: id, hop: hop, watch: watch, bc: checkpoint, cancel: make(chan struct{})}
 	key := guardKey(id, hop)
 	m.mu.Lock()
@@ -361,7 +452,17 @@ func (m *Manager) arm(id string, hop int, watch vnet.SiteID, checkpoint *folder.
 		old.release()
 	}
 	m.guards[key] = g
+	if persist {
+		// Checkpointed under m.mu so a racing release cannot be overtaken
+		// and leave a stale checkpoint behind; the barrier below makes it
+		// durable before the agent the guard protects is allowed to move
+		// (arm is called before the detached hop meet is spawned).
+		m.persistGuard(g)
+	}
 	m.mu.Unlock()
+	if persist {
+		m.syncCheckpoint("arm")
+	}
 
 	site := m.site
 	site.Go(func() {
@@ -381,8 +482,14 @@ func (m *Manager) arm(id string, hop int, watch vnet.SiteID, checkpoint *folder.
 				return
 			case <-ticker.C:
 				inc, err := site.PingIncarnation(context.Background(), g.watch, 0)
-				if errors.Is(err, vnet.ErrCrashed) {
-					// Our own site went down: the guard dies with it.
+				if errors.Is(err, vnet.ErrCrashed) || errors.Is(err, vnet.ErrClosed) {
+					// Our own site went down or is shutting down: the guard
+					// dies with it — without releasing, so its durable
+					// checkpoint survives for Recover to re-arm. (Without
+					// the ErrClosed case, a graceful restart's endpoint
+					// Close would drive the watcher through the all-dead
+					// relaunch path, durably deleting the very checkpoint
+					// the WAL exists to preserve.)
 					return
 				}
 				restarted := err == nil && lastInc >= 0 && inc != lastInc
@@ -425,12 +532,30 @@ func (m *Manager) relaunch(g *guard) {
 	ctx := context.Background()
 	for next := g.hop; next < itin.Len(); next++ {
 		cand, _ := itin.StringAt(next)
-		if m.site.Ping(ctx, vnet.SiteID(cand), 0) != nil {
+		if err := m.site.Ping(ctx, vnet.SiteID(cand), 0); err != nil {
+			if errors.Is(err, vnet.ErrClosed) || errors.Is(err, vnet.ErrCrashed) {
+				// Our own endpoint is closing (or crashed): every candidate
+				// would look dead from here. Abandon the relaunch with the
+				// guard and its durable checkpoint intact — falling through
+				// to the all-dead path would delete the checkpoint and send
+				// a spurious flagged result during a graceful restart.
+				return
+			}
 			bc.Ensure(SkippedFolder).PushString(cand)
 			continue
 		}
 		bc.PutString(HopFolder, strconv.Itoa(next))
 		g.watch = vnet.SiteID(cand) // keep guarding the relaunched agent
+		m.mu.Lock()
+		if m.guards[guardKey(g.id, g.hop)] == g {
+			// The durable checkpoint tracks the new watch — but only while
+			// this guard is still the armed one: a release that landed
+			// since the watcher woke has already deleted the checkpoint,
+			// and re-persisting would resurrect it forever.
+			m.persistGuard(g)
+		}
+		m.mu.Unlock()
+		m.syncCheckpoint("relaunch")
 		site := m.site
 		launch := bc.Clone()
 		site.Go(func() {
@@ -449,7 +574,13 @@ func (m *Manager) relaunch(g *guard) {
 	g.release()
 	m.mu.Lock()
 	delete(m.guards, guardKey(g.id, g.hop))
+	m.unpersistGuard(g.id, g.hop)
 	m.mu.Unlock()
+	// This runs in the watcher goroutine, not a meet, so no depth-0 meet
+	// barrier will sync the delete for us; without one a quiet site could
+	// hold it in the WAL tail indefinitely, and a crash would resurrect
+	// the guard — redelivering this flagged result after every reboot.
+	m.syncCheckpoint("release")
 }
 
 // home receives a finished computation at its origin and wakes the waiter.

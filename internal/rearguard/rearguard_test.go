@@ -3,6 +3,7 @@ package rearguard
 import (
 	"context"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -446,6 +447,127 @@ func TestGuardIncarnationDetectsFastReboot(t *testing.T) {
 	}
 	if res.Relaunches == 0 {
 		t.Fatalf("no relaunch recorded: %+v", res)
+	}
+	sys.Wait()
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestGuardCheckpointPersistedAndRecovered pins the durable rear-guard
+// story: an armed guard's checkpoint lives in the site cabinet (so a
+// WAL-backed cabinet carries it across a crash), Recover re-arms it from
+// there, and the re-armed guard still does its job — relaunching the
+// computation when the watched site dies.
+func TestGuardCheckpointPersistedAndRecovered(t *testing.T) {
+	sys, managers := testRig(t, 3)
+	blocker := make(chan struct{})
+	defer close(blocker)
+	reached := make(chan struct{})
+	sys.SiteAt(2).Register("trail", core.AgentFunc(func(mc *core.MeetContext, bc *folder.Briefcase) error {
+		close(reached)
+		<-blocker
+		return nil
+	}))
+
+	// site-1 -> site-2 (stalls) -> site-1: while the agent is stuck at
+	// site-2, site-1 holds the armed guard watching it.
+	ch, err := managers[0].Launch(context.Background(), Config{
+		ID: "persist-1", Task: "trail", Itinerary: itinerary(1, 2, 1), Guards: true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-reached
+	m1 := managers[1]
+	waitFor(t, "guard armed at site-1", func() bool { return m1.ActiveGuards() == 1 })
+	waitFor(t, "origin guard released", func() bool { return managers[0].ActiveGuards() == 0 })
+
+	// The checkpoint must be in the cabinet — that is what the WAL journals.
+	cab := sys.SiteAt(1).Cabinet()
+	armed := 0
+	for _, name := range cab.Names() {
+		if strings.HasPrefix(name, ArmFolderPrefix) {
+			armed++
+		}
+	}
+	if armed != 1 {
+		t.Fatalf("site-1 cabinet holds %d guard checkpoints, want 1", armed)
+	}
+
+	// Simulate site-1 crashing and rebooting with a recovered cabinet: the
+	// in-memory guard state is wiped, the cabinet survives.
+	m1.mu.Lock()
+	for _, g := range m1.guards {
+		g.release()
+	}
+	m1.guards = make(map[string]*guard)
+	m1.mu.Unlock()
+	if m1.ActiveGuards() != 0 {
+		t.Fatal("in-memory guards not cleared")
+	}
+
+	if n := m1.Recover(); n != 1 {
+		t.Fatalf("Recover re-armed %d guards, want 1", n)
+	}
+	if m1.ActiveGuards() != 1 {
+		t.Fatalf("ActiveGuards = %d after recovery", m1.ActiveGuards())
+	}
+
+	// The recovered guard must still protect the computation: kill the
+	// watched site and the journey finishes via relaunch (site-2 skipped,
+	// the final site-1 hop executed).
+	sys.Net.Crash("site-2")
+	res := Wait(ch, 5*time.Second)
+	if !res.Completed {
+		t.Fatal("recovered guard never relaunched the computation")
+	}
+	if res.Relaunches == 0 {
+		t.Fatalf("no relaunch recorded: %+v", res)
+	}
+	// Checkpoint removed once the recovered computation moved on.
+	waitFor(t, "checkpoint cleared", func() bool {
+		for _, name := range sys.SiteAt(1).Cabinet().Names() {
+			if strings.HasPrefix(name, ArmFolderPrefix) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestReleasedGuardRemovesCheckpoint: a clean journey leaves no checkpoint
+// folders behind on any site.
+func TestReleasedGuardRemovesCheckpoint(t *testing.T) {
+	sys, managers := testRig(t, 4)
+	ch, err := managers[0].Launch(context.Background(), Config{
+		ID: "clean-1", Task: "trail", Itinerary: itinerary(1, 2, 3), Guards: true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := Wait(ch, 5*time.Second); !res.Completed {
+		t.Fatal("computation did not complete")
+	}
+	for i := 0; i < 4; i++ {
+		i := i
+		waitFor(t, "checkpoints cleared", func() bool {
+			for _, name := range sys.SiteAt(i).Cabinet().Names() {
+				if strings.HasPrefix(name, ArmFolderPrefix) {
+					return false
+				}
+			}
+			return true
+		})
 	}
 	sys.Wait()
 }

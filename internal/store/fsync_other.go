@@ -1,0 +1,24 @@
+//go:build !linux
+
+package store
+
+import "os"
+
+// fdatasync falls back to a full fsync where fdatasync(2) is unavailable.
+func fdatasync(f *os.File) error { return f.Sync() }
+
+// syncDir fsyncs a directory; best-effort on platforms where directory
+// handles cannot be synced.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		// Some platforms refuse Sync on directories; rename durability is
+		// then at the filesystem's mercy, as it was before this engine.
+		return nil
+	}
+	return nil
+}

@@ -1,0 +1,298 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/folder"
+)
+
+// recover rebuilds the cabinet from the directory's snapshot + log tail and
+// leaves the WAL positioned to append to the final segment. Invariants:
+//
+//   - The highest snapshot K is authoritative: it is only written after its
+//     contents are durable, and the segments it supersedes are only deleted
+//     after that. Recovery loads it and replays segments K, K+1, ... in
+//     order.
+//   - A record that fails its CRC (or is cut short) at the very tail of the
+//     final segment is a torn write from the crash: everything before it
+//     was acknowledged and is kept, the tail is truncated, and the engine
+//     appends from there.
+//   - Any other damage — a bad record mid-log, a gap in the segment
+//     sequence, an unreadable snapshot — aborts recovery with ErrCorrupt
+//     rather than silently dropping acknowledged data.
+func (w *WAL) recover() error {
+	segs, snaps, err := scanDir(w.dir)
+	if err != nil {
+		return err
+	}
+
+	// Load the newest snapshot, if any.
+	start := uint64(0)
+	if len(snaps) > 0 {
+		start = snaps[len(snaps)-1]
+		body, err := readSnapshot(snapPath(w.dir, start), start)
+		if err != nil {
+			return err
+		}
+		if err := w.cab.Load(bytes.NewReader(body)); err != nil {
+			return fmt.Errorf("%w: snapshot %d: %v", ErrCorrupt, start, err)
+		}
+		w.snapBytes = int64(len(body))
+	}
+
+	// Replay the segments the snapshot does not cover, oldest first.
+	live := segs[:0]
+	for _, s := range segs {
+		if s >= start {
+			live = append(live, s)
+		}
+	}
+	if len(live) == 0 {
+		// A fresh directory, or a snapshot with its follow-on segment never
+		// made durable: start a new segment at the snapshot's position.
+		seq := start
+		if seq == 0 {
+			seq = 1
+		}
+		w.mu.Lock()
+		err := w.openSegmentLocked(seq)
+		w.mu.Unlock()
+		return err
+	}
+	if start > 0 && live[0] != start {
+		return fmt.Errorf("%w: snapshot %d has no segment %d", ErrCorrupt, start, start)
+	}
+	if start == 0 && live[0] != 1 {
+		// Segments earlier than the first survivor were pruned by a
+		// compaction, so a snapshot must exist; with none readable,
+		// replaying the tail alone would silently drop everything the
+		// pruned segments held.
+		return fmt.Errorf("%w: segments begin at %d but no snapshot covers 1..%d", ErrCorrupt, live[0], live[0]-1)
+	}
+	for i, s := range live {
+		if i > 0 && s != live[i-1]+1 {
+			return fmt.Errorf("%w: segment gap %d -> %d", ErrCorrupt, live[i-1], s)
+		}
+		if err := w.replaySegment(s, i == len(live)-1); err != nil {
+			return err
+		}
+	}
+
+	// Append to the final segment from its valid end.
+	last := live[len(live)-1]
+	f, err := os.OpenFile(segPath(w.dir, last), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopen segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: reopen segment: %w", err)
+	}
+	w.f = f
+	w.seg = last
+	w.segBytes = st.Size() - fileHdrSize
+	return nil
+}
+
+// scanDir lists segment and snapshot sequence numbers (each sorted
+// ascending) and removes leftover temporary files.
+func scanDir(dir string) (segs, snaps []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			// A snapshot whose write never completed; its rename never
+			// happened, so it supersedes nothing.
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if seq, ok := parseSeq(name, "wal-", ".log"); ok {
+			segs = append(segs, seq)
+		} else if seq, ok := parseSeq(name, "snap-", ".bin"); ok {
+			snaps = append(snaps, seq)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	return segs, snaps, nil
+}
+
+// parseSeq extracts the hex sequence number from a prefixed file name.
+// Only the exact shape the engine writes is accepted: 16 lowercase hex
+// digits, nonzero.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	hexs := name[len(prefix) : len(name)-len(suffix)]
+	if len(hexs) != 16 || hexs != strings.ToLower(hexs) {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(hexs, 16, 64)
+	if err != nil || seq == 0 {
+		return 0, false
+	}
+	return seq, true
+}
+
+// readSnapshot returns the briefcase body of a snapshot file after
+// validating its header.
+func readSnapshot(path string, want uint64) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	seq, err := parseFileHeader(data, snapMagic)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot %s: %w", path, err)
+	}
+	if seq != want {
+		return nil, fmt.Errorf("%w: snapshot %s claims seq %d", ErrCorrupt, path, seq)
+	}
+	return data[fileHdrSize:], nil
+}
+
+// replaySegment applies one segment's records to the cabinet. final marks
+// the log's last segment, where a torn tail is truncated instead of
+// refused.
+func (w *WAL) replaySegment(seq uint64, final bool) error {
+	path := segPath(w.dir, seq)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if len(data) < fileHdrSize {
+		if final && tornSegmentHeader(data, seq) {
+			// The header itself was torn (crash during rotation, leaving a
+			// header prefix and nothing else): rewrite it. A short remnant
+			// of anything OTHER than the expected header is damage to a
+			// segment that may have held acknowledged records — refuse.
+			return w.rewriteSegmentHeader(path, seq)
+		}
+		return fmt.Errorf("%w: segment %d truncated header", ErrCorrupt, seq)
+	}
+	got, err := parseFileHeader(data, segMagic)
+	if err != nil || got != seq {
+		if final && tornSegmentHeader(data, seq) {
+			// A crash between openSegmentLocked's header write and its
+			// fdatasync can persist the file size with zeroed (or
+			// partially written) data blocks. No record was ever accepted
+			// into the segment — records only land after the header sync —
+			// so rewriting the header loses nothing.
+			return w.rewriteSegmentHeader(path, seq)
+		}
+		return fmt.Errorf("%w: segment %d bad header", ErrCorrupt, seq)
+	}
+	rest := data[fileHdrSize:]
+	off := int64(fileHdrSize)
+	for len(rest) > 0 {
+		payload, next, err := nextRecord(rest, final)
+		if errors.Is(err, errTorn) {
+			w.opt.logf("store: segment %d: torn final record, truncating at %d", seq, off)
+			return os.Truncate(path, off)
+		}
+		if err != nil {
+			return fmt.Errorf("segment %d at %d: %w", seq, off, err)
+		}
+		if err := w.apply(payload); err != nil {
+			return fmt.Errorf("segment %d at %d: %w", seq, off, err)
+		}
+		off += int64(len(rest) - len(next))
+		rest = next
+	}
+	return nil
+}
+
+// tornSegmentHeader reports whether a final segment's invalid header looks
+// like a torn rotation write: every byte is either the expected header byte
+// (a persisted prefix) or zero (never made it to disk), and nothing but
+// zeros follows. Anything else is damage to a segment that once had a
+// durable header — and possibly acknowledged records — so it is refused.
+func tornSegmentHeader(data []byte, seq uint64) bool {
+	hdr := appendFileHeader(make([]byte, 0, fileHdrSize), segMagic, seq)
+	for i, b := range data {
+		if i < fileHdrSize {
+			if b != hdr[i] && b != 0 {
+				return false
+			}
+		} else if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// rewriteSegmentHeader resets a final segment whose header write was itself
+// interrupted.
+func (w *WAL) rewriteSegmentHeader(path string, seq uint64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(appendFileHeader(make([]byte, 0, fileHdrSize), segMagic, seq)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if w.opt.NoSync {
+		return nil
+	}
+	return fdatasync(f)
+}
+
+// apply replays one redo record into the cabinet. The journal is not yet
+// attached during recovery, so none of these re-journal.
+func (w *WAL) apply(payload []byte) error {
+	op, body := payload[0], payload[1:]
+	switch op {
+	case opAppend:
+		name, elem, err := parseName(body)
+		if err != nil {
+			return err
+		}
+		w.cab.Append(name, elem)
+	case opPut:
+		name, enc, err := parseName(body)
+		if err != nil {
+			return err
+		}
+		f, err := folder.DecodeFolder(enc)
+		if err != nil {
+			return fmt.Errorf("%w: put: %v", ErrCorrupt, err)
+		}
+		w.cab.Put(name, f)
+	case opDequeue:
+		name, _, err := parseName(body)
+		if err != nil {
+			return err
+		}
+		if _, err := w.cab.Dequeue(name); err != nil {
+			// A dequeue the log says succeeded must replay against a
+			// non-empty folder; anything else means the log lies.
+			return fmt.Errorf("%w: dequeue %q: %v", ErrCorrupt, name, err)
+		}
+	case opDelete:
+		name, _, err := parseName(body)
+		if err != nil {
+			return err
+		}
+		w.cab.Delete(name)
+	case opLoad:
+		if err := w.cab.Load(bytes.NewReader(body)); err != nil {
+			return fmt.Errorf("%w: load: %v", ErrCorrupt, err)
+		}
+	default:
+		return fmt.Errorf("%w: unknown op %d", ErrCorrupt, op)
+	}
+	return nil
+}

@@ -4,7 +4,8 @@
 // baseline on the left and the freshly measured report on the right:
 //
 //	go run ./scripts/benchdiff.go [-threshold 0.15] [-p99-threshold 0.25] \
-//	    [-allocs-threshold 0.20] BENCH_meet.json /tmp/BENCH_new.json
+//	    [-allocs-threshold 0.20] [-ungated durable,durable-naive] \
+//	    BENCH_meet.json /tmp/BENCH_new.json
 //
 // Exit status 0 when every baseline benchmark is present in the new report,
 // none lost more than threshold×100 % ops/sec, none grew its p99 latency by
@@ -25,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 )
 
 // result and report mirror the cmd/tacobench JSON schema; only the fields
@@ -86,10 +88,17 @@ func main() {
 	threshold := flag.Float64("threshold", 0.15, "maximum tolerated fractional ops/sec regression")
 	p99Threshold := flag.Float64("p99-threshold", 0.25, "maximum tolerated fractional p99 latency regression")
 	allocsThreshold := flag.Float64("allocs-threshold", 0.20, "maximum tolerated fractional allocs/op regression")
+	ungated := flag.String("ungated", "", "comma-separated benchmark names that are compared and printed but never fail the run (disk-latency-bound lanes whose ops/sec tracks the runner's fdatasync cost, not the code); a lane missing entirely still fails")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.15] [-p99-threshold 0.25] [-allocs-threshold 0.20] baseline.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.15] [-p99-threshold 0.25] [-allocs-threshold 0.20] [-ungated lane1,lane2] baseline.json new.json")
 		os.Exit(2)
+	}
+	ungatedSet := make(map[string]bool)
+	for _, name := range strings.Split(*ungated, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			ungatedSet[name] = true
+		}
 	}
 	base, err := load(flag.Arg(0))
 	if err != nil {
@@ -121,21 +130,27 @@ func main() {
 		}
 		delete(curByName, b.Name)
 		delta := (n.OpsPerSec - b.OpsPerSec) / b.OpsPerSec
+		// gated is hoisted so a future gate cannot forget the exemption
+		// and silently re-gate the disk-latency-bound lanes.
+		gated := !ungatedSet[b.Name]
 		verdict := "ok"
-		if delta < -*threshold {
+		if !gated {
+			verdict = "ungated"
+		}
+		if gated && delta < -*threshold {
 			addFailure(&verdict, &failed, fmt.Sprintf("REGRESSION (>%.0f%% ops/sec loss)", *threshold*100))
 		}
 		p99Delta := 0.0
 		if b.P99Ns >= minGatedP99Ns {
 			p99Delta = float64(n.P99Ns-b.P99Ns) / float64(b.P99Ns)
-			if p99Delta > *p99Threshold {
+			if gated && p99Delta > *p99Threshold {
 				addFailure(&verdict, &failed, fmt.Sprintf("P99 REGRESSION (>%.0f%% slower tail)", *p99Threshold*100))
 			}
 		}
 		allocsDelta := 0.0
 		if b.AllocsPerOp >= minGatedAllocs {
 			allocsDelta = (n.AllocsPerOp - b.AllocsPerOp) / b.AllocsPerOp
-			if allocsDelta > *allocsThreshold {
+			if gated && allocsDelta > *allocsThreshold {
 				addFailure(&verdict, &failed, fmt.Sprintf("ALLOCS REGRESSION (>%.0f%% more allocs/op)", *allocsThreshold*100))
 			}
 		}

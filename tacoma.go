@@ -42,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/folder"
 	"repro/internal/guard"
+	"repro/internal/store"
 	"repro/internal/tacl"
 	"repro/internal/vnet"
 )
@@ -73,6 +74,14 @@ type (
 	Briefcase = folder.Briefcase
 	// FileCabinet groups site-local folders.
 	FileCabinet = folder.FileCabinet
+)
+
+// Durable storage types (the write-ahead-log cabinet engine).
+type (
+	// WAL is the write-ahead log that makes a file cabinet crash-durable.
+	WAL = store.WAL
+	// WALOptions tunes a WAL (sync policy, compaction thresholds).
+	WALOptions = store.Options
 )
 
 // Network types.
@@ -150,11 +159,30 @@ func NewTCPEndpoint(id SiteID, addr string) (*vnet.TCPEndpoint, error) {
 	return vnet.NewTCPEndpoint(id, addr)
 }
 
+// OpenWAL recovers the write-ahead log in dir into cab (snapshot + log
+// tail, rear-guard checkpoints included) and attaches it as the cabinet's
+// journal, making every subsequent mutation crash-durable. For a serving
+// site, recover before the site exists and hand both to NewSite, so no
+// call is ever served against a half-recovered cabinet or acknowledged
+// without its durability barrier:
+//
+//	cab := tacoma.NewFileCabinet()
+//	wal, err := tacoma.OpenWAL(dir, cab, tacoma.WALOptions{})
+//	site := tacoma.NewSite(ep, tacoma.SiteConfig{Cabinet: cab, Durable: wal})
+func OpenWAL(dir string, cab *FileCabinet, opt WALOptions) (*WAL, error) {
+	return store.Open(dir, cab, opt)
+}
+
 // NewBriefcase returns an empty briefcase.
 func NewBriefcase() *Briefcase { return folder.NewBriefcase() }
 
 // NewFolder returns an empty folder.
 func NewFolder() *Folder { return folder.New() }
+
+// NewFileCabinet returns an empty file cabinet (sites create their own; a
+// standalone cabinet is useful with OpenWAL for offline inspection of a
+// WAL directory's contents).
+func NewFileCabinet() *FileCabinet { return folder.NewCabinet() }
 
 // RunScript injects a TacL agent at a site: the script goes into the CODE
 // folder of bc (created when nil) and ag_tacl is met.
