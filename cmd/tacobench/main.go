@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -68,11 +69,14 @@ func main() {
 
 func run() error {
 	var (
-		modes       = flag.String("modes", "local,cabinet,remote,guarded,script,hop,durable,durable-naive,mixed", "comma-separated workloads to run")
+		modes       = flag.String("modes", "local,cabinet,remote,guarded,script,hop,durable,durable-naive,mixed,fleet,fleet-lookup,fleet-converge", "comma-separated workloads to run")
 		concurrency = flag.Int("concurrency", 2*runtime.GOMAXPROCS(0), "concurrent client goroutines per workload")
 		duration    = flag.Duration("duration", 2*time.Second, "measurement window per workload")
 		payload     = flag.Int("payload", 64, "briefcase payload element size in bytes")
-		out         = flag.String("out", "BENCH_meet.json", "output path for the JSON report ('-' for stdout)")
+		fleetSites  = flag.Int("fleet-sites", 10, "fleet lanes: number of meshed in-process sites")
+		fleetAgents = flag.Int("fleet-agents", 100000, "fleet lanes: resident agent population across the fleet")
+		cpus        = flag.String("cpus", "", "comma-separated GOMAXPROCS values (e.g. 1,2,4,8); runs the whole mode list once per value, one report per value")
+		out         = flag.String("out", "BENCH_meet.json", "output path for the JSON report ('-' for stdout); a -cpus sweep inserts .cpuN before the extension")
 		verbose     = flag.Bool("v", false, "print per-workload results as they finish")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile covering all workloads to this file")
 		memprofile  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -110,38 +114,85 @@ func run() error {
 		}()
 	}
 
-	report := Report{
-		Schema:     ReportSchema,
-		Go:         runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-	}
-	for _, mode := range strings.Split(*modes, ",") {
-		mode = strings.TrimSpace(mode)
-		if mode == "" {
-			continue
-		}
-		res, err := runMode(mode, *concurrency, *duration, *payload)
-		if err != nil {
-			return fmt.Errorf("%s: %w", mode, err)
-		}
-		if *verbose {
-			fmt.Fprintf(os.Stderr, "%-10s %9.0f ops/sec  p50 %7dns  p99 %7dns  %6.1f allocs/op\n",
-				res.Name, res.OpsPerSec, res.P50Ns, res.P99Ns, res.AllocsPerOp)
-		}
-		report.Benchmarks = append(report.Benchmarks, res)
+	opts := benchOpts{
+		concurrency: *concurrency,
+		duration:    *duration,
+		payload:     *payload,
+		fleetSites:  *fleetSites,
+		fleetAgents: *fleetAgents,
 	}
 
+	// A -cpus sweep runs the whole mode list once per GOMAXPROCS setting
+	// and emits one Report per setting, so scaling (and its first
+	// contention point) is a diff between files, not a guess.
+	sweep := []int{0} // 0 = leave GOMAXPROCS alone
+	if *cpus != "" {
+		sweep = sweep[:0]
+		for _, c := range strings.Split(*cpus, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(c))
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad -cpus entry %q", c)
+			}
+			sweep = append(sweep, n)
+		}
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range sweep {
+		if procs > 0 {
+			runtime.GOMAXPROCS(procs)
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "--- GOMAXPROCS=%d ---\n", procs)
+			}
+		}
+		report := Report{
+			Schema:     ReportSchema,
+			Go:         runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		}
+		for _, mode := range strings.Split(*modes, ",") {
+			mode = strings.TrimSpace(mode)
+			if mode == "" {
+				continue
+			}
+			res, err := runMode(mode, opts)
+			if err != nil {
+				return fmt.Errorf("%s: %w", mode, err)
+			}
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "%-14s %9.0f ops/sec  p50 %7dns  p99 %7dns  %6.1f allocs/op\n",
+					res.Name, res.OpsPerSec, res.P50Ns, res.P99Ns, res.AllocsPerOp)
+			}
+			report.Benchmarks = append(report.Benchmarks, res)
+		}
+		if err := writeReport(report, *out, *cpus != "", report.GOMAXPROCS); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeReport emits one report; a -cpus sweep tags the output path with the
+// GOMAXPROCS value so each setting gets its own file.
+func writeReport(report Report, out string, sweep bool, procs int) error {
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return fmt.Errorf("marshal: %w", err)
 	}
 	data = append(data, '\n')
-	if *out == "-" {
+	if out == "-" {
 		os.Stdout.Write(data)
 		return nil
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		return fmt.Errorf("write %s: %w", *out, err)
+	if sweep {
+		ext := ""
+		if i := strings.LastIndex(out, "."); i > 0 {
+			out, ext = out[:i], out[i:]
+		}
+		out = fmt.Sprintf("%s.cpu%d%s", out, procs, ext)
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", out, err)
 	}
 	return nil
 }
@@ -161,22 +212,38 @@ type workload struct {
 	concurrency int
 }
 
+// benchOpts carries the sizing flags to workload builders.
+type benchOpts struct {
+	concurrency int
+	duration    time.Duration
+	payload     int
+	fleetSites  int
+	fleetAgents int
+}
+
 // runMode builds the named workload and measures it.
-func runMode(mode string, concurrency int, d time.Duration, payload int) (Result, error) {
-	w, err := buildWorkload(mode, concurrency, payload)
+func runMode(mode string, o benchOpts) (Result, error) {
+	if mode == "fleet-converge" {
+		// Convergence is not an op/sec workload: trials drive the protocol
+		// in simulated time and the samples are simulated durations.
+		return fleetConverge(o.fleetSites, o.duration)
+	}
+	w, err := buildWorkload(mode, o)
 	if err != nil {
 		return Result{}, err
 	}
 	if w.cleanup != nil {
 		defer w.cleanup()
 	}
+	concurrency := o.concurrency
 	if w.concurrency > 0 {
 		concurrency = w.concurrency
 	}
-	return measure(mode, concurrency, d, w.op)
+	return measure(mode, concurrency, o.duration, w.op)
 }
 
-func buildWorkload(mode string, concurrency, payload int) (workload, error) {
+func buildWorkload(mode string, o benchOpts) (workload, error) {
+	concurrency, payload := o.concurrency, o.payload
 	switch mode {
 	case "local":
 		return localWorkload(concurrency, payload), nil
@@ -194,6 +261,10 @@ func buildWorkload(mode string, concurrency, payload int) (workload, error) {
 		return durableWorkload(payload, false)
 	case "durable-naive":
 		return durableWorkload(payload, true)
+	case "fleet":
+		return fleetWorkload(o.fleetSites, o.fleetAgents, concurrency, payload)
+	case "fleet-lookup":
+		return fleetLookupWorkload(o.fleetSites, o.fleetAgents)
 	case "mixed":
 		local := localWorkload(concurrency, payload)
 		cabinet := cabinetWorkload(concurrency, payload)
@@ -210,7 +281,7 @@ func buildWorkload(mode string, concurrency, payload int) (workload, error) {
 			cleanup: remote.cleanup,
 		}, nil
 	default:
-		return workload{}, fmt.Errorf("unknown mode %q (want local, cabinet, remote, guarded, script, hop, durable, durable-naive, or mixed)", mode)
+		return workload{}, fmt.Errorf("unknown mode %q (want local, cabinet, remote, guarded, script, hop, durable, durable-naive, fleet, fleet-lookup, fleet-converge, or mixed)", mode)
 	}
 }
 
@@ -570,17 +641,24 @@ func measure(name string, concurrency int, d time.Duration, fn op) (Result, erro
 	if len(all) == 0 {
 		return Result{}, fmt.Errorf("no operations completed in %v", d)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	ops := int64(len(all))
+	res := reduceSamples(name, concurrency, elapsed, all)
+	res.AllocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(res.Ops)
+	res.BytesPerOp = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(res.Ops)
+	return res, nil
+}
+
+// reduceSamples folds per-op samples (nanoseconds — wall time for op
+// workloads, simulated time for the converge lane) into the Result schema.
+func reduceSamples(name string, concurrency int, elapsed time.Duration, samples []int64) Result {
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	ops := int64(len(samples))
 	return Result{
 		Name:        name,
 		Concurrency: concurrency,
 		DurationNs:  int64(elapsed),
 		Ops:         ops,
 		OpsPerSec:   float64(ops) / elapsed.Seconds(),
-		P50Ns:       all[len(all)/2],
-		P99Ns:       all[len(all)*99/100],
-		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(ops),
-		BytesPerOp:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(ops),
-	}, nil
+		P50Ns:       samples[len(samples)/2],
+		P99Ns:       samples[len(samples)*99/100],
+	}
 }

@@ -9,9 +9,12 @@ import (
 // Every workload must run and produce a sane measurement; this is what keeps
 // the CI bench job from discovering a broken generator only on main.
 func TestWorkloadsSmoke(t *testing.T) {
-	for _, mode := range []string{"local", "cabinet", "remote", "guarded", "script", "hop", "durable", "durable-naive", "mixed"} {
+	for _, mode := range []string{"local", "cabinet", "remote", "guarded", "script", "hop", "durable", "durable-naive", "mixed", "fleet", "fleet-lookup"} {
 		t.Run(mode, func(t *testing.T) {
-			res, err := runMode(mode, 2, 30*time.Millisecond, 16)
+			res, err := runMode(mode, benchOpts{
+				concurrency: 2, duration: 30 * time.Millisecond, payload: 16,
+				fleetSites: 4, fleetAgents: 100,
+			})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -28,14 +31,33 @@ func TestWorkloadsSmoke(t *testing.T) {
 	}
 }
 
+// fleet-converge bypasses measure() — samples are simulated durations, not
+// op latencies — so it gets its own smoke: a short run must still complete
+// its minimum trials and report sane simulated percentiles.
+func TestFleetConvergeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill/rejoin trials in -short")
+	}
+	res, err := runMode("fleet-converge", benchOpts{fleetSites: 4, duration: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops < 3 {
+		t.Errorf("only %d trials, want >= 3", res.Ops)
+	}
+	if res.P50Ns <= 0 || res.P99Ns < res.P50Ns {
+		t.Errorf("implausible percentiles: p50=%d p99=%d", res.P50Ns, res.P99Ns)
+	}
+}
+
 func TestUnknownModeRefused(t *testing.T) {
-	if _, err := runMode("warp-drive", 1, 10*time.Millisecond, 16); err == nil {
+	if _, err := runMode("warp-drive", benchOpts{concurrency: 1, duration: 10 * time.Millisecond, payload: 16}); err == nil {
 		t.Fatal("unknown mode accepted")
 	}
 }
 
 func TestReportRoundTrips(t *testing.T) {
-	res, err := runMode("local", 1, 20*time.Millisecond, 8)
+	res, err := runMode("local", benchOpts{concurrency: 1, duration: 20 * time.Millisecond, payload: 8})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"flag"
 	"fmt"
@@ -39,6 +40,7 @@ import (
 	"repro/internal/folder"
 	"repro/internal/guard"
 	"repro/internal/mail"
+	"repro/internal/mesh"
 	"repro/internal/rearguard"
 	"repro/internal/store"
 	"repro/internal/vnet"
@@ -52,6 +54,15 @@ func (p *peerList) Set(v string) error {
 		return fmt.Errorf("peer must be name=host:port, got %q", v)
 	}
 	*p = append(*p, v)
+	return nil
+}
+
+// strList collects plain repeatable flags (-mesh-seed).
+type strList []string
+
+func (l *strList) String() string { return strings.Join(*l, ",") }
+func (l *strList) Set(v string) error {
+	*l = append(*l, v)
 	return nil
 }
 
@@ -77,6 +88,14 @@ func main() {
 	flushInterval := flag.Duration("flush-interval", 0, "with -cabinet, also flush periodically at this interval (stopgap durability for non-WAL mode)")
 	var peers peerList
 	flag.Var(&peers, "peer", "peer site as name=host:port (repeatable)")
+
+	// Mesh flags: -mesh-join makes the daemon a fleet member — gossip
+	// membership plus consistent-hash agent placement, with misplaced meets
+	// forwarded one hop to the ring owner.
+	meshJoin := flag.Bool("mesh-join", false, "join the site mesh (gossip membership + agent placement)")
+	meshInterval := flag.Duration("mesh-interval", 200*time.Millisecond, "mesh protocol period (probe interval)")
+	var meshSeeds strList
+	flag.Var(&meshSeeds, "mesh-seed", "mesh seed site name, must also be a -peer (repeatable)")
 
 	// Guard subsystem flags. Any of them installs a guard at the site.
 	firewall := flag.Bool("firewall", false, "reject unsigned/unauthorized inbound agents at the network boundary")
@@ -203,6 +222,52 @@ func main() {
 		s.Cabinet().TestAndAppendString(folder.SitesFolder, name)
 	}
 
+	if len(meshSeeds) > 0 && !*meshJoin {
+		log.Fatalf("tacomad: -mesh-seed needs -mesh-join")
+	}
+	var m *mesh.Mesh
+	var meshJoinWG sync.WaitGroup
+	stopMeshJoin := make(chan struct{})
+	if *meshJoin {
+		known := make(map[string]bool, len(peers))
+		for _, p := range peers {
+			name, _, _ := strings.Cut(p, "=")
+			known[name] = true
+		}
+		seeds := make([]vnet.SiteID, 0, len(meshSeeds))
+		for _, seed := range meshSeeds {
+			if !known[seed] {
+				log.Fatalf("tacomad: -mesh-seed %s is not a -peer", seed)
+			}
+			seeds = append(seeds, vnet.SiteID(seed))
+		}
+		m = mesh.New(s, mesh.Config{
+			Seeds:         seeds,
+			ProbeInterval: *meshInterval,
+			Logf:          log.Printf,
+		})
+		// Seeds may come up after us; keep retrying the join until one
+		// answers, then let the protocol take over.
+		meshJoinWG.Add(1)
+		go func() {
+			defer meshJoinWG.Done()
+			for {
+				err := m.Join(context.Background())
+				if err == nil {
+					log.Printf("tacomad: mesh joined, %d members known", len(m.Alive()))
+					return
+				}
+				log.Printf("tacomad: mesh join: %v (retrying)", err)
+				select {
+				case <-stopMeshJoin:
+					return
+				case <-time.After(2 * *meshInterval):
+				}
+			}
+		}()
+		m.Start()
+	}
+
 	log.Printf("tacomad: site %s listening on %s with %d peers, agents: %v",
 		*site, ep.Addr(), len(peers), s.AgentNames())
 
@@ -212,6 +277,16 @@ func main() {
 	log.Printf("tacomad: site %s shutting down", *site)
 	// Shutdown failures are logged, never fatal: each cleanup step must run
 	// even when an earlier one fails.
+	close(stopMeshJoin)
+	meshJoinWG.Wait()
+	if m != nil {
+		// Announce a graceful departure so the fleet removes this site
+		// immediately instead of waiting out a suspicion timeout.
+		leaveCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		m.Leave(leaveCtx)
+		cancel()
+		m.Stop()
+	}
 	if err := ep.Close(); err != nil {
 		log.Printf("tacomad: close: %v", err)
 	}

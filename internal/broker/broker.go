@@ -125,6 +125,20 @@ func (b *Broker) Register(service, site, agent string, capacity int64) {
 	b.mu.Unlock()
 }
 
+// Drop removes every provider row at a site — the matchmaker's reaction to
+// a mesh death verdict or a graceful leave. A site that comes back
+// re-registers (the mesh feeds Register on the alive transition), starting
+// with a clean row.
+func (b *Broker) Drop(site string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for k, p := range b.providers {
+		if p.Site == site {
+			delete(b.providers, k)
+		}
+	}
+}
+
 // Report records a load report for every provider at the given site if the
 // sequence number is fresher than what the broker has.
 func (b *Broker) Report(site string, load, seq int64) {
@@ -220,6 +234,12 @@ func (b *Broker) MergeTable(rows []string) error {
 		seq, err3 := strconv.ParseInt(parts[5], 10, 64)
 		if err1 != nil || err2 != nil || err3 != nil {
 			return fmt.Errorf("%w: gossip row %q", ErrBadRequest, row)
+		}
+		if capacity < 1 {
+			// A zero or negative gossiped capacity would make effectiveLoad
+			// divide by zero (or invert the ordering); clamp like Register
+			// does rather than poison placement.
+			capacity = 1
 		}
 		in := &provider{
 			Service: parts[0], Site: parts[1], Agent: parts[2],

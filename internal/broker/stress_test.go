@@ -1,0 +1,140 @@
+package broker
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+// The mesh feeds membership and load transitions straight into the broker;
+// if the broker stops satisfying mesh.LoadSink this fails to compile.
+var _ mesh.LoadSink = (*Broker)(nil)
+
+// TestBrokerConcurrentStress exercises every mutating entry point at once —
+// Register, Report, Place, MergeTable, Drop, Lookup, Table — the way a live
+// mesh drives a broker: gossip merges racing monitor reports racing placement
+// requests. Run under -race it pins that the single-mutex design actually
+// covers every path; without -race it still checks the database stays
+// self-consistent (Place never returns a dropped or unknown provider).
+func TestBrokerConcurrentStress(t *testing.T) {
+	b := NewBroker()
+	const sites = 8
+	const rounds = 200
+	for s := 0; s < sites; s++ {
+		b.Register("svc", fmt.Sprintf("site-%d", s), "p", 2)
+	}
+
+	var wg sync.WaitGroup
+	worker := func(fn func(i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				fn(i)
+			}
+		}()
+	}
+
+	worker(func(i int) { // churn registrations
+		b.Register("svc", fmt.Sprintf("site-%d", i%sites), "p", int64(1+i%3))
+	})
+	worker(func(i int) { // monitor reports, monotone seq per site
+		b.Report(fmt.Sprintf("site-%d", i%sites), int64(i%7), int64(i))
+	})
+	worker(func(i int) { // gossip in a remote table
+		row := fmt.Sprintf("svc|site-%d|p|2|%d|%d", i%sites, i%5, i)
+		if err := b.MergeTable([]string{row}); err != nil {
+			t.Errorf("MergeTable: %v", err)
+		}
+	})
+	worker(func(i int) { // mesh death verdicts; sites re-register above
+		b.Drop(fmt.Sprintf("site-%d", i%sites))
+	})
+	worker(func(i int) { // readers
+		b.Lookup("svc")
+		b.Table()
+	})
+	worker(func(i int) { // placement under churn
+		site, agent, err := b.Place("svc")
+		if err != nil {
+			// Legal: a Drop burst can momentarily empty the service.
+			return
+		}
+		if !strings.HasPrefix(site, "site-") || agent != "p" {
+			t.Errorf("Place returned unknown provider %s/%s", site, agent)
+		}
+	})
+	wg.Wait()
+
+	// The database must still be coherent: every surviving row placeable.
+	if _, _, err := b.Place("svc"); err != nil {
+		// All rows dropped in the final instant is fine too — re-register
+		// and the broker must recover.
+		b.Register("svc", "site-0", "p", 1)
+		if _, _, err := b.Place("svc"); err != nil {
+			t.Fatalf("broker unplaceable after stress: %v", err)
+		}
+	}
+}
+
+// TestStaleReportNeverMovesPlacement pins the freshness invariant end to
+// end: once the broker has seen load seq N for a site, a report or gossiped
+// row with seq ≤ N must not change placement. Without the seq guard a
+// delayed "site-b is idle" report arriving after "site-b is swamped" would
+// bounce new work onto the swamped site.
+func TestStaleReportNeverMovesPlacement(t *testing.T) {
+	b := NewBroker()
+	b.Register("svc", "site-a", "p", 1)
+	b.Register("svc", "site-b", "p", 1)
+
+	b.Report("site-a", 1, 10)
+	b.Report("site-b", 50, 10) // fresh: b is swamped
+
+	site, _, err := b.Place("svc")
+	if err != nil || site != "site-a" {
+		t.Fatalf("Place = %s, %v; want site-a", site, err)
+	}
+
+	// A stale direct report claiming b is idle must be ignored: placement
+	// keeps avoiding b even though site-a now carries an in-flight unit.
+	b.Report("site-b", 0, 9)
+	if site, _, err := b.Place("svc"); err != nil || site != "site-a" {
+		t.Fatalf("stale report moved placement: Place = %s, %v; want site-a", site, err)
+	}
+	for _, row := range b.Table() {
+		if strings.HasPrefix(row, "svc|site-b|") && row != "svc|site-b|p|1|50|10" {
+			t.Fatalf("stale Report rewrote the row: %q", row)
+		}
+	}
+
+	// A stale gossiped row must be ignored the same way.
+	if err := b.MergeTable([]string{"svc|site-b|p|1|0|8"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range b.Table() {
+		if strings.HasPrefix(row, "svc|site-b|") && row != "svc|site-b|p|1|50|10" {
+			t.Fatalf("stale gossip rewrote the row: %q", row)
+		}
+	}
+
+	// An equal-seq replay (duplicate delivery) must be ignored too.
+	b.Report("site-b", 0, 10)
+	if err := b.MergeTable([]string{"svc|site-b|p|1|0|10"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range b.Table() {
+		if strings.HasPrefix(row, "svc|site-b|") && row != "svc|site-b|p|1|50|10" {
+			t.Fatalf("equal-seq replay rewrote the row: %q", row)
+		}
+	}
+
+	// A genuinely fresher report does move placement: b drains, a stays put.
+	b.Report("site-a", 50, 11)
+	b.Report("site-b", 0, 11)
+	if site, _, err := b.Place("svc"); err != nil || site != "site-b" {
+		t.Fatalf("fresh report: Place = %s, %v; want site-b", site, err)
+	}
+}

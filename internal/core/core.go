@@ -140,6 +140,17 @@ type Site struct {
 	// is not write-ahead logged.
 	durablev atomic.Value // CommitSyncer
 
+	// resolverv holds the optional agent→site Resolver (see SetResolver):
+	// one lock-free load on the meet path's miss branch, nothing when the
+	// site is not in a mesh.
+	resolverv atomic.Value // Resolver
+
+	// kindExt is the extension dispatch table for network message kinds the
+	// kernel itself does not speak (the mesh's gossip frames ride here).
+	// Copy-on-write under kindMu, read with one atomic load per call.
+	kindMu  sync.Mutex
+	kindExt atomic.Value // map[string]vnet.HandlerFunc
+
 	// taclTable is the site's shared TacL command table (builtins + host
 	// commands), built once per site; scripts holds the site's compile-once
 	// script cache. Together they make a scripted activation free of
@@ -417,6 +428,75 @@ func (s *Site) DurableSync() error {
 // Endpoint returns the site's network attachment.
 func (s *Site) Endpoint() vnet.Endpoint { return s.endpoint }
 
+// HandleKind installs a handler for one network message kind, extending the
+// kernel's own dispatch (meet, meet2, ping). The mesh layer uses it to serve
+// gossip frames over the same endpoint meets travel on. Installing nil
+// removes the kind. Kinds the kernel serves itself cannot be overridden.
+func (s *Site) HandleKind(kind string, h vnet.HandlerFunc) {
+	s.kindMu.Lock()
+	defer s.kindMu.Unlock()
+	old, _ := s.kindExt.Load().(map[string]vnet.HandlerFunc)
+	next := make(map[string]vnet.HandlerFunc, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	if h == nil {
+		delete(next, kind)
+	} else {
+		next[kind] = h
+	}
+	s.kindExt.Store(next)
+}
+
+// kindHandler returns the extension handler for kind, or nil.
+func (s *Site) kindHandler(kind string) vnet.HandlerFunc {
+	m, _ := s.kindExt.Load().(map[string]vnet.HandlerFunc)
+	return m[kind]
+}
+
+// Resolver maps an agent name to the site that owns it. The mesh's
+// consistent-hash ring implements it; the kernel consults it only when a
+// meet misses the local registry, so resolution costs nothing on the
+// resident hot path.
+type Resolver interface {
+	// Resolve returns the owning site for an agent, or false when the
+	// agent's placement is unknown (the meet then fails with ErrNoAgent).
+	Resolve(agent string) (vnet.SiteID, bool)
+}
+
+// SetResolver installs the agent→site resolver consulted when a meet misses
+// the local registry: if the resolver places the agent at another site, the
+// meet transparently forwards there — one hop, never more (see FwdFolder).
+// Pass nil to remove.
+func (s *Site) SetResolver(r Resolver) { s.resolverv.Store(&r) }
+
+// resolver returns the installed Resolver, or nil.
+func (s *Site) resolver() Resolver {
+	if p, ok := s.resolverv.Load().(*Resolver); ok {
+		return *p
+	}
+	return nil
+}
+
+// Resolve reports which site owns the named agent: this site when the agent
+// is registered locally, otherwise whatever the installed resolver says.
+func (s *Site) Resolve(agent string) (vnet.SiteID, bool) {
+	if _, ok := s.Lookup(agent); ok {
+		return s.id, true
+	}
+	if r := s.resolver(); r != nil {
+		return r.Resolve(agent)
+	}
+	return "", false
+}
+
+// FwdFolder marks a briefcase as already redirected once by a resolver.
+// The forwarding site plants it; the destination strips it before the agent
+// executes and refuses to redirect a marked meet again, so membership-churn
+// disagreement between two rings degrades to ErrNoAgent instead of a
+// forwarding loop — the at-most-one-redirect-hop invariant.
+const FwdFolder = "MESH_FWD"
+
 // Register installs an agent under the given name, replacing any previous
 // registration.
 func (s *Site) Register(name string, a Agent) { s.agents.register(name, a) }
@@ -432,6 +512,10 @@ func (s *Site) AgentNames() []string { return s.agents.names() }
 
 // Activations reports the total number of meets served by this site.
 func (s *Site) Activations() int64 { return s.activations.Load() }
+
+// AgentCount reports the number of registered agents — the resident
+// population measure mesh load reports carry.
+func (s *Site) AgentCount() int { return s.agents.count() }
 
 // Load reports the number of currently executing meets; the scheduling
 // monitor agent reports it to brokers.
@@ -476,6 +560,13 @@ func (s *Site) Meet(mc *MeetContext, agent string, bc *folder.Briefcase) error {
 	if err := mc.Ctx.Err(); err != nil {
 		return err
 	}
+	// A briefcase carrying the forward marker has already been redirected
+	// once: strip the marker (the executing agent never sees it) and
+	// remember — a second redirect is refused below.
+	forwarded := bc != nil && bc.Has(FwdFolder)
+	if forwarded {
+		bc.Delete(FwdFolder)
+	}
 	// The requester of this meet is the currently executing agent
 	// (mc.Agent); for network arrivals that is "rexec@<origin>".
 	if s.cfg.Admission != nil {
@@ -490,6 +581,17 @@ func (s *Site) Meet(mc *MeetContext, agent string, bc *folder.Briefcase) error {
 	}
 	a, ok := s.Lookup(agent)
 	if !ok {
+		if r := s.resolver(); r != nil && !forwarded {
+			if owner, placed := r.Resolve(agent); placed && owner != s.id {
+				// Misplaced meet: redirect one hop to the owning site. The
+				// marker travels with the briefcase so the owner — whose ring
+				// may disagree under membership churn — never redirects again.
+				bc.PutString(FwdFolder, string(s.id))
+				err := s.RemoteMeet(mc.Ctx, owner, agent, bc)
+				bc.Delete(FwdFolder)
+				return err
+			}
+		}
 		return fmt.Errorf("%w: %q at site %s", ErrNoAgent, agent, s.id)
 	}
 
@@ -708,6 +810,9 @@ func (s *Site) handleCall(from vnet.SiteID, kind string, payload []byte) ([]byte
 	case msgMeet2:
 		return s.serveMeet2(from, payload)
 	default:
+		if h := s.kindHandler(kind); h != nil {
+			return h(from, kind, payload)
+		}
 		return nil, fmt.Errorf("core: site %s: unknown message kind %q", s.id, kind)
 	}
 }

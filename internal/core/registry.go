@@ -58,6 +58,18 @@ func (r *registry) lookup(name string) (Agent, bool) {
 	return a, ok
 }
 
+// count reports the number of registered agents across all shards.
+func (r *registry) count() int {
+	n := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		n += len(sh.agents)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
 // names returns all registered agent names in sorted order. Each shard is
 // read under its own lock; the listing is a per-shard-consistent snapshot,
 // which is all directory listings need.

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/folder"
+	"repro/internal/vnet"
+)
+
+// mapResolver is a fixed agent→site placement table.
+type mapResolver map[string]vnet.SiteID
+
+func (m mapResolver) Resolve(agent string) (vnet.SiteID, bool) {
+	s, ok := m[agent]
+	return s, ok
+}
+
+func TestSiteResolveLocalWins(t *testing.T) {
+	sys := NewSystem(2, SystemConfig{})
+	s0 := sys.SiteAt(0)
+	s0.Register("ag_here", AgentFunc(func(mc *MeetContext, bc *folder.Briefcase) error { return nil }))
+	s0.SetResolver(mapResolver{"ag_here": sys.SiteAt(1).ID()})
+	// A locally registered agent resolves to this site even when the
+	// placement table claims another owner: local registration is ground
+	// truth, the ring only covers agents we do not host.
+	owner, ok := s0.Resolve("ag_here")
+	if !ok || owner != s0.ID() {
+		t.Fatalf("Resolve(ag_here) = %q, %v; want local site", owner, ok)
+	}
+	owner, ok = s0.Resolve("ag_elsewhere")
+	if ok {
+		t.Fatalf("Resolve(ag_elsewhere) = %q, want miss", owner)
+	}
+}
+
+func TestMeetForwardsViaResolver(t *testing.T) {
+	sys := NewSystem(2, SystemConfig{})
+	s0, s1 := sys.SiteAt(0), sys.SiteAt(1)
+	s1.Register("ag_remote", AgentFunc(func(mc *MeetContext, bc *folder.Briefcase) error {
+		bc.PutString("RAN_AT", string(mc.Site.ID()))
+		return nil
+	}))
+	s0.SetResolver(mapResolver{"ag_remote": s1.ID()})
+
+	bc := folder.NewBriefcase()
+	if err := s0.Meet(nil, "ag_remote", bc); err != nil {
+		t.Fatalf("forwarded meet: %v", err)
+	}
+	if ranAt, _ := bc.GetString("RAN_AT"); ranAt != string(s1.ID()) {
+		t.Fatalf("ran at %q, want %s", ranAt, s1.ID())
+	}
+	if bc.Has(FwdFolder) {
+		t.Fatal("forward marker leaked into result briefcase")
+	}
+}
+
+// Inconsistent placement tables must not ping-pong a meet: the forward
+// marker caps redirection at exactly one hop, and the second site reports
+// the miss instead of bouncing the agent back.
+func TestMeetForwardExactlyOneHop(t *testing.T) {
+	sys := NewSystem(2, SystemConfig{})
+	s0, s1 := sys.SiteAt(0), sys.SiteAt(1)
+	// Each site believes the other owns the agent; nobody hosts it.
+	s0.SetResolver(mapResolver{"ag_ghost": s1.ID()})
+	s1.SetResolver(mapResolver{"ag_ghost": s0.ID()})
+
+	err := s0.Meet(nil, "ag_ghost", folder.NewBriefcase())
+	if !errors.Is(err, ErrNoAgent) {
+		t.Fatalf("meet of unhosted agent: %v, want ErrNoAgent", err)
+	}
+}
+
+// A resolver that maps an agent to the asking site itself must not
+// self-forward.
+func TestMeetResolverSelfTarget(t *testing.T) {
+	sys := NewSystem(1, SystemConfig{})
+	s0 := sys.SiteAt(0)
+	s0.SetResolver(mapResolver{"ag_missing": s0.ID()})
+	if err := s0.Meet(nil, "ag_missing", folder.NewBriefcase()); !errors.Is(err, ErrNoAgent) {
+		t.Fatalf("meet: %v, want ErrNoAgent", err)
+	}
+}
+
+func TestSetResolverNil(t *testing.T) {
+	sys := NewSystem(1, SystemConfig{})
+	s0 := sys.SiteAt(0)
+	s0.SetResolver(nil)
+	if err := s0.Meet(nil, "ag_missing", folder.NewBriefcase()); !errors.Is(err, ErrNoAgent) {
+		t.Fatalf("meet with nil resolver: %v, want ErrNoAgent", err)
+	}
+}
+
+func TestHandleKindDispatch(t *testing.T) {
+	sys := NewSystem(2, SystemConfig{})
+	s0, s1 := sys.SiteAt(0), sys.SiteAt(1)
+	s1.HandleKind("test.echo", func(from vnet.SiteID, kind string, payload []byte) ([]byte, error) {
+		return append([]byte("echo:"), payload...), nil
+	})
+	resp, err := s0.Endpoint().Call(t.Context(), s1.ID(), "test.echo", []byte("hi"))
+	if err != nil {
+		t.Fatalf("extension call: %v", err)
+	}
+	if string(resp) != "echo:hi" {
+		t.Fatalf("resp = %q", resp)
+	}
+	// Unknown kinds still fail with the kernel's standard error.
+	if _, err := s0.Endpoint().Call(t.Context(), s1.ID(), "test.none", nil); err == nil {
+		t.Fatal("unknown kind succeeded")
+	}
+}

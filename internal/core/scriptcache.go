@@ -2,13 +2,18 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/tacl"
 )
 
 // scriptCache is a site's compile-once cache for TacL agent scripts, keyed
-// by a 64-bit FNV-1a content hash and lock-striped 16 ways like the agent
-// registry, so concurrent activations of different scripts never contend.
+// by a 64-bit FNV-1a content hash. Lookups are lock-free reads of an
+// immutable copy-on-write map, so concurrent activations — even of the very
+// same script — never touch a shared mutex: an RLock here still bounces the
+// lock word between cores on every activation, which the GOMAXPROCS sweep
+// (tacobench -cpus) surfaces as the first contention point on the scripted
+// meet path. Writes (one per distinct script, ever) copy the shard map.
 // Agent code is an uninterpreted byte string that travels verbatim in the
 // CODE folder — and signed briefcases keep it byte-identical across every
 // hop of an itinerary (guard.Sign covers CODE, so a mutated script is
@@ -30,8 +35,8 @@ type scriptCache struct {
 }
 
 type scriptCacheShard struct {
-	mu sync.RWMutex
-	m  map[uint64]scriptEntry
+	mu sync.Mutex   // serializes writers; readers never take it
+	v  atomic.Value // map[uint64]scriptEntry, replaced wholesale on insert
 }
 
 type scriptEntry struct {
@@ -55,9 +60,8 @@ func scriptHash(s string) uint64 {
 func (c *scriptCache) compiled(src string) (*tacl.Script, error) {
 	h := scriptHash(src)
 	sh := &c.shards[h&(scriptCacheShards-1)]
-	sh.mu.RLock()
-	e, ok := sh.m[h]
-	sh.mu.RUnlock()
+	m, _ := sh.v.Load().(map[uint64]scriptEntry)
+	e, ok := m[h]
 	if ok && e.src == src {
 		return e.prog, nil
 	}
@@ -69,18 +73,22 @@ func (c *scriptCache) compiled(src string) (*tacl.Script, error) {
 	}
 	if !ok && len(src) <= maxCacheableScript {
 		sh.mu.Lock()
-		if sh.m == nil {
-			sh.m = make(map[uint64]scriptEntry, 32)
-		}
-		if len(sh.m) >= scriptCacheShardCap {
-			// Evict an arbitrary entry; a hot script that loses its slot is
-			// simply re-parsed on its next activation.
-			for k := range sh.m {
-				delete(sh.m, k)
-				break
+		cur, _ := sh.v.Load().(map[uint64]scriptEntry)
+		if _, raced := cur[h]; !raced {
+			next := make(map[uint64]scriptEntry, len(cur)+1)
+			evict := len(cur) >= scriptCacheShardCap
+			for k, v := range cur {
+				if evict {
+					// Skip an arbitrary entry; a hot script that loses its
+					// slot is simply re-parsed on its next activation.
+					evict = false
+					continue
+				}
+				next[k] = v
 			}
+			next[h] = scriptEntry{src: src, prog: prog}
+			sh.v.Store(next)
 		}
-		sh.m[h] = scriptEntry{src: src, prog: prog}
 		sh.mu.Unlock()
 	}
 	return prog, nil

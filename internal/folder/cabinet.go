@@ -219,6 +219,41 @@ func (c *FileCabinet) Dequeue(name string) ([]byte, error) {
 	return e, nil
 }
 
+// RemoveAt removes element i of the named folder in place, under the shard
+// lock, maintaining the membership index. It exists because the tempting
+// alternative — Snapshot, Folder.Remove, Put — is a read-modify-write that
+// silently discards any element appended between the snapshot and the put
+// (the mailbox delete bug). It returns ErrNoFolder if the folder is absent
+// and ErrBadIndex if i is out of range.
+func (c *FileCabinet) RemoveAt(name string, i int) error {
+	sh := c.shard(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, ok := sh.folders[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoFolder, name)
+	}
+	e, err := f.StringAt(i)
+	if err != nil {
+		return err
+	}
+	if err := f.Remove(i); err != nil {
+		return err
+	}
+	idx := sh.index[name]
+	if idx[e] <= 1 {
+		delete(idx, e)
+	} else {
+		idx[e]--
+	}
+	if j := c.journalHook(); j != nil {
+		// Journaled as a whole-folder put: replaying the post-removal image
+		// reproduces the removal without a dedicated record type.
+		j.RecordPut(name, f)
+	}
+	return nil
+}
+
 // Delete removes the named folder entirely.
 func (c *FileCabinet) Delete(name string) {
 	sh := c.shard(name)

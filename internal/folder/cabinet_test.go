@@ -136,6 +136,91 @@ func TestCabinetDequeueDuplicateIndex(t *testing.T) {
 	}
 }
 
+func TestCabinetRemoveAt(t *testing.T) {
+	c := NewCabinet()
+	c.AppendString("F", "a")
+	c.AppendString("F", "b")
+	c.AppendString("F", "c")
+	if err := c.RemoveAt("F", 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Snapshot("F").Strings(); len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("after RemoveAt(1): %v", got)
+	}
+	if c.ContainsString("F", "b") {
+		t.Fatal("removed element still indexed")
+	}
+	if !c.ContainsString("F", "a") || !c.ContainsString("F", "c") {
+		t.Fatal("surviving elements lost from index")
+	}
+	if err := c.RemoveAt("F", 2); !errors.Is(err, ErrBadIndex) {
+		t.Fatalf("RemoveAt out of range = %v", err)
+	}
+	if err := c.RemoveAt("MISSING", 0); !errors.Is(err, ErrNoFolder) {
+		t.Fatalf("RemoveAt missing folder = %v", err)
+	}
+}
+
+func TestCabinetRemoveAtDuplicateIndex(t *testing.T) {
+	// Two identical elements: removing one must keep the other indexed.
+	c := NewCabinet()
+	c.AppendString("F", "dup")
+	c.AppendString("F", "dup")
+	if err := c.RemoveAt("F", 0); err != nil {
+		t.Fatal(err)
+	}
+	if !c.ContainsString("F", "dup") {
+		t.Fatal("index dropped surviving duplicate")
+	}
+	if err := c.RemoveAt("F", 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.ContainsString("F", "dup") {
+		t.Fatal("index kept fully-removed element")
+	}
+}
+
+func TestCabinetRemoveAtConcurrentAppend(t *testing.T) {
+	// The lost-update scenario RemoveAt exists for: appends racing removals
+	// must never vanish. Final count = appends − successful removals.
+	c := NewCabinet()
+	const writers = 4
+	const perWriter = 200
+	var removed int
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if c.RemoveAt("F", 0) == nil {
+				removed++
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.AppendString("F", fmt.Sprintf("w%d-%d", w, i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-done
+	if got, want := c.FolderLen("F"), writers*perWriter-removed; got != want {
+		t.Fatalf("folder holds %d elements, want %d (%d appended, %d removed)",
+			got, want, writers*perWriter, removed)
+	}
+}
+
 func TestCabinetDelete(t *testing.T) {
 	c := NewCabinet()
 	c.AppendString("F", "v")

@@ -125,11 +125,12 @@ func InstallMailbox(site *core.Site) {
 			if err != nil {
 				return err
 			}
-			msgs := cab.Snapshot(mboxFolder(user))
-			if err := msgs.Remove(idx); err != nil {
+			// In place under the cabinet's shard lock: a snapshot/remove/put
+			// sequence here would silently drop any message deposited between
+			// the snapshot and the put.
+			if err := cab.RemoveAt(mboxFolder(user), idx); err != nil {
 				return fmt.Errorf("mailbox: no message %d for %s: %w", idx, user, err)
 			}
-			cab.Put(mboxFolder(user), msgs)
 			return nil
 		default:
 			return fmt.Errorf("mailbox: unknown op %q", op)

@@ -1,0 +1,205 @@
+package mesh
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/vnet"
+)
+
+// KindGossip is the vnet message kind mesh frames travel under; the mesh
+// installs a handler for it through core.Site.HandleKind, so gossip shares
+// the endpoint (and, on TCP, the coalesced connections) with meets.
+const KindGossip = "mesh.gossip"
+
+// FrameVersion is the wire version this implementation speaks. Frames with
+// any other version decode to ErrVersion and are ignored by the handler —
+// a mixed-version fleet degrades to "strangers", never to a panic.
+const FrameVersion = 1
+
+// Frame types.
+const (
+	// TypePing probes a member directly; the reply is a TypeAck frame.
+	TypePing = byte(iota + 1)
+	// TypePingReq asks a member to probe Target on the sender's behalf —
+	// SWIM's indirect probe, which keeps one lossy link from generating a
+	// false failure verdict.
+	TypePingReq
+	// TypeAck answers ping and ping-req.
+	TypeAck
+	// TypeJoin announces a joining member to a seed; the ack carries the
+	// seed's full membership table.
+	TypeJoin
+)
+
+// State is a member's protocol state.
+type State uint8
+
+// Member states, in merge-precedence order within one incarnation:
+// Left > Dead > Suspect > Alive.
+const (
+	StateAlive State = iota + 1
+	StateSuspect
+	StateDead
+	StateLeft
+)
+
+// String implements fmt.Stringer for test output.
+func (s State) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	case StateLeft:
+		return "left"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// Entry is one gossiped membership fact: a site, its state at an
+// incarnation, and its latest piggybacked load report.
+type Entry struct {
+	Site vnet.SiteID
+	// State at Inc. Higher incarnations override lower ones regardless of
+	// state; within one incarnation the higher State value wins (a member
+	// can always refute suspicion by re-announcing itself at Inc+1).
+	State State
+	Inc   uint64
+	// LoadSeq orders load reports for one site; Load and Agents are valid
+	// as of that sequence number. Stale reports (lower LoadSeq) never
+	// overwrite fresher ones, whatever path they gossiped along.
+	LoadSeq uint64
+	Load    int64
+	Agents  int64
+}
+
+// Frame is one gossip message.
+type Frame struct {
+	Type byte
+	// Target is the site a TypePingReq asks the receiver to probe; empty
+	// otherwise.
+	Target vnet.SiteID
+	// Entries piggyback membership updates — every frame type carries them,
+	// which is what makes dissemination free: detection traffic is the
+	// gossip substrate.
+	Entries []Entry
+}
+
+// Frame decode errors.
+var (
+	// ErrVersion marks a frame from a different protocol version.
+	ErrVersion = errors.New("mesh: unknown frame version")
+	// ErrFrame marks a structurally invalid frame.
+	ErrFrame = errors.New("mesh: bad frame")
+)
+
+// maxSiteName bounds a decoded site-name length: vnet site IDs are short
+// strings, and the bound keeps a hostile frame from claiming a gigabyte
+// name.
+const maxSiteName = 256
+
+// AppendFrame encodes f onto dst and returns the extended slice.
+func AppendFrame(dst []byte, f *Frame) []byte {
+	dst = append(dst, FrameVersion, f.Type)
+	dst = appendString(dst, string(f.Target))
+	dst = binary.AppendUvarint(dst, uint64(len(f.Entries)))
+	for i := range f.Entries {
+		e := &f.Entries[i]
+		dst = appendString(dst, string(e.Site))
+		dst = append(dst, byte(e.State))
+		dst = binary.AppendUvarint(dst, e.Inc)
+		dst = binary.AppendUvarint(dst, e.LoadSeq)
+		dst = binary.AppendUvarint(dst, uint64(e.Load))
+		dst = binary.AppendUvarint(dst, uint64(e.Agents))
+	}
+	return dst
+}
+
+// DecodeFrame parses a gossip frame. It never panics on hostile input; a
+// frame of a future version returns ErrVersion so callers can ignore it.
+func DecodeFrame(data []byte) (*Frame, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("%w: truncated header", ErrFrame)
+	}
+	if data[0] != FrameVersion {
+		return nil, fmt.Errorf("%w: %d", ErrVersion, data[0])
+	}
+	f := &Frame{Type: data[1]}
+	if f.Type < TypePing || f.Type > TypeJoin {
+		return nil, fmt.Errorf("%w: type %d", ErrFrame, f.Type)
+	}
+	rest := data[2:]
+	target, rest, err := takeString(rest)
+	if err != nil {
+		return nil, err
+	}
+	f.Target = vnet.SiteID(target)
+	n, used := binary.Uvarint(rest)
+	if used <= 0 {
+		return nil, fmt.Errorf("%w: entry count", ErrFrame)
+	}
+	rest = rest[used:]
+	// Each entry costs at least 6 bytes on the wire; a count beyond that is
+	// a lie, refused before it can size an allocation.
+	if n > uint64(len(rest)/6+1) {
+		return nil, fmt.Errorf("%w: entry count %d exceeds payload", ErrFrame, n)
+	}
+	f.Entries = make([]Entry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var e Entry
+		var site string
+		site, rest, err = takeString(rest)
+		if err != nil {
+			return nil, err
+		}
+		e.Site = vnet.SiteID(site)
+		if len(rest) < 1 {
+			return nil, fmt.Errorf("%w: truncated entry", ErrFrame)
+		}
+		e.State = State(rest[0])
+		if e.State < StateAlive || e.State > StateLeft {
+			return nil, fmt.Errorf("%w: state %d", ErrFrame, e.State)
+		}
+		rest = rest[1:]
+		var vals [4]uint64
+		for j := range vals {
+			v, used := binary.Uvarint(rest)
+			if used <= 0 {
+				return nil, fmt.Errorf("%w: truncated entry varint", ErrFrame)
+			}
+			vals[j] = v
+			rest = rest[used:]
+		}
+		e.Inc, e.LoadSeq = vals[0], vals[1]
+		e.Load, e.Agents = int64(vals[2]), int64(vals[3])
+		if e.Load < 0 || e.Agents < 0 {
+			return nil, fmt.Errorf("%w: negative load report", ErrFrame)
+		}
+		f.Entries = append(f.Entries, e)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFrame, len(rest))
+	}
+	return f, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func takeString(data []byte) (string, []byte, error) {
+	n, used := binary.Uvarint(data)
+	if used <= 0 || n > maxSiteName {
+		return "", nil, fmt.Errorf("%w: string length", ErrFrame)
+	}
+	data = data[used:]
+	if uint64(len(data)) < n {
+		return "", nil, fmt.Errorf("%w: truncated string", ErrFrame)
+	}
+	return string(data[:n]), data[n:], nil
+}

@@ -1,0 +1,121 @@
+package mesh
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func sampleFrames() []*Frame {
+	return []*Frame{
+		{Type: TypePing},
+		{Type: TypeAck, Entries: []Entry{
+			{Site: "site-0", State: StateAlive, Inc: 0, LoadSeq: 1, Load: 0, Agents: 0},
+		}},
+		{Type: TypePingReq, Target: "site-9", Entries: []Entry{
+			{Site: "site-1", State: StateSuspect, Inc: 3, LoadSeq: 17, Load: 4, Agents: 1200},
+			{Site: "site-2", State: StateDead, Inc: 1 << 40, LoadSeq: 9, Load: 0, Agents: 0},
+			{Site: "site-3", State: StateLeft, Inc: 2, LoadSeq: 1, Load: 1, Agents: 7},
+		}},
+		{Type: TypeJoin, Entries: []Entry{
+			{Site: "tromso/weather", State: StateAlive, Inc: 1, LoadSeq: 2, Load: 3, Agents: 4},
+		}},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, f := range sampleFrames() {
+		enc := AppendFrame(nil, f)
+		got, err := DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", f, err)
+		}
+		if got.Type != f.Type || got.Target != f.Target {
+			t.Fatalf("header round-trip: got %+v want %+v", got, f)
+		}
+		if len(got.Entries) != len(f.Entries) {
+			t.Fatalf("entries round-trip: got %d want %d", len(got.Entries), len(f.Entries))
+		}
+		for i := range f.Entries {
+			if !reflect.DeepEqual(got.Entries[i], f.Entries[i]) {
+				t.Fatalf("entry %d: got %+v want %+v", i, got.Entries[i], f.Entries[i])
+			}
+		}
+	}
+}
+
+func TestDecodeFrameRejects(t *testing.T) {
+	valid := AppendFrame(nil, sampleFrames()[2])
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrFrame},
+		{"one byte", []byte{FrameVersion}, ErrFrame},
+		{"future version", append([]byte{FrameVersion + 1}, valid[1:]...), ErrVersion},
+		{"zero type", []byte{FrameVersion, 0, 0, 0}, ErrFrame},
+		{"huge type", []byte{FrameVersion, 200, 0, 0}, ErrFrame},
+		{"truncated", valid[:len(valid)-3], ErrFrame},
+		{"trailing", append(append([]byte{}, valid...), 0xff), ErrFrame},
+		{"lying count", []byte{FrameVersion, TypePing, 0, 0xff, 0xff, 0x03}, ErrFrame},
+		{"giant name", append([]byte{FrameVersion, TypePing}, 0xff, 0xff, 0xff, 0x7f), ErrFrame},
+	}
+	for _, tc := range cases {
+		f, err := DecodeFrame(tc.data)
+		if err == nil {
+			t.Fatalf("%s: decoded %+v, want error", tc.name, f)
+		}
+		if !errors.Is(err, tc.want) {
+			t.Fatalf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// A future version must be ignored (error, no panic), per the mixed-fleet
+// upgrade story: old members treat new frames as noise, not as a crash.
+func TestDecodeFrameFutureVersion(t *testing.T) {
+	data := AppendFrame(nil, &Frame{Type: TypePing})
+	data[0] = 99
+	if _, err := DecodeFrame(data); !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+}
+
+// FuzzGossipDecode asserts the frame decoder never panics on arbitrary
+// bytes, refuses frames of unknown versions, and is a true inverse of the
+// encoder on everything it accepts.
+func FuzzGossipDecode(f *testing.F) {
+	for _, fr := range sampleFrames() {
+		f.Add(AppendFrame(nil, fr))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{FrameVersion})
+	f.Add([]byte{FrameVersion + 1, TypePing, 0, 0})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if len(data) > 0 && data[0] != FrameVersion {
+			t.Fatalf("accepted frame of version %d", data[0])
+		}
+		// Accepted frames must re-encode to something that decodes equal —
+		// the codec is canonical on its accepted set.
+		enc := AppendFrame(nil, fr)
+		fr2, err := DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted frame failed: %v", err)
+		}
+		if fr2.Type != fr.Type || fr2.Target != fr.Target || len(fr2.Entries) != len(fr.Entries) {
+			t.Fatalf("re-encode not stable: %+v vs %+v", fr, fr2)
+		}
+		for i := range fr.Entries {
+			if !reflect.DeepEqual(fr.Entries[i], fr2.Entries[i]) {
+				t.Fatalf("entry %d not stable: %+v vs %+v", i, fr.Entries[i], fr2.Entries[i])
+			}
+		}
+	})
+}

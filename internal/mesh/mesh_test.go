@@ -1,0 +1,475 @@
+package mesh
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/folder"
+	"repro/internal/vnet"
+)
+
+// testProbeInterval is the simulated protocol period: one Tick stands for
+// this much simulated time, which is how convergence bounds translate to
+// seconds without real-time sleeping.
+const testProbeInterval = 100 * time.Millisecond
+
+// fleet is a simulated multi-site deployment with one mesh member per site.
+type fleet struct {
+	sys    *core.System
+	meshes []*Mesh
+}
+
+func newFleet(t *testing.T, n int, cfg Config) *fleet {
+	t.Helper()
+	sys := core.NewSystem(n, core.SystemConfig{
+		Seed: 42,
+		// Short failure detection so probes to crashed sites fail fast in
+		// real time; simulated time is counted in Ticks regardless.
+		CallTimeout: 5 * time.Millisecond,
+	})
+	fl := &fleet{sys: sys}
+	for i := 0; i < n; i++ {
+		c := cfg
+		if c.ProbeInterval == 0 {
+			c.ProbeInterval = testProbeInterval
+		}
+		if c.ProbeTimeout == 0 {
+			c.ProbeTimeout = 20 * time.Millisecond
+		}
+		if len(c.Seeds) == 0 && i > 0 {
+			c.Seeds = []vnet.SiteID{sys.SiteAt(0).ID()}
+		}
+		fl.meshes = append(fl.meshes, New(sys.SiteAt(i), c))
+	}
+	return fl
+}
+
+// join joins every non-seed member and fails the test on any seed error.
+func (fl *fleet) join(t *testing.T) {
+	t.Helper()
+	for i, m := range fl.meshes {
+		if err := m.Join(context.Background()); err != nil {
+			t.Fatalf("mesh %d join: %v", i, err)
+		}
+	}
+}
+
+// tickAll runs one protocol period on every live member.
+func (fl *fleet) tickAll() {
+	for _, m := range fl.meshes {
+		if !fl.sys.Net.Crashed(m.Site().ID()) {
+			m.Tick(context.Background())
+		}
+	}
+}
+
+// ticksUntil runs protocol periods until cond holds on every live member,
+// returning how many it took; -1 if maxTicks was not enough.
+func (fl *fleet) ticksUntil(maxTicks int, cond func(m *Mesh) bool) int {
+	for tick := 1; tick <= maxTicks; tick++ {
+		fl.tickAll()
+		done := true
+		for _, m := range fl.meshes {
+			if fl.sys.Net.Crashed(m.Site().ID()) {
+				continue
+			}
+			if !cond(m) {
+				done = false
+				break
+			}
+		}
+		if done {
+			return tick
+		}
+	}
+	return -1
+}
+
+func aliveCount(m *Mesh) int { return len(m.Alive()) }
+
+func TestMeshJoinConvergence(t *testing.T) {
+	const n = 10
+	fl := newFleet(t, n, Config{})
+	fl.join(t)
+	ticks := fl.ticksUntil(4*n, func(m *Mesh) bool { return aliveCount(m) == n })
+	if ticks < 0 {
+		for i, m := range fl.meshes {
+			t.Logf("mesh %d alive: %v", i, m.Alive())
+		}
+		t.Fatalf("fleet never converged on %d members", n)
+	}
+	t.Logf("join convergence: %d ticks (%v simulated)", ticks, time.Duration(ticks)*testProbeInterval)
+
+	// Converged members must agree on placement for every agent name.
+	for i := 0; i < 500; i++ {
+		agentName := fmt.Sprintf("agent-%d", i)
+		want, ok := fl.meshes[0].Resolve(agentName)
+		if !ok {
+			t.Fatalf("no owner for %q", agentName)
+		}
+		for j, m := range fl.meshes[1:] {
+			if got, _ := m.Resolve(agentName); got != want {
+				t.Fatalf("mesh %d resolves %q to %q, mesh 0 to %q", j+1, agentName, got, want)
+			}
+		}
+	}
+}
+
+// The acceptance bound: kill -9 one site; every survivor must detect the
+// death, converge on the surviving membership, and agree on a consistent
+// ring — every agent resolving to exactly one live site — within 2 seconds
+// of simulated time.
+func TestMeshKillConvergence(t *testing.T) {
+	const n = 10
+	fl := newFleet(t, n, Config{})
+	fl.join(t)
+	if ticks := fl.ticksUntil(4*n, func(m *Mesh) bool { return aliveCount(m) == n }); ticks < 0 {
+		t.Fatal("fleet never formed")
+	}
+
+	victim := fl.sys.SiteAt(3).ID()
+	if err := fl.sys.Net.Crash(victim); err != nil {
+		t.Fatal(err)
+	}
+	ticks := fl.ticksUntil(40, func(m *Mesh) bool {
+		for _, id := range m.Alive() {
+			if id == victim {
+				return false
+			}
+		}
+		return aliveCount(m) == n-1
+	})
+	if ticks < 0 {
+		t.Fatalf("survivors never converged after killing %s", victim)
+	}
+	simulated := time.Duration(ticks) * testProbeInterval
+	t.Logf("kill convergence: %d ticks (%v simulated)", ticks, simulated)
+	if simulated >= 2*time.Second {
+		t.Fatalf("convergence took %v simulated, want < 2s", simulated)
+	}
+
+	// Ring consistency after the kill: every agent name resolves to exactly
+	// one owner, the same at every survivor, and never the dead site.
+	for i := 0; i < 1000; i++ {
+		agentName := fmt.Sprintf("agent-%d", i)
+		owners := map[vnet.SiteID]bool{}
+		for _, m := range fl.meshes {
+			if fl.sys.Net.Crashed(m.Site().ID()) {
+				continue
+			}
+			owner, ok := m.Resolve(agentName)
+			if !ok {
+				t.Fatalf("no owner for %q after kill", agentName)
+			}
+			owners[owner] = true
+		}
+		if len(owners) != 1 {
+			t.Fatalf("%q resolves to %d owners after kill: %v", agentName, len(owners), owners)
+		}
+		for owner := range owners {
+			if owner == victim {
+				t.Fatalf("%q still resolves to the dead site", agentName)
+			}
+		}
+	}
+}
+
+// A restarted site must rejoin: survivors hold it dead at its old
+// incarnation, so its first gossip triggers SWIM refutation (incarnation
+// bump) and resurrects it everywhere.
+func TestMeshRestartRejoin(t *testing.T) {
+	const n = 5
+	fl := newFleet(t, n, Config{})
+	fl.join(t)
+	if ticks := fl.ticksUntil(4*n, func(m *Mesh) bool { return aliveCount(m) == n }); ticks < 0 {
+		t.Fatal("fleet never formed")
+	}
+	victim := fl.sys.SiteAt(2).ID()
+	if err := fl.sys.Net.Crash(victim); err != nil {
+		t.Fatal(err)
+	}
+	if ticks := fl.ticksUntil(40, func(m *Mesh) bool { return aliveCount(m) == n-1 }); ticks < 0 {
+		t.Fatal("death never converged")
+	}
+	if err := fl.sys.Net.Restart(victim); err != nil {
+		t.Fatal(err)
+	}
+	ticks := fl.ticksUntil(40, func(m *Mesh) bool { return aliveCount(m) == n })
+	if ticks < 0 {
+		for i, m := range fl.meshes {
+			t.Logf("mesh %d: %+v", i, m.Members())
+		}
+		t.Fatal("restarted site never rejoined")
+	}
+	t.Logf("rejoin convergence: %d ticks", ticks)
+}
+
+// A graceful Leave must remove the member without waiting out a suspicion
+// timeout, and Left must be final: late alive-gossip at the old incarnation
+// cannot resurrect a departed member.
+func TestMeshLeave(t *testing.T) {
+	const n = 5
+	fl := newFleet(t, n, Config{})
+	fl.join(t)
+	if ticks := fl.ticksUntil(4*n, func(m *Mesh) bool { return aliveCount(m) == n }); ticks < 0 {
+		t.Fatal("fleet never formed")
+	}
+	leaver := fl.meshes[4]
+	leaver.Leave(context.Background())
+	ticks := fl.ticksUntil(20, func(m *Mesh) bool {
+		if m == leaver {
+			return true
+		}
+		return aliveCount(m) == n-1
+	})
+	if ticks < 0 {
+		t.Fatal("leave never converged")
+	}
+	for _, m := range fl.meshes[:4] {
+		for _, e := range m.Members() {
+			if e.Site == leaver.Site().ID() && e.State != StateLeft {
+				t.Fatalf("mesh %s holds leaver as %s, want left", m.Site().ID(), e.State)
+			}
+		}
+	}
+}
+
+// One partitioned link must not produce a failure verdict: the indirect
+// probe path keeps a member alive as long as anyone can reach it.
+func TestMeshIndirectProbeSurvivesPartition(t *testing.T) {
+	const n = 4
+	fl := newFleet(t, n, Config{})
+	fl.join(t)
+	if ticks := fl.ticksUntil(4*n, func(m *Mesh) bool { return aliveCount(m) == n }); ticks < 0 {
+		t.Fatal("fleet never formed")
+	}
+	fl.sys.Net.Partition(fl.sys.SiteAt(0).ID(), fl.sys.SiteAt(1).ID())
+	for i := 0; i < 20; i++ {
+		fl.tickAll()
+	}
+	for i, m := range fl.meshes {
+		if got := aliveCount(m); got != n {
+			t.Fatalf("mesh %d shrank to %d members under a single cut link: %v", i, got, m.Members())
+		}
+	}
+}
+
+// recordingSink captures the load stream for assertions.
+type recordingSink struct {
+	mu         sync.Mutex
+	registered map[string]bool
+	loads      map[string]int64
+	seqs       map[string]int64
+	dropped    map[string]bool
+}
+
+func newRecordingSink() *recordingSink {
+	return &recordingSink{
+		registered: map[string]bool{},
+		loads:      map[string]int64{},
+		seqs:       map[string]int64{},
+		dropped:    map[string]bool{},
+	}
+}
+
+func (r *recordingSink) Register(service, site, agent string, capacity int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.registered[site] = true
+	delete(r.dropped, site)
+}
+
+func (r *recordingSink) Report(site string, load, seq int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if seq < r.seqs[site] {
+		panic(fmt.Sprintf("mesh fed stale load report for %s: seq %d after %d", site, seq, r.seqs[site]))
+	}
+	r.seqs[site] = seq
+	r.loads[site] = load
+}
+
+func (r *recordingSink) Drop(site string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dropped[site] = true
+}
+
+func TestMeshFeedLoads(t *testing.T) {
+	const n = 6
+	fl := newFleet(t, n, Config{})
+	fl.join(t)
+	if ticks := fl.ticksUntil(4*n, func(m *Mesh) bool { return aliveCount(m) == n }); ticks < 0 {
+		t.Fatal("fleet never formed")
+	}
+	sink := newRecordingSink()
+	fl.meshes[0].FeedLoads(sink, "tacl", "ag_tacl", 8)
+	sink.mu.Lock()
+	regs := len(sink.registered)
+	sink.mu.Unlock()
+	if regs != n {
+		t.Fatalf("FeedLoads registered %d sites, want %d", regs, n)
+	}
+	for i := 0; i < 10; i++ {
+		fl.tickAll()
+	}
+	victim := fl.sys.SiteAt(5).ID()
+	if err := fl.sys.Net.Crash(victim); err != nil {
+		t.Fatal(err)
+	}
+	if ticks := fl.ticksUntil(40, func(m *Mesh) bool { return aliveCount(m) == n-1 }); ticks < 0 {
+		t.Fatal("death never converged")
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if !sink.dropped[string(victim)] {
+		t.Fatalf("sink never saw Drop(%s); dropped=%v", victim, sink.dropped)
+	}
+	if sink.seqs[string(fl.sys.SiteAt(1).ID())] == 0 {
+		t.Fatal("no gossiped load reports reached the sink")
+	}
+}
+
+func TestMeshPlacePicksLeastLoaded(t *testing.T) {
+	sys := core.NewSystem(1, core.SystemConfig{})
+	m := New(sys.SiteAt(0), Config{})
+	m.mergeEntries([]Entry{
+		{Site: "busy", State: StateAlive, LoadSeq: 5, Load: 90, Agents: 10},
+		{Site: "idle", State: StateAlive, LoadSeq: 5, Load: 1, Agents: 10},
+		{Site: "dead", State: StateDead, Inc: 1, LoadSeq: 5, Load: 0, Agents: 0},
+	})
+	// Self has load 0 but also 0 agents; "idle" has load 1. Self wins on
+	// load; kill self's claim by merging a high self... self can't be merged.
+	// Instead assert the dead site is never chosen and ordering is by load.
+	got, ok := m.Place()
+	if !ok {
+		t.Fatal("no placement")
+	}
+	if got == "dead" || got == "busy" {
+		t.Fatalf("Place() = %q", got)
+	}
+}
+
+// The stale-report pin at the mesh layer: a load report with an older
+// LoadSeq must never overwrite a fresher one, whatever gossip path it rode.
+func TestMeshStaleLoadReportIgnored(t *testing.T) {
+	sys := core.NewSystem(1, core.SystemConfig{})
+	m := New(sys.SiteAt(0), Config{})
+	m.mergeEntries([]Entry{{Site: "peer", State: StateAlive, LoadSeq: 10, Load: 7, Agents: 3}})
+	m.mergeEntries([]Entry{{Site: "peer", State: StateAlive, LoadSeq: 4, Load: 99, Agents: 99}})
+	for _, e := range m.Members() {
+		if e.Site == "peer" && (e.Load != 7 || e.LoadSeq != 10) {
+			t.Fatalf("stale report overwrote fresh one: %+v", e)
+		}
+	}
+}
+
+// Gossip overhead must stay bounded: PiggybackMax caps entries per frame,
+// so steady-state per-tick traffic is O(members probed), not O(fleet²).
+func TestMeshGossipBytesBounded(t *testing.T) {
+	const n = 10
+	fl := newFleet(t, n, Config{})
+	fl.join(t)
+	if ticks := fl.ticksUntil(4*n, func(m *Mesh) bool { return aliveCount(m) == n }); ticks < 0 {
+		t.Fatal("fleet never formed")
+	}
+	fl.sys.Net.ResetStats()
+	const rounds = 20
+	for i := 0; i < rounds; i++ {
+		fl.tickAll()
+	}
+	bytes := fl.sys.Net.KindBytes(KindGossip)
+	perSitePerTick := bytes / (n * rounds)
+	t.Logf("steady-state gossip: %d bytes total, %d bytes/site/tick", bytes, perSitePerTick)
+	// One ping + ack with a PiggybackMax window is a few hundred bytes; 4KiB
+	// per site per protocol period is an order-of-magnitude ceiling.
+	if perSitePerTick > 4096 {
+		t.Fatalf("gossip overhead %d bytes/site/tick exceeds bound", perSitePerTick)
+	}
+}
+
+// End-to-end placement: a meet issued at the wrong site must reach the
+// ring owner in exactly one forwarded hop, and a miss at the owner must
+// not bounce again.
+func TestMeshForwardedMeetOneHop(t *testing.T) {
+	const n = 4
+	fl := newFleet(t, n, Config{})
+	fl.join(t)
+	if ticks := fl.ticksUntil(4*n, func(m *Mesh) bool { return aliveCount(m) == n }); ticks < 0 {
+		t.Fatal("fleet never formed")
+	}
+
+	const agentName = "ag_whereami"
+	owner, ok := fl.meshes[0].Resolve(agentName)
+	if !ok {
+		t.Fatal("no owner")
+	}
+	// Register the agent only at its ring owner, as the placement layer
+	// would; it records where it actually ran.
+	fl.sys.Site(owner).Register(agentName, core.AgentFunc(
+		func(mc *core.MeetContext, bc *folder.Briefcase) error {
+			bc.PutString("RAN_AT", string(mc.Site.ID()))
+			return nil
+		}))
+
+	// Find a site that is not the owner and meet there.
+	var wrong *core.Site
+	for i := 0; i < n; i++ {
+		if fl.sys.SiteAt(i).ID() != owner {
+			wrong = fl.sys.SiteAt(i)
+			break
+		}
+	}
+	bc := folder.NewBriefcase()
+	if err := wrong.Meet(nil, agentName, bc); err != nil {
+		t.Fatalf("forwarded meet failed: %v", err)
+	}
+	ranAt, err := bc.GetString("RAN_AT")
+	if err != nil || ranAt != string(owner) {
+		t.Fatalf("meet ran at %q (err %v), want owner %q", ranAt, err, owner)
+	}
+	if bc.Has(core.FwdFolder) {
+		t.Fatal("forward marker leaked into the result briefcase")
+	}
+
+	// An agent registered nowhere: the wrong site forwards once, the owner
+	// misses, and the forward marker stops a second hop — the error is
+	// ErrNoAgent, not a loop or a depth blowout.
+	if err := wrong.Meet(nil, "ag_nowhere", folder.NewBriefcase()); !errors.Is(err, core.ErrNoAgent) {
+		t.Fatalf("meet of unplaced agent: %v, want ErrNoAgent", err)
+	}
+}
+
+// Start/Stop drive Ticks in real time without racing explicit ones.
+func TestMeshStartStop(t *testing.T) {
+	fl := newFleet(t, 3, Config{ProbeInterval: 2 * time.Millisecond})
+	fl.join(t)
+	for _, m := range fl.meshes {
+		m.Start()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		done := true
+		for _, m := range fl.meshes {
+			if aliveCount(m) != 3 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("real-time ticking never converged")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, m := range fl.meshes {
+		m.Stop()
+		m.Stop() // idempotent
+	}
+}

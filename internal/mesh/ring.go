@@ -1,0 +1,151 @@
+// Package mesh turns a set of independent TACOMA sites into one addressable
+// fleet — the paper's "StormCast across Norway" deployment shape. It has two
+// layers:
+//
+//   - a SWIM-style gossip membership protocol (mesh.go) running over the
+//     sites' existing vnet endpoints: join/leave/suspect/dead detection with
+//     bounded per-period fanout, piggybacked membership updates, and
+//     piggybacked load reports, so sites discover each other and each
+//     other's capacity without static configuration;
+//
+//   - a consistent-hash placement ring (this file) mapping agent names to
+//     sites deterministically: every member that has converged on the same
+//     alive set resolves every agent to the same owner, which is what lets
+//     the kernel's Resolve/forward hook redirect a misplaced meet in exactly
+//     one hop.
+//
+// The broker's matchmaker consumes the mesh's load reports (FeedLoads), so
+// new launches are directed at underloaded sites while the ring serves
+// steady-state lookups.
+package mesh
+
+import (
+	"sort"
+
+	"repro/internal/vnet"
+)
+
+// DefaultVNodes is the number of ring points each site contributes. More
+// virtual nodes smooth the key distribution between sites at the cost of a
+// larger (still tiny — 16 bytes/point) sorted array; 64 keeps the max/min
+// ownership spread under ~1.3× for fleets of 10–100 sites.
+const DefaultVNodes = 64
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle owned
+// by a site.
+type ringPoint struct {
+	hash uint64
+	site vnet.SiteID
+}
+
+// Ring is an immutable consistent-hash ring. Build it with BuildRing;
+// lookups are lock-free reads of the sorted point array, so placement
+// resolution can sit on the meet path's miss branch without a mutex. Sites
+// hold the current ring in an atomic pointer and swap whole rings on
+// membership change.
+type Ring struct {
+	points []ringPoint
+	sites  []vnet.SiteID
+}
+
+// fnv64 is FNV-1a over a string: deterministic across processes and
+// architectures, which is what ring agreement between independent sites
+// requires (a keyed or per-process hash would give every site a private
+// ring).
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// mix is a 64-bit finalizer (splitmix64) applied to vnode and rendezvous
+// hashes: FNV alone clusters sequential inputs ("site-1#0", "site-1#1", …)
+// on the circle, and clustering is exactly what virtual nodes exist to
+// avoid.
+func mix(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// vnodeHash positions virtual node i of a site on the circle.
+func vnodeHash(site vnet.SiteID, i int) uint64 {
+	return mix(fnv64(string(site)) + uint64(i)*0x9e3779b97f4a7c15)
+}
+
+// rendezvousScore ranks a site for a key; the highest score wins a tie
+// between ring points that landed on the same hash. Two sites can share a
+// point only by 64-bit collision, but the tiebreak must still be
+// deterministic everywhere or two converged rings could disagree on exactly
+// the agents that hash there.
+func rendezvousScore(key uint64, site vnet.SiteID) uint64 {
+	return mix(key ^ fnv64(string(site)))
+}
+
+// BuildRing constructs a ring over the given sites with vnodes virtual
+// nodes per site (DefaultVNodes if vnodes <= 0). The site list may be in
+// any order; the resulting ring depends only on the set.
+func BuildRing(sites []vnet.SiteID, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{
+		points: make([]ringPoint, 0, len(sites)*vnodes),
+		sites:  append([]vnet.SiteID(nil), sites...),
+	}
+	sort.Slice(r.sites, func(i, j int) bool { return r.sites[i] < r.sites[j] })
+	for _, s := range r.sites {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: vnodeHash(s, i), site: s})
+		}
+	}
+	// Sort by (hash, site): equal-hash runs are deterministically ordered,
+	// so Owner's scan over a tied run visits the same candidates everywhere.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].site < r.points[j].site
+	})
+	return r
+}
+
+// Len reports the number of member sites.
+func (r *Ring) Len() int { return len(r.sites) }
+
+// Sites returns the member sites in sorted order. The caller must not
+// mutate the returned slice.
+func (r *Ring) Sites() []vnet.SiteID { return r.sites }
+
+// Owner maps an agent name to its owning site: the site of the first ring
+// point at or clockwise after the key's hash. When several points share
+// that hash (a 64-bit collision between different sites), the rendezvous
+// score breaks the tie deterministically. An empty ring owns nothing.
+func (r *Ring) Owner(agent string) (vnet.SiteID, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	key := mix(fnv64(agent))
+	// First point with hash >= key, wrapping to 0.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		i = 0
+	}
+	p := r.points[i]
+	if i+1 < len(r.points) && r.points[i+1].hash == p.hash {
+		// Tied run: rendezvous-hash the candidates.
+		best, bestScore := p.site, rendezvousScore(key, p.site)
+		for j := i + 1; j < len(r.points) && r.points[j].hash == p.hash; j++ {
+			if s := rendezvousScore(key, r.points[j].site); s > bestScore {
+				best, bestScore = r.points[j].site, s
+			}
+		}
+		return best, true
+	}
+	return p.site, true
+}

@@ -1,0 +1,142 @@
+package mesh
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/vnet"
+)
+
+func siteNames(n int) []vnet.SiteID {
+	out := make([]vnet.SiteID, n)
+	for i := range out {
+		out[i] = vnet.SiteID(fmt.Sprintf("site-%d", i))
+	}
+	return out
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := BuildRing(nil, 0)
+	if _, ok := r.Owner("anything"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	r = BuildRing([]vnet.SiteID{"solo"}, 0)
+	for _, k := range []string{"a", "b", "weather/tromso"} {
+		owner, ok := r.Owner(k)
+		if !ok || owner != "solo" {
+			t.Fatalf("single-site ring: Owner(%q) = %q, %v", k, owner, ok)
+		}
+	}
+}
+
+// The ring must depend only on the membership set, not on discovery order:
+// two sites that converged on the same alive set must resolve every agent
+// identically, whatever order gossip delivered the members in.
+func TestRingOrderIndependent(t *testing.T) {
+	sites := siteNames(17)
+	a := BuildRing(sites, 0)
+	shuffled := append([]vnet.SiteID(nil), sites...)
+	rng := rand.New(rand.NewPCG(7, 7))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	b := BuildRing(shuffled, 0)
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("agent-%d", i)
+		oa, _ := a.Owner(key)
+		ob, _ := b.Owner(key)
+		if oa != ob {
+			t.Fatalf("Owner(%q) differs by build order: %q vs %q", key, oa, ob)
+		}
+	}
+}
+
+// Virtual nodes must spread ownership evenly enough that no site carries a
+// pathological share of the agent population.
+func TestRingBalance(t *testing.T) {
+	const sites, keys = 20, 100000
+	r := BuildRing(siteNames(sites), DefaultVNodes)
+	counts := map[vnet.SiteID]int{}
+	for i := 0; i < keys; i++ {
+		owner, ok := r.Owner(fmt.Sprintf("agent-%d", i))
+		if !ok {
+			t.Fatal("no owner")
+		}
+		counts[owner]++
+	}
+	if len(counts) != sites {
+		t.Fatalf("only %d of %d sites own keys", len(counts), sites)
+	}
+	min, max := keys, 0
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	// Mean share is 5000; 64 vnodes should keep the spread well under 2x.
+	if max > 2*min {
+		t.Fatalf("ring imbalance: min %d max %d", min, max)
+	}
+}
+
+// Removing one site must move only the keys that site owned — consistent
+// hashing's defining property, and what keeps a site death from reshuffling
+// the whole fleet's agent placement.
+func TestRingMinimalDisruption(t *testing.T) {
+	const n, keys = 12, 20000
+	sites := siteNames(n)
+	before := BuildRing(sites, 0)
+	after := BuildRing(sites[:n-1], 0) // drop site-11
+	dead := sites[n-1]
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("agent-%d", i)
+		ob, _ := before.Owner(key)
+		oa, _ := after.Owner(key)
+		if ob == dead {
+			if oa == dead {
+				t.Fatalf("Owner(%q) still the removed site", key)
+			}
+			moved++
+			continue
+		}
+		if oa != ob {
+			t.Fatalf("Owner(%q) moved %q -> %q though %q stayed alive", key, ob, oa, ob)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed site owned no keys — balance test should have caught this")
+	}
+}
+
+func TestRingSitesSorted(t *testing.T) {
+	r := BuildRing([]vnet.SiteID{"c", "a", "b"}, 4)
+	got := r.Sites()
+	want := []vnet.SiteID{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Sites() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sites() = %v, want %v", got, want)
+		}
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len() = %d", r.Len())
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	r := BuildRing(siteNames(100), DefaultVNodes)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("agent-%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Owner(keys[i&1023])
+	}
+}

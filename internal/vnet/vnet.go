@@ -108,6 +108,7 @@ type Network struct {
 	msgsTotal    atomic.Int64
 	virtualNanos atomic.Int64
 	bytesByLink  map[linkKey]*atomic.Int64
+	bytesByKind  map[string]*atomic.Int64
 }
 
 // Option configures a Network.
@@ -139,6 +140,7 @@ func NewNetwork(opts ...Option) *Network {
 		links:       make(map[linkKey]LinkParams),
 		partitioned: make(map[linkKey]bool),
 		bytesByLink: make(map[linkKey]*atomic.Int64),
+		bytesByKind: make(map[string]*atomic.Int64),
 		callTimeout: 250 * time.Millisecond,
 	}
 	for _, o := range opts {
@@ -259,7 +261,7 @@ func (n *Network) lossDrop(p float64) bool {
 	return n.rng.Float64() < p
 }
 
-func (n *Network) chargeTransfer(from, to SiteID, bytes int, p LinkParams) {
+func (n *Network) chargeTransfer(from, to SiteID, kind string, bytes int, p LinkParams) {
 	size := bytes + headerOverhead
 	n.bytesTotal.Add(int64(size))
 	n.msgsTotal.Add(1)
@@ -271,8 +273,14 @@ func (n *Network) chargeTransfer(from, to SiteID, bytes int, p LinkParams) {
 		ctr = new(atomic.Int64)
 		n.bytesByLink[key] = ctr
 	}
+	kctr, ok := n.bytesByKind[kind]
+	if !ok {
+		kctr = new(atomic.Int64)
+		n.bytesByKind[kind] = kctr
+	}
 	n.mu.Unlock()
 	ctr.Add(int64(size))
+	kctr.Add(int64(size))
 }
 
 // Stats is a snapshot of global transfer counters.
@@ -306,6 +314,19 @@ func (n *Network) LinkBytes(a, b SiteID) int64 {
 	return ctr.Load()
 }
 
+// KindBytes returns bytes carried by messages of one kind (both directions
+// of every call with that request kind — replies are charged to the request's
+// kind). The mesh tests use it to bound gossip overhead per protocol period.
+func (n *Network) KindBytes(kind string) int64 {
+	n.mu.Lock()
+	ctr := n.bytesByKind[kind]
+	n.mu.Unlock()
+	if ctr == nil {
+		return 0
+	}
+	return ctr.Load()
+}
+
 // ResetStats zeroes all byte/message/time counters.
 func (n *Network) ResetStats() {
 	n.bytesTotal.Store(0)
@@ -313,6 +334,7 @@ func (n *Network) ResetStats() {
 	n.virtualNanos.Store(0)
 	n.mu.Lock()
 	n.bytesByLink = make(map[linkKey]*atomic.Int64)
+	n.bytesByKind = make(map[string]*atomic.Int64)
 	n.mu.Unlock()
 }
 
@@ -370,7 +392,7 @@ func (nd *Node) Call(ctx context.Context, to SiteID, kind string, payload []byte
 	// partitioned or crashed destination still costs the send on real
 	// networks only up to the break, but charging the full message keeps
 	// accounting simple and pessimistic for the agent side.
-	nd.net.chargeTransfer(nd.id, to, len(payload), params)
+	nd.net.chargeTransfer(nd.id, to, kind, len(payload), params)
 
 	// Context deadlines are handled by the ctx.Done cases below; timeout
 	// only models the network-level "no reply" detection.
@@ -428,7 +450,7 @@ func (nd *Node) Call(ctx context.Context, to SiteID, kind string, payload []byte
 	if !backOK || nd.net.lossDrop(back.Loss) {
 		return nil, awaitTimeout(ctx, timeout, to)
 	}
-	nd.net.chargeTransfer(to, nd.id, len(res.data), back)
+	nd.net.chargeTransfer(to, nd.id, kind, len(res.data), back)
 	if nd.net.realTime {
 		if err := sleepCtx(ctx, back.TransferTime(len(res.data)+headerOverhead)); err != nil {
 			return nil, err
