@@ -586,6 +586,10 @@ func (s *Site) Meet(mc *MeetContext, agent string, bc *folder.Briefcase) error {
 				// Misplaced meet: redirect one hop to the owning site. The
 				// marker travels with the briefcase so the owner — whose ring
 				// may disagree under membership churn — never redirects again.
+				// A nil briefcase still needs one to carry the marker.
+				if bc == nil {
+					bc = folder.NewBriefcase()
+				}
 				bc.PutString(FwdFolder, string(s.id))
 				err := s.RemoteMeet(mc.Ctx, owner, agent, bc)
 				bc.Delete(FwdFolder)

@@ -55,6 +55,26 @@ func TestMeetForwardsViaResolver(t *testing.T) {
 	}
 }
 
+// A meet with a nil briefcase must still forward (the redirect allocates
+// one to carry the marker) — not panic on the marker write, and a miss at
+// the owner still reports ErrNoAgent.
+func TestMeetForwardsNilBriefcase(t *testing.T) {
+	sys := NewSystem(2, SystemConfig{})
+	s0, s1 := sys.SiteAt(0), sys.SiteAt(1)
+	s1.Register("ag_remote", AgentFunc(func(mc *MeetContext, bc *folder.Briefcase) error {
+		bc.PutString("RAN_AT", string(mc.Site.ID()))
+		return nil
+	}))
+	s0.SetResolver(mapResolver{"ag_remote": s1.ID(), "ag_ghost": s1.ID()})
+
+	if err := s0.Meet(nil, "ag_remote", nil); err != nil {
+		t.Fatalf("forwarded nil-briefcase meet: %v", err)
+	}
+	if err := s0.Meet(nil, "ag_ghost", nil); !errors.Is(err, ErrNoAgent) {
+		t.Fatalf("nil-briefcase meet of unhosted agent: %v, want ErrNoAgent", err)
+	}
+}
+
 // Inconsistent placement tables must not ping-pong a meet: the forward
 // marker caps redirection at exactly one hop, and the second site reports
 // the miss instead of bouncing the agent back.

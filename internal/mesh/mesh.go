@@ -271,7 +271,7 @@ func (m *Mesh) Join(ctx context.Context) error {
 			continue
 		}
 		contacted++
-		if err := m.callAndMerge(ctx, seed, TypeJoin, ""); err != nil {
+		if err := m.callAndMerge(ctx, seed, TypeJoin, "", m.cfg.ProbeTimeout); err != nil {
 			errs++
 			lastErr = err
 			continue
@@ -291,6 +291,7 @@ func (m *Mesh) Leave(ctx context.Context) {
 	self := m.members[m.site.ID()]
 	self.State = StateLeft
 	self.Inc = m.inc
+	self.diedAt = m.tick
 	if m.sink != nil {
 		m.sink.Drop(string(m.site.ID()))
 	}
@@ -302,7 +303,7 @@ func (m *Mesh) Leave(ctx context.Context) {
 		if t == m.site.ID() {
 			continue
 		}
-		if err := m.callAndMerge(ctx, t, TypePing, ""); err == nil {
+		if err := m.callAndMerge(ctx, t, TypePing, "", m.cfg.ProbeTimeout); err == nil {
 			if notified++; notified >= m.cfg.IndirectProbes+1 {
 				break
 			}
@@ -379,7 +380,7 @@ func (m *Mesh) Tick(ctx context.Context) {
 	if !ok {
 		return
 	}
-	if err := m.callAndMerge(ctx, target, TypePing, ""); err == nil {
+	if err := m.callAndMerge(ctx, target, TypePing, "", m.cfg.ProbeTimeout); err == nil {
 		return
 	}
 	// Direct probe failed: ask k members to probe on our behalf before
@@ -421,7 +422,11 @@ func (m *Mesh) indirectProbe(ctx context.Context, target vnet.SiteID) bool {
 	ok := make(chan bool, len(relays))
 	for _, r := range relays {
 		go func(relay vnet.SiteID) {
-			ok <- m.callAndMerge(ctx, relay, TypePingReq, target) == nil
+			// The relay must reach us, probe the target (one ProbeTimeout of
+			// its own), and answer — so the outer call gets a multiple of the
+			// single-hop budget, or indirect probes would time out exactly
+			// when they matter: when links are slow.
+			ok <- m.callAndMerge(ctx, relay, TypePingReq, target, 3*m.cfg.ProbeTimeout) == nil
 		}(r)
 	}
 	alive := false
@@ -479,7 +484,10 @@ func (m *Mesh) expireLocked(now uint64) {
 				changed = true
 			}
 		case StateDead, StateLeft:
-			if now-mem.diedAt >= uint64(m.cfg.DeadRetentionTicks) {
+			// The self entry is never evicted: Tick and buildFrameLocked
+			// dereference it unconditionally, and a mesh that has Left may
+			// keep ticking and answering frames until the site tears down.
+			if id != m.site.ID() && now-mem.diedAt >= uint64(m.cfg.DeadRetentionTicks) {
 				delete(m.members, id)
 			}
 		}
@@ -489,10 +497,11 @@ func (m *Mesh) expireLocked(now uint64) {
 	}
 }
 
-// callAndMerge sends one frame (with piggyback) and merges the ack.
-func (m *Mesh) callAndMerge(ctx context.Context, to vnet.SiteID, typ byte, target vnet.SiteID) error {
+// callAndMerge sends one frame (with piggyback), bounded by timeout, and
+// merges the ack.
+func (m *Mesh) callAndMerge(ctx context.Context, to vnet.SiteID, typ byte, target vnet.SiteID, timeout time.Duration) error {
 	f := m.buildFrame(typ, target)
-	ctx, cancel := context.WithTimeout(ctx, m.cfg.ProbeTimeout)
+	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	resp, err := m.site.Endpoint().Call(ctx, to, KindGossip, AppendFrame(nil, f))
 	if err != nil {
@@ -518,6 +527,13 @@ func (m *Mesh) buildFrameLocked(typ byte, target vnet.SiteID) *Frame {
 	f := &Frame{Type: typ, Target: target}
 	self := m.members[m.site.ID()]
 	f.Entries = append(f.Entries, self.Entry)
+	// Fewest-transmissions-first (SWIM §4.1): when more than PiggybackMax
+	// updates are pending, the least-gossiped ones go out first — otherwise
+	// the queue front would be retransmitted every frame while updates
+	// behind it starve. Ties keep queue (arrival) order.
+	sort.SliceStable(m.queue, func(i, j int) bool {
+		return m.queue[i].left > m.queue[j].left
+	})
 	n := 0
 	for i := 0; i < len(m.queue) && n < m.cfg.PiggybackMax; i++ {
 		u := &m.queue[i]
@@ -728,7 +744,7 @@ func (m *Mesh) handle(from vnet.SiteID, _ string, payload []byte) ([]byte, error
 		// Relay: probe the target on the requester's behalf. Our own probe
 		// machinery merges whatever the target tells us; the requester gets
 		// our ack only if the target answered.
-		if err := m.callAndMerge(context.Background(), f.Target, TypePing, ""); err != nil {
+		if err := m.callAndMerge(context.Background(), f.Target, TypePing, "", m.cfg.ProbeTimeout); err != nil {
 			return nil, fmt.Errorf("mesh: indirect probe of %s failed: %w", f.Target, err)
 		}
 	case TypeAck:

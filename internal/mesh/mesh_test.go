@@ -239,6 +239,73 @@ func TestMeshLeave(t *testing.T) {
 	}
 }
 
+// The self entry must survive tombstone retention: a mesh that has Left but
+// keeps ticking (tacomad calls Leave while the ticker is live) or keeps
+// answering frames must not evict itself — Tick and frame building
+// dereference the self entry unconditionally.
+func TestMeshLeaveThenTickNoSelfEviction(t *testing.T) {
+	const retention = 8
+	fl := newFleet(t, 2, Config{DeadRetentionTicks: retention})
+	fl.join(t)
+	if ticks := fl.ticksUntil(8, func(m *Mesh) bool { return aliveCount(m) == 2 }); ticks < 0 {
+		t.Fatal("fleet never formed")
+	}
+	m := fl.meshes[0]
+	// Age the mesh past the retention window, then leave mid-life.
+	for i := 0; i < retention+2; i++ {
+		fl.tickAll()
+	}
+	m.Leave(context.Background())
+	// Keep ticking well past retention: before the fix the self entry was
+	// deleted on the first expiry pass after Leave and the next Tick
+	// panicked on a nil member.
+	for i := 0; i < 2*retention; i++ {
+		m.Tick(context.Background())
+	}
+	found := false
+	for _, e := range m.Members() {
+		if e.Site == m.Site().ID() {
+			found = true
+			if e.State != StateLeft {
+				t.Fatalf("self state after Leave = %s, want left", e.State)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("self entry evicted after Leave + retention ticks")
+	}
+	// Incoming gossip frames must still be answerable (buildFrameLocked
+	// reads the self entry too).
+	ping := AppendFrame(nil, &Frame{Type: TypePing})
+	if _, err := m.handle(fl.meshes[1].Site().ID(), KindGossip, ping); err != nil {
+		t.Fatalf("ping after Leave: %v", err)
+	}
+}
+
+// When more updates are pending than fit in one frame, the least-transmitted
+// ones go out first — the queue front must not monopolize the piggyback
+// window while fresher churn starves behind it.
+func TestMeshPiggybackFewestTransmissionsFirst(t *testing.T) {
+	sys := core.NewSystem(1, core.SystemConfig{})
+	m := New(sys.SiteAt(0), Config{PiggybackMax: 2})
+	m.mu.Lock()
+	m.queue = []update{
+		{e: Entry{Site: "old-a", State: StateAlive}, left: 1},
+		{e: Entry{Site: "old-b", State: StateAlive}, left: 1},
+		{e: Entry{Site: "new-c", State: StateDead, Inc: 1}, left: 5},
+		{e: Entry{Site: "new-d", State: StateSuspect}, left: 5},
+	}
+	f := m.buildFrameLocked(TypePing, "")
+	m.mu.Unlock()
+	got := map[vnet.SiteID]bool{}
+	for _, e := range f.Entries[1:] { // entry 0 is self
+		got[e.Site] = true
+	}
+	if !got["new-c"] || !got["new-d"] {
+		t.Fatalf("frame carried %v, want the least-transmitted updates new-c and new-d", got)
+	}
+}
+
 // One partitioned link must not produce a failure verdict: the indirect
 // probe path keeps a member alive as long as anyone can reach it.
 func TestMeshIndirectProbeSurvivesPartition(t *testing.T) {
