@@ -1,7 +1,8 @@
 // Command tacobench is the meet-path load generator: it drives local,
-// cabinet-backed, remote (TCP loopback), guarded, and mixed meet workloads
-// at a configurable concurrency and emits a machine-readable BENCH_meet.json
-// with throughput, latency percentiles, and allocation counts per workload.
+// cabinet-backed, remote (TCP loopback), guarded, parked-agent wakeup, and
+// mixed meet workloads at a configurable concurrency and emits a
+// machine-readable BENCH_meet.json with throughput, latency percentiles,
+// and allocation counts per workload.
 //
 // CI runs it on every push and compares the result against the committed
 // baseline with scripts/benchdiff.go, failing the build when meet throughput
@@ -69,12 +70,13 @@ func main() {
 
 func run() error {
 	var (
-		modes       = flag.String("modes", "local,cabinet,remote,guarded,script,hop,durable,durable-naive,mixed,fleet,fleet-lookup,fleet-converge", "comma-separated workloads to run")
+		modes       = flag.String("modes", "local,cabinet,remote,guarded,script,hop,durable,durable-naive,mixed,parked,fleet,fleet-lookup,fleet-converge", "comma-separated workloads to run")
 		concurrency = flag.Int("concurrency", 2*runtime.GOMAXPROCS(0), "concurrent client goroutines per workload")
 		duration    = flag.Duration("duration", 2*time.Second, "measurement window per workload")
 		payload     = flag.Int("payload", 64, "briefcase payload element size in bytes")
 		fleetSites  = flag.Int("fleet-sites", 10, "fleet lanes: number of meshed in-process sites")
 		fleetAgents = flag.Int("fleet-agents", 100000, "fleet lanes: resident agent population across the fleet")
+		parkedPop   = flag.Int("parked-agents", 100000, "parked lane: idle parked-agent population at the measured site")
 		cpus        = flag.String("cpus", "", "comma-separated GOMAXPROCS values (e.g. 1,2,4,8); runs the whole mode list once per value, one report per value")
 		out         = flag.String("out", "BENCH_meet.json", "output path for the JSON report ('-' for stdout); a -cpus sweep inserts .cpuN before the extension")
 		verbose     = flag.Bool("v", false, "print per-workload results as they finish")
@@ -120,6 +122,7 @@ func run() error {
 		payload:     *payload,
 		fleetSites:  *fleetSites,
 		fleetAgents: *fleetAgents,
+		parkedPop:   *parkedPop,
 	}
 
 	// A -cpus sweep runs the whole mode list once per GOMAXPROCS setting
@@ -219,6 +222,7 @@ type benchOpts struct {
 	payload     int
 	fleetSites  int
 	fleetAgents int
+	parkedPop   int
 }
 
 // runMode builds the named workload and measures it.
@@ -261,6 +265,8 @@ func buildWorkload(mode string, o benchOpts) (workload, error) {
 		return durableWorkload(payload, false)
 	case "durable-naive":
 		return durableWorkload(payload, true)
+	case "parked":
+		return parkedWorkload(o.parkedPop, concurrency, payload)
 	case "fleet":
 		return fleetWorkload(o.fleetSites, o.fleetAgents, concurrency, payload)
 	case "fleet-lookup":
@@ -281,7 +287,7 @@ func buildWorkload(mode string, o benchOpts) (workload, error) {
 			cleanup: remote.cleanup,
 		}, nil
 	default:
-		return workload{}, fmt.Errorf("unknown mode %q (want local, cabinet, remote, guarded, script, hop, durable, durable-naive, fleet, fleet-lookup, fleet-converge, or mixed)", mode)
+		return workload{}, fmt.Errorf("unknown mode %q (want local, cabinet, remote, guarded, script, hop, durable, durable-naive, parked, fleet, fleet-lookup, fleet-converge, or mixed)", mode)
 	}
 }
 

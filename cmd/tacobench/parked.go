@@ -1,0 +1,68 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/sched"
+)
+
+// The parked lane measures the zero-goroutine scheduler's wakeup path:
+// with a 100k-strong parked population resident in the scheduler's tables,
+// how long from a wakeup (what a meet delivery or mail deposit does) to
+// the parked agent's resumer running and the agent being back at rest?
+// That window — wake, run-queue dispatch, worker handoff, re-park — is
+// the per-message overhead every parked resident pays on every piece of
+// work, so it is gated in CI next to the meet lanes. The cost of the full
+// TacL continuation resume on top of it (briefcase decode, interpreter
+// startup) is the script lane's cost and is exercised functionally by the
+// internal/core park tests.
+
+// nopResumer is the idle population: parked entries that never wake.
+type nopResumer struct{}
+
+func (nopResumer) Resume(string) {}
+
+// echoResumer is one worker's parked agent: on resume it re-parks itself
+// (so the next wakeup finds it parked, as a re-parking TacL script would)
+// and then signals the measuring client.
+type echoResumer struct {
+	sch  *sched.Scheduler
+	done chan struct{}
+}
+
+func (r *echoResumer) Resume(key string) {
+	r.sch.Park(key, "", r)
+	r.done <- struct{}{}
+}
+
+// parkedWorkload: each op wakes one parked agent and completes when the
+// resumed agent has run and re-parked — the wakeup-to-meet latency — on a
+// scheduler also carrying `parked` idle residents.
+func parkedWorkload(parked, concurrency, payload int) (workload, error) {
+	sch := sched.New(0)
+	idle := nopResumer{}
+	for i := 0; i < parked; i++ {
+		sch.Park("resident-"+strconv.Itoa(i), "", idle)
+	}
+	echoes := make([]*echoResumer, concurrency)
+	keys := make([]string, concurrency)
+	for i := range echoes {
+		echoes[i] = &echoResumer{sch: sch, done: make(chan struct{}, 1)}
+		keys[i] = "pw" + strconv.Itoa(i)
+		sch.Park(keys[i], "", echoes[i])
+	}
+	if got := sch.ParkedCount(); got != parked+concurrency {
+		return workload{}, fmt.Errorf("parked %d agents, want %d", got, parked+concurrency)
+	}
+	return workload{
+		op: func(worker int) error {
+			if !sch.Wake(keys[worker]) {
+				return fmt.Errorf("worker %d: wake found nothing parked", worker)
+			}
+			<-echoes[worker].done
+			return nil
+		},
+		cleanup: func() { sch.Quiesce() },
+	}, nil
+}

@@ -168,8 +168,9 @@ func main() {
 
 	if wal != nil {
 		guards := rgm.Recover()
-		log.Printf("tacomad: WAL %s recovered (%d folders, %d rear guards re-armed)",
-			*walDir, s.Cabinet().Len(), guards)
+		parked := s.RecoverParked()
+		log.Printf("tacomad: WAL %s recovered (%d folders, %d rear guards re-armed, %d parked agents re-registered)",
+			*walDir, s.Cabinet().Len(), guards, parked)
 	}
 	if *cabinetPath != "" {
 		if f, err := os.Open(*cabinetPath); err == nil {
@@ -186,8 +187,9 @@ func main() {
 			// deduplicate re-execution where they survived). -wal has no
 			// such window.
 			guards := rgm.Recover()
-			log.Printf("tacomad: restored cabinet from %s (%d folders, %d rear guards re-armed)",
-				*cabinetPath, s.Cabinet().Len(), guards)
+			parked := s.RecoverParked()
+			log.Printf("tacomad: restored cabinet from %s (%d folders, %d rear guards re-armed, %d parked agents re-registered)",
+				*cabinetPath, s.Cabinet().Len(), guards, parked)
 		} else if !os.IsNotExist(err) {
 			log.Fatalf("tacomad: open cabinet %s: %v", *cabinetPath, err)
 		}

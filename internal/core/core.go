@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/folder"
+	"repro/internal/sched"
 	"repro/internal/tacl"
 	"repro/internal/vnet"
 )
@@ -174,7 +175,17 @@ type Site struct {
 
 	activations atomic.Int64 // total meets served
 	running     atomic.Int64 // currently executing meets
-	bg          workTracker
+
+	// sched is the site's zero-goroutine agent scheduler: a bounded worker
+	// pool for runnable activations (async meets, parked-agent resumes) and
+	// the tracker for detached background work (Go/Wait). Parked agents are
+	// registered here volatile-side; their durable continuations live in
+	// the cabinet under PARKED: folders (see park.go).
+	sched *sched.Scheduler
+
+	// resumer is the site's sched.Resumer identity, allocated once so every
+	// Park call registers the same adapter.
+	resumer parkResumer
 }
 
 // peerWire is this site's wire-protocol state for one peer.
@@ -318,46 +329,6 @@ func putPins(m map[folder.Hash][]byte) {
 	pinPool.Put(m)
 }
 
-// workTracker counts detached background work. A plain sync.WaitGroup is
-// the wrong tool here: detached agents spawn further detached work from
-// network-handler goroutines the tracker does not own, so Add could start
-// while a concurrent Wait observes zero — a documented WaitGroup misuse
-// that the race detector flags. This tracker serializes the counter under
-// a mutex and waits on a condition variable, giving the same quiesce
-// semantics (Wait returns at a moment the counter is zero) without the
-// race.
-type workTracker struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	n    int
-}
-
-func (w *workTracker) add() {
-	w.mu.Lock()
-	w.n++
-	w.mu.Unlock()
-}
-
-func (w *workTracker) done() {
-	w.mu.Lock()
-	w.n--
-	if w.n == 0 && w.cond != nil {
-		w.cond.Broadcast()
-	}
-	w.mu.Unlock()
-}
-
-func (w *workTracker) wait() {
-	w.mu.Lock()
-	if w.cond == nil {
-		w.cond = sync.NewCond(&w.mu)
-	}
-	for w.n > 0 {
-		w.cond.Wait()
-	}
-	w.mu.Unlock()
-}
-
 // NewSite creates a site bound to the given endpoint and installs the
 // system agents (ag_tacl, rexec, courier, diffusion). The endpoint's
 // incoming-call handler is taken over by the site.
@@ -377,7 +348,9 @@ func NewSite(ep vnet.Endpoint, cfg SiteConfig) *Site {
 		agents:    newRegistry(),
 		taclTable: newHostTable(),
 		rngSeed:   uint64(cfg.Seed + 1),
+		sched:     sched.New(0),
 	}
+	s.resumer = parkResumer{s}
 	if cfg.Durable != nil {
 		s.durablev.Store(cfg.Durable)
 	}
@@ -540,14 +513,19 @@ func (s *Site) Rand(n int64) int64 {
 }
 
 // Wait blocks until detached background work (async couriers, diffusion
-// clones) spawned by this site has finished. Tests and benchmarks use it to
-// quiesce the system.
-func (s *Site) Wait() { s.bg.wait() }
+// clones, async meets, in-flight parked-agent resumes) spawned by this
+// site has finished. Tests and benchmarks use it to quiesce the system.
+// Parked agents are at rest, not in flight, and do not hold Wait open.
+func (s *Site) Wait() { s.sched.Quiesce() }
 
-// Meet executes the named agent locally with the briefcase. It implements
-// the paper's "meet B with bc": the caller blocks until B terminates the
-// meet; information is exchanged through the shared briefcase.
-func (s *Site) Meet(mc *MeetContext, agent string, bc *folder.Briefcase) error {
+// Scheduler exposes the site's agent scheduler (stats, quiesce).
+func (s *Site) Scheduler() *sched.Scheduler { return s.sched }
+
+// meet executes the named agent locally with the briefcase — the engine
+// under the public Meet (see meet.go): the caller blocks until the agent
+// terminates the meet; information is exchanged through the shared
+// briefcase.
+func (s *Site) meet(mc *MeetContext, agent string, bc *folder.Briefcase) error {
 	if mc == nil {
 		mc = &MeetContext{Ctx: context.Background()}
 	}
@@ -581,6 +559,21 @@ func (s *Site) Meet(mc *MeetContext, agent string, bc *folder.Briefcase) error {
 	}
 	a, ok := s.Lookup(agent)
 	if !ok {
+		// A parked agent is not registered, but a meet addressed to it is
+		// not a miss: deposit the briefcase in its pending folder and
+		// enqueue its resume. Checked before the resolver — the parked
+		// continuation lives here, so this site is the owner regardless of
+		// what a churning ring says.
+		if s.deliverParked(agent, bc) {
+			if mc.Depth == 0 {
+				if cs := s.Durable(); cs != nil {
+					if serr := cs.Sync(); serr != nil {
+						return fmt.Errorf("core: durable commit at %s: %w", s.id, serr)
+					}
+				}
+			}
+			return nil
+		}
 		if r := s.resolver(); r != nil && !forwarded {
 			if owner, placed := r.Resolve(agent); placed && owner != s.id {
 				// Misplaced meet: redirect one hop to the owning site. The
@@ -591,7 +584,7 @@ func (s *Site) Meet(mc *MeetContext, agent string, bc *folder.Briefcase) error {
 					bc = folder.NewBriefcase()
 				}
 				bc.PutString(FwdFolder, string(s.id))
-				err := s.RemoteMeet(mc.Ctx, owner, agent, bc)
+				err := s.remoteMeet(mc.Ctx, owner, agent, bc)
 				bc.Delete(FwdFolder)
 				return err
 			}
@@ -619,28 +612,18 @@ func (s *Site) Meet(mc *MeetContext, agent string, bc *folder.Briefcase) error {
 	return err
 }
 
-// MeetClient starts a computation from outside the agent system: it meets
-// the named local agent with a fresh context.
-func (s *Site) MeetClient(ctx context.Context, agent string, bc *folder.Briefcase) error {
-	return s.Meet(&MeetContext{Ctx: ctx}, agent, bc)
-}
-
-// RemoteMeet executes the named agent at another site, sending the
+// remoteMeet executes the named agent at another site, sending the
 // briefcase there and folding the mutated briefcase back on success. This
-// is the primitive under rexec; ordinary agents use the rexec agent.
-//
-// The briefcase travels in the v2 delta format (see wire.go): folders the
-// peer already holds ship as content refs instead of bytes, so a signed
-// multi-hop agent stops re-shipping its own code after the first hop over
-// a link. A peer that answers "unknown message kind" is remembered as
-// v1-only and served the legacy format from then on.
-func (s *Site) RemoteMeet(ctx context.Context, dest vnet.SiteID, agent string, bc *folder.Briefcase) error {
+// is the primitive under rexec and the At(dest) meet option; ordinary
+// agents use the rexec agent. See RemoteMeet in meet.go for the wire
+// format notes.
+func (s *Site) remoteMeet(ctx context.Context, dest vnet.SiteID, agent string, bc *folder.Briefcase) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if dest == s.id {
 		// A meet addressed to the local site short-circuits the network.
-		return s.Meet(&MeetContext{Ctx: ctx}, agent, bc)
+		return s.meet(&MeetContext{Ctx: ctx}, agent, bc)
 	}
 	pw := s.peerWire(dest)
 	if pw.v1.Load() && pw.v1Seq.Add(1)%v1ReprobeEvery != 0 {
@@ -781,14 +764,10 @@ func (s *Site) remoteMeetV2(ctx context.Context, dest vnet.SiteID, agent string,
 
 // Go runs fn detached from the current meet, tracked so Wait can quiesce.
 // Detached work is how an agent "continues executing concurrently" after
-// terminating a meet.
-func (s *Site) Go(fn func()) {
-	s.bg.add()
-	go func() {
-		defer s.bg.done()
-		fn()
-	}()
-}
+// terminating a meet. The work runs on its own goroutine (it may block on
+// the network); short runnable activations go through the scheduler's
+// worker pool instead via Async meets and parked-agent wakeups.
+func (s *Site) Go(fn func()) { s.sched.Spawn(fn) }
 
 // Message kinds on the wire.
 const (

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/folder"
+)
+
+// Parking: a resident agent between meets. The paper's vision is agents
+// that live at sites for hours — StormCast sensors, broker monitors —
+// waiting for work. A parked agent costs no goroutine and no registry
+// entry; it is two pieces of state:
+//
+//   - volatile: an entry in the site scheduler's parked table (key, wake
+//     topic, resumer) — see internal/sched.
+//   - durable: a continuation in the site cabinet under "PARKED:<name>",
+//     holding the agent's briefcase with its source re-pushed onto CODE —
+//     the same restart-style trick migration uses, so resuming is just
+//     another ag_tacl meet. The briefcase also carries the continuation
+//     metadata (name, watch folder, watch watermark, park hop count) in
+//     PARK_* folders the resumed script can read.
+//
+// The cabinet is the WAL-journaled store, so a parked agent survives a
+// crash exactly like a rear-guard checkpoint: after store.Open replays the
+// log, RecoverParked re-registers every PARKED: folder with the scheduler.
+//
+// Wakeup sources: a meet addressed to the parked name (deliverParked —
+// briefcase deposited in "PARK_PENDING:<name>", task enqueued) and topic
+// wakes (Site.Wake, called by mail on deposit with the mailbox folder as
+// the topic). Both are idempotent and race-free against each other.
+
+// Cabinet and briefcase folder names used by parking.
+const (
+	// ParkedFolderPrefix prefixes the cabinet folder holding one parked
+	// agent's continuation: [name, watch folder, encoded briefcase].
+	ParkedFolderPrefix = "PARKED:"
+	// PendingFolderPrefix prefixes the cabinet folder queueing briefcases
+	// delivered to a parked agent; each element is one encoded briefcase.
+	PendingFolderPrefix = "PARK_PENDING:"
+
+	// ParkNameFolder (in the parked briefcase) holds the park name.
+	ParkNameFolder = "PARK_NAME"
+	// ParkWatchFolder holds the cabinet folder the agent watches ("" none).
+	ParkWatchFolder = "PARK_WATCH"
+	// ParkWmarkFolder holds the watch folder's length at park time: the
+	// resumed script reads entries past this watermark as new.
+	ParkWmarkFolder = "PARK_WMARK"
+	// ParkHopFolder counts how many times this agent has parked.
+	ParkHopFolder = "PARK_HOP"
+)
+
+// ParkedFolder returns the cabinet folder holding name's continuation.
+func ParkedFolder(name string) string { return ParkedFolderPrefix + name }
+
+// PendingFolder returns the cabinet folder queueing name's deliveries.
+func PendingFolder(name string) string { return PendingFolderPrefix + name }
+
+// Park parks an agent continuation at this site under name. The briefcase
+// must carry resumable source on CODE (hostPark re-pushes the running
+// script, the same way jump does); it is stamped with the PARK_* metadata
+// folders, persisted in the cabinet, and registered with the scheduler.
+// The agent wakes when a meet is addressed to name, when Site.Wake is
+// called with watch as the topic (mail does this on deposit), or — after a
+// crash — when RecoverParked finds work arrived before the crash.
+//
+// Re-parking an existing name replaces its continuation with a fresh
+// watermark. Park returns with the continuation durable in the cabinet
+// (the WAL barrier, when installed, is the enclosing meet's depth-0 sync).
+func (s *Site) Park(name, watch string, bc *folder.Briefcase) error {
+	if name == "" {
+		return errors.New("core: park: empty agent name")
+	}
+	if bc == nil || !bc.Has(folder.CodeFolder) {
+		return fmt.Errorf("core: park %q: briefcase has no %s folder to resume", name, folder.CodeFolder)
+	}
+	hop := 0
+	if h, err := bc.GetString(ParkHopFolder); err == nil {
+		hop, _ = strconv.Atoi(h)
+	}
+	wmark := 0
+	if watch != "" {
+		wmark = s.cabinet.FolderLen(watch)
+	}
+	bc.PutString(ParkNameFolder, name)
+	bc.PutString(ParkWatchFolder, watch)
+	bc.PutString(ParkWmarkFolder, strconv.Itoa(wmark))
+	bc.PutString(ParkHopFolder, strconv.Itoa(hop+1))
+
+	f := folder.New()
+	f.PushString(name)
+	f.PushString(watch)
+	f.PushOwned(folder.EncodeBriefcase(bc))
+	s.cabinet.Put(ParkedFolder(name), f)
+	s.sched.Park(name, watch, s.resumer)
+	// Close the lost-wakeup window: a delivery or watched-folder append
+	// that landed between the two registrations above saw the durable
+	// continuation but no scheduler entry to wake. Re-checking after
+	// registration means such work wakes the agent at most one extra time —
+	// and a spurious resume re-parks harmlessly.
+	if s.cabinet.FolderLen(PendingFolder(name)) > 0 ||
+		(watch != "" && s.cabinet.FolderLen(watch) > wmark) {
+		s.sched.Wake(name)
+	}
+	return nil
+}
+
+// deliverParked intercepts a meet addressed to a parked agent: the
+// briefcase is deposited in the agent's pending folder and its resume is
+// enqueued. Reports false when name has no parked continuation here.
+//
+// Delivery is asynchronous by construction — the meet returns before the
+// parked agent runs — so unlike a rendezvous meet the caller sees no
+// briefcase mutations. A delivery racing the agent's retirement (its
+// resumed script finishing without re-parking) may be dropped with the
+// continuation; agents that need an always-on inbox keep a mailbox, whose
+// cabinet folder outlives any one park.
+func (s *Site) deliverParked(name string, bc *folder.Briefcase) bool {
+	if s.cabinet.FolderLen(ParkedFolder(name)) == 0 {
+		return false
+	}
+	if bc == nil {
+		bc = folder.NewBriefcase()
+	}
+	s.cabinet.Append(PendingFolder(name), folder.EncodeBriefcase(bc))
+	s.sched.Wake(name)
+	return true
+}
+
+// Wake wakes every agent parked on topic — typically a cabinet folder name
+// some producer just appended to (mail wakes the mailbox folder on each
+// deposit). Returns how many agents were woken. Waking a topic nobody is
+// parked on is a free no-op, so producers call it unconditionally.
+func (s *Site) Wake(topic string) int { return s.sched.WakeTopic(topic) }
+
+// IsParked reports whether name has a parked continuation at this site.
+func (s *Site) IsParked(name string) bool { return s.sched.IsParked(name) }
+
+// ParkedCount reports the parked-agent population, the counterpart of
+// AgentCount for resident agents at rest.
+func (s *Site) ParkedCount() int { return s.sched.ParkedCount() }
+
+// parkResumer adapts Site to sched.Resumer without widening Site's API.
+type parkResumer struct{ s *Site }
+
+// Resume runs a parked agent's continuation. It executes on a scheduler
+// pool worker, as a fresh depth-0 ag_tacl meet of the continuation
+// briefcase — restart-style, exactly like arrival after a jump. If the run
+// ends without re-parking (the script completed, jumped away, or errored)
+// the continuation is spent and its cabinet state is retired.
+func (r parkResumer) Resume(key string) {
+	s := r.s
+	cont := s.cabinet.Snapshot(ParkedFolder(key))
+	if cont.Len() < 3 {
+		// Stale wake: the continuation was already retired (or never
+		// committed). Nothing to run.
+		return
+	}
+	enc, err := cont.At(2)
+	if err == nil {
+		var bc *folder.Briefcase
+		if bc, err = folder.DecodeBriefcase(enc); err == nil {
+			mc := &MeetContext{Ctx: context.Background(), Site: s, Agent: key}
+			err = s.meet(mc, AgTacl, bc)
+		}
+	}
+	if err != nil {
+		s.cabinet.AppendString("LOG", fmt.Sprintf("park resume %s: %v", key, err))
+	}
+	// Retire only if the run left the continuation exactly as we found it —
+	// meaning it did not re-park. The volatile parked bit is the wrong
+	// signal here: a delivery racing this return may have already woken the
+	// re-parked agent (consuming its scheduler entry and queueing the next
+	// resume), and retiring on !IsParked would delete the continuation out
+	// from under that in-flight task, losing the wakeup. A re-park always
+	// rewrites PARKED:<key> with an incremented PARK_HOP, so unchanged
+	// bytes mean spent: retire the durable continuation first so meets stop
+	// treating the name as parked, then the pending queue (anything
+	// deposited after this point is dead-lettered; see deliverParked).
+	after := s.cabinet.Snapshot(ParkedFolder(key))
+	if cur, aerr := after.At(2); after.Len() >= 3 && aerr == nil && bytes.Equal(cur, enc) {
+		s.cabinet.Delete(ParkedFolder(key))
+		s.cabinet.Delete(PendingFolder(key))
+	}
+}
+
+// RecoverParked re-registers every parked continuation found in the
+// cabinet with the scheduler, returning how many were recovered. Call it
+// after store.Open has replayed the WAL (tacomad does, next to rear-guard
+// recovery). Agents whose pending queue or watched folder gained entries
+// before the crash are woken immediately; the rest stay parked, costing
+// nothing until work arrives. Malformed continuations are dropped with a
+// LOG entry rather than wedging recovery.
+func (s *Site) RecoverParked() int {
+	n := 0
+	for _, name := range s.cabinet.Names() {
+		if !strings.HasPrefix(name, ParkedFolderPrefix) {
+			continue
+		}
+		key := strings.TrimPrefix(name, ParkedFolderPrefix)
+		cont := s.cabinet.Snapshot(name)
+		watch := ""
+		wmark := 0
+		ok := cont.Len() >= 3
+		if ok {
+			if w, err := cont.StringAt(1); err == nil {
+				watch = w
+			}
+			enc, err := cont.At(2)
+			if err != nil {
+				ok = false
+			} else if bc, derr := folder.DecodeBriefcase(enc); derr != nil {
+				ok = false
+			} else if m, merr := bc.GetString(ParkWmarkFolder); merr == nil {
+				wmark, _ = strconv.Atoi(m)
+			}
+		}
+		if !ok {
+			s.cabinet.AppendString("LOG", "park recover: dropping malformed "+name)
+			s.cabinet.Delete(name)
+			s.cabinet.Delete(PendingFolder(key))
+			continue
+		}
+		s.sched.Park(key, watch, s.resumer)
+		if s.cabinet.FolderLen(PendingFolder(key)) > 0 ||
+			(watch != "" && s.cabinet.FolderLen(watch) > wmark) {
+			s.sched.Wake(key)
+		}
+		n++
+	}
+	return n
+}

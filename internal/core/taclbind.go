@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strconv"
 	"sync"
 
@@ -17,7 +18,7 @@ import (
 //	              bc_has bc_del bc_names bc_list bc_putlist
 //	File cabinet: cab_append cab_contains cab_visit cab_len cab_list
 //	              cab_dequeue
-//	Kernel:       meet jump spawn host from neighbors rand log
+//	Kernel:       meet jump park spawn host from neighbors rand log
 //
 // plus globals $host (site name) and $from (initiating agent).
 //
@@ -52,6 +53,11 @@ func runTacL(mc *MeetContext, bc *folder.Briefcase, src string) error {
 	}
 	in := tacl.Get(site.taclTable)
 	in.MaxSteps = site.cfg.MaxSteps
+	// Scripted activations run on scheduler pool workers (async meets,
+	// parked-agent resumes) as well as caller goroutines; yielding between
+	// step-budget slices keeps one long script from monopolizing a worker.
+	in.YieldEvery = taclYieldEvery
+	in.Yield = runtime.Gosched
 	if f := site.cfg.StepHookFactory; f != nil {
 		in.StepHook = f(mc.Agent, mc.From)
 	}
@@ -89,8 +95,16 @@ func runTacL(mc *MeetContext, bc *folder.Briefcase, src string) error {
 	if _, ok := tacl.IsJump(err); ok {
 		return nil // the agent continues elsewhere; this activation is done
 	}
+	if _, ok := tacl.IsPark(err); ok {
+		return nil // the agent is parked; this activation is done
+	}
 	return err
 }
+
+// taclYieldEvery is how many interpreter steps a script runs between
+// scheduler yields — big enough to amortize the call, small enough that a
+// budget-sized script yields hundreds of times.
+const taclYieldEvery = 1024
 
 func need(args []string, n int, usage string) error {
 	if len(args) != n {
@@ -164,6 +178,7 @@ func buildHostTable() *tacl.Table {
 		"rand":         hostRand,
 		"log":          hostLog,
 		"jump":         hostJump,
+		"park":         hostPark,
 		"spawn":        hostSpawn,
 	})
 	return t
@@ -456,6 +471,34 @@ func hostJump(in *tacl.Interp, args []string) (string, error) {
 		return "", err
 	}
 	return "", tacl.JumpSignal(args[0])
+}
+
+// hostPark parks the agent at this site until work arrives: the current
+// source is pushed back onto CODE (restart-style, exactly like jump — the
+// script reruns from the top on wakeup), the briefcase becomes the durable
+// continuation in the site cabinet, and execution here stops without
+// holding a goroutine. The optional watch folder names a cabinet folder
+// whose growth wakes the agent (a mailbox, typically); a meet addressed to
+// the park name always wakes it. The resumed script reads its identity and
+// watermark from the PARK_NAME/PARK_WATCH/PARK_WMARK/PARK_HOP folders.
+func hostPark(in *tacl.Interp, args []string) (string, error) {
+	if len(args) < 1 || len(args) > 2 {
+		return "", fmt.Errorf("wrong # args: should be %q", "park name ?watchfolder?")
+	}
+	h := hctx(in)
+	watch := ""
+	if len(args) == 2 {
+		watch = args[1]
+	}
+	h.bc.Ensure(folder.CodeFolder).PushString(h.src)
+	if err := h.mc.Site.Park(args[0], watch, h.bc); err != nil {
+		// The park failed; the agent is still running and may handle it.
+		if f, ferr := h.bc.Folder(folder.CodeFolder); ferr == nil {
+			_, _ = f.Pop() // undo the re-pushed source
+		}
+		return "", err
+	}
+	return "", tacl.ParkSignal(args[0])
 }
 
 // hostSpawn clones the agent at another site and continues locally: the

@@ -11,6 +11,7 @@ package mail
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -19,6 +20,11 @@ import (
 	"repro/internal/folder"
 	"repro/internal/vnet"
 )
+
+// ErrMalformed reports a mailbox entry that does not decode as a message.
+// Deposits are validated on the way in, so hitting it from List or Fetch
+// means the cabinet folder was mutated outside the mail protocol.
+var ErrMalformed = errors.New("mail: malformed message")
 
 // AgMailbox is the mailbox agent registered at every mail site.
 const AgMailbox = "mailbox"
@@ -46,11 +52,11 @@ func (m Message) Encode() string {
 	return strings.Join([]string{m.From, m.To, m.Subject, m.Body}, "\x1f")
 }
 
-// ParseMessage decodes an encoded message.
+// ParseMessage decodes an encoded message; failures wrap ErrMalformed.
 func ParseMessage(s string) (Message, error) {
 	parts := strings.SplitN(s, "\x1f", 4)
 	if len(parts) != 4 {
-		return Message{}, fmt.Errorf("mail: malformed message %q", s)
+		return Message{}, fmt.Errorf("%w: %q", ErrMalformed, s)
 	}
 	return Message{From: parts[0], To: parts[1], Subject: parts[2], Body: parts[3]}, nil
 }
@@ -89,6 +95,9 @@ func InstallMailbox(site *core.Site) {
 				return err
 			}
 			cab.AppendString(mboxFolder(user), raw)
+			// A deposit is a wakeup: any agent parked watching this mailbox
+			// folder gets its task enqueued — no goroutine polls a mailbox.
+			mc.Site.Wake(mboxFolder(user))
 			return nil
 		case "receipt":
 			raw, err := bc.GetString(MsgFolder)
@@ -96,15 +105,16 @@ func InstallMailbox(site *core.Site) {
 				return fmt.Errorf("mailbox: missing MSG: %w", err)
 			}
 			cab.AppendString(receiptFolder(user), raw)
+			mc.Site.Wake(receiptFolder(user))
 			return nil
 		case "list":
+			// Headers travel as raw encoded messages; the client side
+			// (List) parses them into typed Messages. Older "i: from:
+			// subject" strings were unparseable the moment a caller wanted
+			// the subject back.
 			headers := folder.New()
-			for i, raw := range cab.Snapshot(mboxFolder(user)).Strings() {
-				m, err := ParseMessage(raw)
-				if err != nil {
-					continue
-				}
-				headers.PushString(fmt.Sprintf("%d: %s: %s", i, m.From, m.Subject))
+			for _, raw := range cab.Snapshot(mboxFolder(user)).Strings() {
+				headers.PushString(raw)
 			}
 			bc.Put(HeadersFolder, headers)
 			return nil
@@ -208,22 +218,45 @@ func Send(ctx context.Context, from *core.Site, msg Message, wantReceipt bool) e
 	return err
 }
 
-// List returns the headers in a user's mailbox at a site.
-func List(ctx context.Context, client *core.Site, user string, at vnet.SiteID) ([]string, error) {
+// List returns the messages in a user's mailbox at a site, in mailbox
+// order (the order Fetch and Delete index by, as of the snapshot the
+// mailbox agent took). A mailbox entry that does not decode fails the
+// whole listing with an error wrapping ErrMalformed — deposits are
+// validated, so a corrupt entry means out-of-band cabinet tampering, and
+// silently skipping it would shift every later index.
+func List(ctx context.Context, client *core.Site, user string, at vnet.SiteID) ([]Message, error) {
 	bc := folder.NewBriefcase()
 	bc.PutString(OpFolder, "list")
 	bc.PutString(UserFolder, user)
-	if err := client.RemoteMeet(ctx, at, AgMailbox, bc); err != nil {
+	if err := client.Meet(ctx, AgMailbox, bc, core.At(at)); err != nil {
 		return nil, err
 	}
 	h, err := bc.Folder(HeadersFolder)
 	if err != nil {
 		return nil, err
 	}
-	return h.Strings(), nil
+	raws := h.Strings()
+	msgs := make([]Message, 0, len(raws))
+	for i, raw := range raws {
+		m, err := ParseMessage(raw)
+		if err != nil {
+			return nil, fmt.Errorf("mail: mailbox %s at %s, entry %d: %w", user, at, i, err)
+		}
+		msgs = append(msgs, m)
+	}
+	return msgs, nil
 }
 
 // Fetch retrieves message idx from a user's mailbox.
+//
+// Index contract: idx is a position in the mailbox folder at the moment
+// the mailbox agent serves the meet, i.e. the order List returned. Indexes
+// are not stable handles — a concurrent Delete (cabinet RemoveAt) shifts
+// every later message down by one, and a concurrent deposit appends. A
+// reader racing writers must be prepared for ErrMalformed-free misses
+// ("no message idx") or fetching a neighbor of the message it listed;
+// read-modify-delete sequences should be serialized per mailbox by the
+// application.
 func Fetch(ctx context.Context, client *core.Site, user string, at vnet.SiteID, idx int) (Message, error) {
 	bc := folder.NewBriefcase()
 	bc.PutString(OpFolder, "fetch")

@@ -56,7 +56,7 @@ func TestSendAndRead(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(headers) != 1 || !strings.Contains(headers[0], "hello") {
+	if len(headers) != 1 || headers[0].Subject != "hello" {
 		t.Fatalf("headers = %v", headers)
 	}
 	got, err := Fetch(context.Background(), sys.SiteAt(0), "fred", "site-2", 0)
@@ -124,7 +124,7 @@ func TestMultipleMessagesOrdered(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(headers) != 3 || !strings.Contains(headers[0], "first") || !strings.Contains(headers[2], "third") {
+	if len(headers) != 3 || headers[0].Subject != "first" || headers[2].Subject != "third" {
 		t.Fatalf("headers = %v", headers)
 	}
 }
@@ -145,7 +145,7 @@ func TestDelete(t *testing.T) {
 		t.Fatalf("headers = %v", headers)
 	}
 	for _, h := range headers {
-		if strings.Contains(h, "remove") {
+		if h.Subject == "remove" {
 			t.Fatalf("deleted message still listed: %v", headers)
 		}
 	}
@@ -176,7 +176,7 @@ func TestMailboxSeparatesUsers(t *testing.T) {
 	if len(ha) != 1 || len(hb) != 1 {
 		t.Fatalf("alice=%v bob=%v", ha, hb)
 	}
-	if !strings.Contains(ha[0], "for alice") || !strings.Contains(hb[0], "for bob") {
+	if ha[0].Subject != "for alice" || hb[0].Subject != "for bob" {
 		t.Fatalf("crossed mailboxes: alice=%v bob=%v", ha, hb)
 	}
 }
@@ -202,6 +202,37 @@ func newBC(op, user string) *folder.Briefcase {
 	bc.PutString(OpFolder, op)
 	bc.PutString(UserFolder, user)
 	return bc
+}
+
+func TestDepositWakesParkedAgent(t *testing.T) {
+	// A resident agent parks watching fred's mailbox folder; depositing
+	// mail must wake it — no polling goroutine anywhere in between.
+	sys := mailSystem(t, 2)
+	site := sys.SiteAt(1)
+	script := `
+		if {![bc_has PARK_HOP]} {
+			park fred-watcher MBOX:fred
+		}
+		cab_append WOKE [cab_len MBOX:fred]
+	`
+	if _, err := core.RunScript(context.Background(), site, script, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !site.IsParked("fred-watcher") || site.ParkedCount() != 1 {
+		t.Fatalf("watcher not parked: count=%d", site.ParkedCount())
+	}
+	msg := Message{From: "dag@site-0", To: "fred@site-1", Subject: "wake up", Body: "."}
+	if err := Send(context.Background(), sys.SiteAt(0), msg, false); err != nil {
+		t.Fatal(err)
+	}
+	sys.Wait() // the wakeup is tracked scheduler work; quiesce covers it
+	woke := site.Cabinet().Snapshot("WOKE").Strings()
+	if len(woke) != 1 || woke[0] != "1" {
+		t.Fatalf("WOKE = %v", woke)
+	}
+	if site.IsParked("fred-watcher") {
+		t.Fatal("watcher still parked after its script completed")
+	}
 }
 
 func TestMessageBodyWithTaclSpecials(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -509,6 +510,104 @@ func TestMeshForwardedMeetOneHop(t *testing.T) {
 	// ErrNoAgent, not a loop or a depth blowout.
 	if err := wrong.Meet(nil, "ag_nowhere", folder.NewBriefcase()); !errors.Is(err, core.ErrNoAgent) {
 		t.Fatalf("meet of unplaced agent: %v, want ErrNoAgent", err)
+	}
+}
+
+// A meet addressed to a *parked* agent from the wrong site forwards one
+// hop to the ring owner and is delivered there: briefcase deposited in the
+// pending folder, resume enqueued on the owner's scheduler — the sender
+// never blocks on the parked agent actually running.
+func TestMeshForwardedMeetToParkedAgent(t *testing.T) {
+	const n = 4
+	fl := newFleet(t, n, Config{})
+	fl.join(t)
+	if ticks := fl.ticksUntil(4*n, func(m *Mesh) bool { return aliveCount(m) == n }); ticks < 0 {
+		t.Fatal("fleet never formed")
+	}
+
+	const agentName = "ag_resident"
+	ownerID, ok := fl.meshes[0].Resolve(agentName)
+	if !ok {
+		t.Fatal("no owner")
+	}
+	owner := fl.sys.Site(ownerID)
+	// Park the resident at its ring owner, where forwarded meets land.
+	script := `
+		if {![bc_has PARK_HOP]} {
+			park ag_resident
+		}
+		cab_append RESUMED [bc_get PARK_HOP 0]
+	`
+	if _, err := core.RunScript(context.Background(), owner, script, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !owner.IsParked(agentName) {
+		t.Fatal("resident not parked at owner")
+	}
+
+	var wrong *core.Site
+	for i := 0; i < n; i++ {
+		if fl.sys.SiteAt(i).ID() != ownerID {
+			wrong = fl.sys.SiteAt(i)
+			break
+		}
+	}
+	if err := wrong.Meet(nil, agentName, folder.NewBriefcase()); err != nil {
+		t.Fatalf("forwarded meet to parked agent failed: %v", err)
+	}
+	fl.sys.Wait() // the enqueued resume is tracked scheduler work
+	resumed := owner.Cabinet().Snapshot("RESUMED").Strings()
+	if len(resumed) != 1 {
+		t.Fatalf("RESUMED = %v, want one wakeup at the owner", resumed)
+	}
+	if owner.IsParked(agentName) {
+		t.Fatal("resident still parked after its script completed")
+	}
+	if owner.Cabinet().FolderLen(core.ParkedFolder(agentName)) != 0 {
+		t.Fatal("spent continuation not retired from the cabinet")
+	}
+}
+
+// TestMeshFleetGoroutinesFlat is the fleet-scale goroutine invariant CI
+// checks: parking a large resident population across a formed mesh must
+// not grow the process goroutine count — parked agents are heap state, not
+// goroutines, no matter how many sites host them.
+func TestMeshFleetGoroutinesFlat(t *testing.T) {
+	const n = 4
+	residents := 20000
+	if testing.Short() {
+		residents = 1000
+	}
+	fl := newFleet(t, n, Config{})
+	fl.join(t)
+	if ticks := fl.ticksUntil(4*n, func(m *Mesh) bool { return aliveCount(m) == n }); ticks < 0 {
+		t.Fatal("fleet never formed")
+	}
+	fl.sys.Wait()
+	before := runtime.NumGoroutine()
+	bc := folder.NewBriefcase()
+	bc.PutString(folder.CodeFolder, "cab_append WOKE x")
+	for i := 0; i < residents; i++ {
+		name := fmt.Sprintf("resident-%d", i)
+		owner, ok := fl.meshes[0].Resolve(name)
+		if !ok {
+			t.Fatal("no owner")
+		}
+		if err := fl.sys.Site(owner).Park(name, "", bc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := runtime.NumGoroutine()
+	if after > before {
+		t.Fatalf("parking %d residents across %d sites grew goroutines %d -> %d",
+			residents, n, before, after)
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += fl.sys.SiteAt(i).ParkedCount()
+	}
+	if total != residents {
+		t.Fatalf("fleet parked %d residents, want %d", total, residents)
 	}
 }
 

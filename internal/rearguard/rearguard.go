@@ -154,7 +154,30 @@ func (m *Manager) persistGuard(g *guard) {
 	f.PushString(strconv.Itoa(g.hop))
 	f.PushString(string(g.watch))
 	f.PushOwned(folder.EncodeBriefcase(g.bc))
+	// Checkpoint format v2: a fifth element carries the agent's park
+	// continuation descriptor when the guarded briefcase has one — a
+	// relaunch of a resident agent then restarts it as the parked
+	// continuation it was, not a fresh hop. Empty for never-parked agents;
+	// absent entirely in pre-scheduler checkpoints (Recover accepts both).
+	f.PushString(ParkDescriptor(g.bc))
 	m.site.Cabinet().Put(ArmFolderPrefix+guardKey(g.id, g.hop), f)
+}
+
+// ParkDescriptor summarizes the park continuation a briefcase carries
+// ("name=<park name>;watch=<watched folder>"), or "" when it has none.
+// Rear-guard checkpoints store it alongside the encoded briefcase so
+// recovery tooling can see at a glance that a guarded agent is a resident
+// (parked) one without decoding the briefcase.
+func ParkDescriptor(bc *folder.Briefcase) string {
+	if bc == nil {
+		return ""
+	}
+	name, err := bc.GetString(core.ParkNameFolder)
+	if err != nil || name == "" {
+		return ""
+	}
+	watch, _ := bc.GetString(core.ParkWatchFolder)
+	return "name=" + name + ";watch=" + watch
 }
 
 // syncCheckpoint forces the durability barrier for a checkpoint mutation.
@@ -180,6 +203,8 @@ func (m *Manager) unpersistGuard(id string, hop int) {
 // been recovered from stable storage (tacomad does, right after its WAL
 // replay) — a restarted site resumes watching the agents it was guarding
 // when it crashed. Unreadable checkpoints are dropped rather than trusted.
+// Both checkpoint formats recover: the legacy four-element folder and the
+// five-element one whose tail is the park descriptor (see persistGuard).
 func (m *Manager) Recover() int {
 	n := 0
 	for _, name := range m.site.Cabinet().Names() {

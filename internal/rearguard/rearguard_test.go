@@ -545,6 +545,54 @@ func TestGuardCheckpointPersistedAndRecovered(t *testing.T) {
 	})
 }
 
+// TestCheckpointFormats pins the checkpoint wire format: persistGuard
+// writes the five-element v2 folder (tail = park descriptor), and Recover
+// accepts both v2 and the legacy four-element folder a pre-scheduler
+// release persisted.
+func TestCheckpointFormats(t *testing.T) {
+	sys, managers := testRig(t, 2)
+	m := managers[1]
+	cab := sys.SiteAt(1).Cabinet()
+
+	// A parked agent's briefcase checkpoints with its descriptor in tow.
+	parked := folder.NewBriefcase()
+	parked.PutString(core.ParkNameFolder, "sensor-7")
+	parked.PutString(core.ParkWatchFolder, "MBOX:sensor-7")
+	m.mu.Lock()
+	m.persistGuard(&guard{id: "fmt-1", hop: 2, watch: "site-0", bc: parked})
+	m.mu.Unlock()
+	f := cab.Snapshot(ArmFolderPrefix + "fmt-1/2")
+	if f.Len() != 5 {
+		t.Fatalf("checkpoint has %d elements, want 5", f.Len())
+	}
+	if desc, _ := f.StringAt(4); desc != "name=sensor-7;watch=MBOX:sensor-7" {
+		t.Fatalf("park descriptor = %q", desc)
+	}
+	if desc := ParkDescriptor(folder.NewBriefcase()); desc != "" {
+		t.Fatalf("never-parked briefcase has descriptor %q", desc)
+	}
+	cab.Delete(ArmFolderPrefix + "fmt-1/2")
+
+	// A legacy four-element checkpoint (no descriptor) still recovers.
+	legacy := folder.New()
+	legacy.PushString("legacy-1")
+	legacy.PushString("1")
+	legacy.PushString("site-0")
+	legacy.PushOwned(folder.EncodeBriefcase(folder.NewBriefcase()))
+	cab.Put(ArmFolderPrefix+"legacy-1/1", legacy)
+	if n := m.Recover(); n != 1 {
+		t.Fatalf("Recover re-armed %d guards from a legacy checkpoint, want 1", n)
+	}
+	if m.ActiveGuards() != 1 {
+		t.Fatalf("ActiveGuards = %d", m.ActiveGuards())
+	}
+	m.mu.Lock()
+	for _, g := range m.guards {
+		g.release()
+	}
+	m.mu.Unlock()
+}
+
 // TestReleasedGuardRemovesCheckpoint: a clean journey leaves no checkpoint
 // folders behind on any site.
 func TestReleasedGuardRemovesCheckpoint(t *testing.T) {

@@ -1,0 +1,69 @@
+package sched
+
+import (
+	"context"
+	"sync"
+)
+
+// Handle tracks one asynchronous task. The zero value is ready for use:
+// declare one and pass it to the submitting API (core's Async meet
+// option); the submitter arms it and the task completes it.
+type Handle struct {
+	mu   sync.Mutex
+	done chan struct{}
+	err  error
+}
+
+// ch lazily creates the completion channel, so the zero value works and
+// Done/Wait may be called before or after submission.
+func (h *Handle) ch() chan struct{} {
+	h.mu.Lock()
+	if h.done == nil {
+		h.done = make(chan struct{})
+	}
+	d := h.done
+	h.mu.Unlock()
+	return d
+}
+
+// Done returns a channel closed when the task has completed.
+func (h *Handle) Done() <-chan struct{} { return h.ch() }
+
+// Complete records the task's outcome and releases waiters. The scheduler
+// or kernel calls it exactly once per submission; later calls are no-ops
+// so a Handle cannot be double-closed.
+func (h *Handle) Complete(err error) {
+	h.mu.Lock()
+	if h.done == nil {
+		h.done = make(chan struct{})
+	}
+	select {
+	case <-h.done:
+	default:
+		h.err = err
+		close(h.done)
+	}
+	h.mu.Unlock()
+}
+
+// Err returns the task's error; call it after Done is closed (before
+// completion it reports nil).
+func (h *Handle) Err() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.err
+}
+
+// Wait blocks until the task completes (returning its error) or ctx is
+// done (returning ctx's error).
+func (h *Handle) Wait(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-h.ch():
+		return h.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,158 @@
+package sched
+
+import "sync"
+
+// The parked-agent table: the volatile half of a parked agent. An entry is
+// a few strings and an interface — no goroutine, no stack, no briefcase
+// (the continuation lives durably in the site cabinet, owned by the
+// kernel). Waking an agent removes its entry and submits its resume as an
+// ordinary task, so a million parked agents cost heap, not stacks.
+//
+// Two independently sharded indexes: by agent key (Wake, the meet-delivery
+// path) and by topic (WakeTopic, the mailbox-deposit path). Neither lock
+// nests inside the other; the key shard is the single source of truth and
+// a topic hit that loses the race to a concurrent Wake is a harmless
+// no-op, so wakeups are idempotent.
+
+// Resumer resumes a parked agent. The kernel's Site implements it: Resume
+// reloads the agent's continuation briefcase from the cabinet and runs it.
+// Resume is called on a pool worker, never on the waker's goroutine.
+type Resumer interface {
+	Resume(key string)
+}
+
+type parkEntry struct {
+	key   string
+	topic string
+	r     Resumer
+}
+
+type parkShard struct {
+	mu      sync.Mutex
+	entries map[string]*parkEntry
+}
+
+type topicShard struct {
+	mu   sync.Mutex
+	keys map[string]map[string]struct{}
+}
+
+// Park registers a parked agent under key, to be woken by Wake(key) or —
+// when topic is non-empty — by WakeTopic(topic). Re-parking an existing
+// key replaces its entry (the agent re-parked with a fresh watermark).
+// Park never blocks on the run queues and costs no goroutine.
+func (s *Scheduler) Park(key, topic string, r Resumer) {
+	e := &parkEntry{key: key, topic: topic, r: r}
+	sh := &s.parked[shardOf(key)]
+	sh.mu.Lock()
+	old := sh.entries[key]
+	sh.entries[key] = e
+	sh.mu.Unlock()
+	if old != nil && old.topic != "" && old.topic != topic {
+		s.dropTopic(old.topic, key)
+	}
+	if topic != "" && (old == nil || old.topic != topic) {
+		ts := &s.topics[shardOf(topic)]
+		ts.mu.Lock()
+		set := ts.keys[topic]
+		if set == nil {
+			set = make(map[string]struct{})
+			ts.keys[topic] = set
+		}
+		set[key] = struct{}{}
+		ts.mu.Unlock()
+	}
+}
+
+// dropTopic removes key from a topic's waiter set.
+func (s *Scheduler) dropTopic(topic, key string) {
+	ts := &s.topics[shardOf(topic)]
+	ts.mu.Lock()
+	if set := ts.keys[topic]; set != nil {
+		delete(set, key)
+		if len(set) == 0 {
+			delete(ts.keys, topic)
+		}
+	}
+	ts.mu.Unlock()
+}
+
+// take removes and returns the parked entry for key, if any.
+func (s *Scheduler) take(key string) *parkEntry {
+	sh := &s.parked[shardOf(key)]
+	sh.mu.Lock()
+	e := sh.entries[key]
+	if e != nil {
+		delete(sh.entries, key)
+	}
+	sh.mu.Unlock()
+	if e != nil && e.topic != "" {
+		s.dropTopic(e.topic, key)
+	}
+	return e
+}
+
+// Wake unparks the agent under key and submits its resume to the run
+// queues. It reports whether an agent was actually woken; waking an
+// absent (or already-woken) key is a no-op, which is what makes
+// concurrent wake sources — a meet delivery racing a mailbox deposit —
+// safe without coordination.
+func (s *Scheduler) Wake(key string) bool {
+	e := s.take(key)
+	if e == nil {
+		return false
+	}
+	s.Submit(key, func() { e.r.Resume(e.key) })
+	return true
+}
+
+// WakeTopic wakes every agent parked on topic, returning how many were
+// woken. Each wake is an independent Wake(key), so a racer that already
+// took one of the keys just shrinks the count.
+func (s *Scheduler) WakeTopic(topic string) int {
+	if topic == "" {
+		return 0
+	}
+	ts := &s.topics[shardOf(topic)]
+	ts.mu.Lock()
+	set := ts.keys[topic]
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	ts.mu.Unlock()
+	n := 0
+	for _, k := range keys {
+		if s.Wake(k) {
+			n++
+		}
+	}
+	return n
+}
+
+// Unpark removes a parked agent without resuming it (retirement); it
+// reports whether the key was parked.
+func (s *Scheduler) Unpark(key string) bool {
+	return s.take(key) != nil
+}
+
+// IsParked reports whether key currently has a parked entry.
+func (s *Scheduler) IsParked(key string) bool {
+	sh := &s.parked[shardOf(key)]
+	sh.mu.Lock()
+	_, ok := sh.entries[key]
+	sh.mu.Unlock()
+	return ok
+}
+
+// ParkedCount reports the current parked-agent population.
+func (s *Scheduler) ParkedCount() int {
+	n := 0
+	for i := range s.parked {
+		sh := &s.parked[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,283 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSubmitRunsTasks(t *testing.T) {
+	s := New(0)
+	var n atomic.Int64
+	for i := 0; i < 1000; i++ {
+		s.Submit(fmt.Sprintf("agent-%d", i), func() { n.Add(1) })
+	}
+	s.Quiesce()
+	if got := n.Load(); got != 1000 {
+		t.Fatalf("ran %d tasks, want 1000", got)
+	}
+	if st := s.Stats(); st.Submitted != 1000 {
+		t.Fatalf("Submitted = %d, want 1000", st.Submitted)
+	}
+}
+
+func TestWorkerPoolBounded(t *testing.T) {
+	s := New(4)
+	var wg sync.WaitGroup
+	release := make(chan struct{})
+	var running atomic.Int64
+	var maxSeen atomic.Int64
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		s.Submit(fmt.Sprintf("a%d", i), func() {
+			defer wg.Done()
+			cur := running.Add(1)
+			for {
+				m := maxSeen.Load()
+				if cur <= m || maxSeen.CompareAndSwap(m, cur) {
+					break
+				}
+			}
+			<-release
+			running.Add(-1)
+		})
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if m := maxSeen.Load(); m > 4 {
+		t.Fatalf("%d tasks ran concurrently, pool bound is 4", m)
+	}
+}
+
+func TestWorkStealing(t *testing.T) {
+	s := New(2)
+	// Saturate one shard key so the second worker has to steal from it.
+	var n atomic.Int64
+	block := make(chan struct{})
+	s.Submit("hot", func() { <-block; n.Add(1) })
+	for i := 0; i < 100; i++ {
+		s.Submit("hot", func() { n.Add(1) })
+	}
+	close(block)
+	s.Quiesce()
+	if got := n.Load(); got != 101 {
+		t.Fatalf("ran %d, want 101", got)
+	}
+}
+
+func TestQuiesceCoversSpawn(t *testing.T) {
+	s := New(0)
+	var done atomic.Bool
+	s.Spawn(func() {
+		time.Sleep(20 * time.Millisecond)
+		s.Submit("child", func() {
+			time.Sleep(10 * time.Millisecond)
+			done.Store(true)
+		})
+	})
+	s.Quiesce()
+	if !done.Load() {
+		t.Fatal("Quiesce returned before spawned-then-submitted work finished")
+	}
+}
+
+func TestWorkersRetireWhenIdle(t *testing.T) {
+	s := New(0)
+	for i := 0; i < 32; i++ {
+		s.Submit(fmt.Sprintf("a%d", i), func() {})
+	}
+	s.Quiesce()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := s.Stats(); st.Workers == 0 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("workers never retired: %+v", s.Stats())
+}
+
+// resumerFunc adapts a func to Resumer.
+type resumerFunc func(key string)
+
+func (f resumerFunc) Resume(key string) { f(key) }
+
+func TestParkWakeBasics(t *testing.T) {
+	s := New(0)
+	var woken sync.Map
+	r := resumerFunc(func(key string) { woken.Store(key, true) })
+
+	s.Park("a", "topic-1", r)
+	s.Park("b", "topic-1", r)
+	s.Park("c", "", r)
+	if !s.IsParked("a") || s.ParkedCount() != 3 {
+		t.Fatalf("parked state wrong: count=%d", s.ParkedCount())
+	}
+	if !s.Wake("c") {
+		t.Fatal("Wake(c) found nothing")
+	}
+	if s.Wake("c") {
+		t.Fatal("double Wake(c) woke twice")
+	}
+	if n := s.WakeTopic("topic-1"); n != 2 {
+		t.Fatalf("WakeTopic woke %d, want 2", n)
+	}
+	if n := s.WakeTopic("topic-1"); n != 0 {
+		t.Fatalf("second WakeTopic woke %d, want 0", n)
+	}
+	s.Quiesce()
+	for _, k := range []string{"a", "b", "c"} {
+		if _, ok := woken.Load(k); !ok {
+			t.Fatalf("agent %s never resumed", k)
+		}
+	}
+	if s.ParkedCount() != 0 {
+		t.Fatalf("ParkedCount = %d after waking all", s.ParkedCount())
+	}
+}
+
+func TestUnparkRemovesWithoutResume(t *testing.T) {
+	s := New(0)
+	var resumed atomic.Bool
+	s.Park("x", "t", resumerFunc(func(string) { resumed.Store(true) }))
+	if !s.Unpark("x") {
+		t.Fatal("Unpark found nothing")
+	}
+	if s.Wake("x") || s.WakeTopic("t") != 0 {
+		t.Fatal("unparked key still wakeable")
+	}
+	s.Quiesce()
+	if resumed.Load() {
+		t.Fatal("Unpark resumed the agent")
+	}
+}
+
+func TestReparkReplacesTopic(t *testing.T) {
+	s := New(0)
+	var n atomic.Int64
+	r := resumerFunc(func(string) { n.Add(1) })
+	s.Park("x", "old-topic", r)
+	s.Park("x", "new-topic", r)
+	if s.WakeTopic("old-topic") != 0 {
+		t.Fatal("stale topic still wakes after re-park")
+	}
+	if s.WakeTopic("new-topic") != 1 {
+		t.Fatal("new topic did not wake")
+	}
+	s.Quiesce()
+	if n.Load() != 1 {
+		t.Fatalf("resumed %d times, want 1", n.Load())
+	}
+}
+
+// TestParkWakeStorm is the -race stress: many depositors waking many parked
+// agents across shards, with every agent re-parking itself a few times.
+// Exactly one resume per wake must be observed, no matter how wakes race.
+func TestParkWakeStorm(t *testing.T) {
+	s := New(0)
+	const agents = 200
+	const rounds = 5
+	var resumes atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(agents * rounds)
+	var r Resumer
+	round := make([]atomic.Int64, agents)
+	r = resumerFunc(func(key string) {
+		resumes.Add(1)
+		var idx int
+		fmt.Sscanf(key, "agent-%d", &idx)
+		if round[idx].Add(1) < rounds {
+			s.Park(key, fmt.Sprintf("topic-%d", idx%7), r)
+		}
+		wg.Done()
+	})
+	for i := 0; i < agents; i++ {
+		s.Park(fmt.Sprintf("agent-%d", i), fmt.Sprintf("topic-%d", i%7), r)
+	}
+	// Depositors race: half wake by key, half by topic; every agent must be
+	// resumed exactly agents*rounds times in total.
+	done := make(chan struct{})
+	for d := 0; d < 8; d++ {
+		go func(d int) {
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if d%2 == 0 {
+					s.WakeTopic(fmt.Sprintf("topic-%d", d%7))
+				} else {
+					s.Wake(fmt.Sprintf("agent-%d", d*13%agents))
+				}
+				for i := 0; i < agents; i += 3 {
+					s.Wake(fmt.Sprintf("agent-%d", i))
+				}
+				for tp := 0; tp < 7; tp++ {
+					s.WakeTopic(fmt.Sprintf("topic-%d", tp))
+				}
+			}
+		}(d)
+	}
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("storm stalled: %d resumes of %d", resumes.Load(), agents*rounds)
+	}
+	close(done)
+	s.Quiesce()
+	if got := resumes.Load(); got != agents*rounds {
+		t.Fatalf("resumes = %d, want %d", got, agents*rounds)
+	}
+}
+
+// TestParkedAgentsAddNoGoroutines is the scheduler-level goroutine
+// invariant: parking any number of agents spawns nothing.
+func TestParkedAgentsAddNoGoroutines(t *testing.T) {
+	s := New(0)
+	before := runtime.NumGoroutine()
+	r := resumerFunc(func(string) {})
+	for i := 0; i < 100000; i++ {
+		s.Park(fmt.Sprintf("agent-%d", i), fmt.Sprintf("topic-%d", i%97), r)
+	}
+	after := runtime.NumGoroutine()
+	if after > before {
+		t.Fatalf("parking 100k agents grew goroutines %d -> %d", before, after)
+	}
+	if s.ParkedCount() != 100000 {
+		t.Fatalf("ParkedCount = %d", s.ParkedCount())
+	}
+}
+
+func TestHandle(t *testing.T) {
+	var h Handle
+	select {
+	case <-h.Done():
+		t.Fatal("zero Handle already done")
+	default:
+	}
+	errBoom := errors.New("boom")
+	go h.Complete(errBoom)
+	if err := h.Wait(context.Background()); !errors.Is(err, errBoom) {
+		t.Fatalf("Wait = %v, want boom", err)
+	}
+	h.Complete(nil) // idempotent; must not panic or overwrite
+	if !errors.Is(h.Err(), errBoom) {
+		t.Fatalf("Err = %v after second Complete", h.Err())
+	}
+
+	var h2 Handle
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := h2.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait on cancelled ctx = %v", err)
+	}
+}

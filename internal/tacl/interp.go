@@ -34,6 +34,13 @@ type Interp struct {
 	// return an error to abort the agent (used to charge electronic cash
 	// for cycles).
 	StepHook func() error
+	// YieldEvery, when positive, invokes Yield every YieldEvery command
+	// evaluations. The kernel sets it so a long-running script running on a
+	// bounded scheduler worker pool yields its worker between budget
+	// slices; a yield is a preemption point, not an abort.
+	YieldEvery int
+	// Yield is the preemption callback paired with YieldEvery.
+	Yield func()
 	// Out receives the output of puts.
 	Out io.Writer
 	// Host carries an opaque per-activation binding context for host
@@ -132,6 +139,27 @@ func IsJump(err error) (string, bool) {
 // JumpSignal constructs the stop signal for a migration to dest. Only the
 // kernel's migration commands should raise it.
 func JumpSignal(dest string) error { return &jumpSignal{dest: dest} }
+
+// parkSignal aborts script execution after a successful park; the kernel's
+// park command raises it so no code after park runs in this activation —
+// the script restarts from the top when the agent is woken.
+type parkSignal struct{ name string }
+
+func (p *parkSignal) Error() string { return "tacl: agent parked as " + p.name }
+
+// IsPark reports whether err is the post-park stop signal and, if so, the
+// park name.
+func IsPark(err error) (string, bool) {
+	var ps *parkSignal
+	if errors.As(err, &ps) {
+		return ps.name, true
+	}
+	return "", false
+}
+
+// ParkSignal constructs the stop signal for a park under name. Only the
+// kernel's park command should raise it.
+func ParkSignal(name string) error { return &parkSignal{name: name} }
 
 // Table is a shared, read-mostly command table: the prototype for many
 // interpreters. Lookups are lock-free (an atomically published map
@@ -272,6 +300,8 @@ func Put(in *Interp) {
 	in.MaxSteps = 0
 	in.Steps = 0
 	in.StepHook = nil
+	in.YieldEvery = 0
+	in.Yield = nil
 	in.Out = io.Discard
 	in.Host = nil
 	in.depth = 0
@@ -357,6 +387,9 @@ func (in *Interp) evalCommand(c *command) (string, error) {
 	in.Steps++
 	if in.MaxSteps > 0 && in.Steps > in.MaxSteps {
 		return "", fmt.Errorf("%w after %d steps (line %d)", ErrBudget, in.Steps-1, c.line)
+	}
+	if in.YieldEvery > 0 && in.Yield != nil && in.Steps%in.YieldEvery == 0 {
+		in.Yield()
 	}
 	if in.StepHook != nil {
 		if err := in.StepHook(); err != nil {

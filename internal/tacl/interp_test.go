@@ -328,6 +328,45 @@ func TestStepHook(t *testing.T) {
 	}
 }
 
+func TestYieldEvery(t *testing.T) {
+	in := New()
+	yields := 0
+	in.YieldEvery = 10
+	in.Yield = func() { yields++ }
+	if _, err := in.Eval(`set i 0; while {$i < 40} {set i [expr {$i + 1}]}`); err != nil {
+		t.Fatal(err)
+	}
+	// The exact count depends on how commands decompose into steps; what
+	// matters: the hook fires periodically, about steps/YieldEvery times.
+	if yields < 5 || yields > in.Steps/10+1 {
+		t.Fatalf("yields = %d over %d steps with YieldEvery=10", yields, in.Steps)
+	}
+
+	// Unset (the default), it never fires.
+	in2 := New()
+	fired := false
+	in2.Yield = func() { fired = true }
+	if _, err := in2.Eval(`set x 1; set y 2`); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("Yield fired with YieldEvery unset")
+	}
+}
+
+func TestParkSignal(t *testing.T) {
+	err := ParkSignal("resident-1")
+	if name, ok := IsPark(err); !ok || name != "resident-1" {
+		t.Fatalf("IsPark = %q, %v", name, ok)
+	}
+	if _, ok := IsPark(errors.New("plain")); ok {
+		t.Fatal("plain error detected as park signal")
+	}
+	if _, ok := IsJump(err); ok {
+		t.Fatal("park signal detected as jump")
+	}
+}
+
 func TestCatch(t *testing.T) {
 	evalCases(t, map[string]string{
 		`catch {error boom} msg; set msg`: "boom",

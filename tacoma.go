@@ -24,13 +24,25 @@
 // Native Go services implement the Agent interface and are registered at
 // sites with Site.Register.
 //
+// A client meets an agent through the unified entry point
+//
+//	err := site.Meet(ctx, "ag_mailbox", bc)                       // local, synchronous
+//	err = site.Meet(ctx, "ag_mailbox", bc, tacoma.At("site-2"))   // at another site
+//	err = site.Meet(ctx, "worker", bc, tacoma.Async(&h))          // detached; h reports completion
+//
+// and agents that want to wait without holding a goroutine park
+// themselves (TacL: the park command); a parked agent is pure cabinet
+// state until a meet, a mail deposit, or a Wake on its watched folder
+// re-schedules it.
+//
 // Subsystem entry points:
 //
 //   - electronic cash:  cash.NewBank, cash.Purchase, cash.NewCycleBilling
-//   - security:         guard.Install, guard.SignedScript, guard.NewMeter
-//   - scheduling:       broker.Install, broker.NewMonitor, broker.InstallTicketAgent
-//   - fault tolerance:  rearguard.Install, Manager.Launch
-//   - applications:     stormcast.NewField, mail.Send
+//   - security:         InstallGuard, SignedScript, NewMeter
+//   - scheduling:       InstallBroker, broker.NewMonitor, broker.InstallTicketAgent
+//   - fault tolerance:  InstallRearGuard, RearGuard.Launch
+//   - fleet membership: NewMesh (gossip discovery + consistent-hash placement)
+//   - applications:     InstallMailbox, SendMail; stormcast.NewField
 //
 // Those packages live under internal/ in this module; the facade re-exports
 // the kernel types needed to use them together.
@@ -38,10 +50,16 @@ package tacoma
 
 import (
 	"context"
+	"time"
 
+	"repro/internal/broker"
 	"repro/internal/core"
 	"repro/internal/folder"
 	"repro/internal/guard"
+	"repro/internal/mail"
+	"repro/internal/mesh"
+	"repro/internal/rearguard"
+	"repro/internal/sched"
 	"repro/internal/store"
 	"repro/internal/tacl"
 	"repro/internal/vnet"
@@ -63,6 +81,20 @@ type (
 	AgentFunc = core.AgentFunc
 	// MeetContext carries the execution context of one meet.
 	MeetContext = core.MeetContext
+	// MeetOption tunes one Site.Meet call (At, Async, Deadline).
+	MeetOption = core.MeetOption
+	// WireStats is a snapshot of a site's delta-protocol accounting.
+	WireStats = core.WireStats
+)
+
+// Scheduler types. Every site runs a zero-goroutine agent scheduler:
+// activations are tasks on per-shard run queues, parked agents are pure
+// cabinet state, and the worker pool never exceeds GOMAXPROCS.
+type (
+	// Handle reports completion of a detached (Async) meet.
+	Handle = sched.Handle
+	// SchedStats is a snapshot of a site scheduler's counters.
+	SchedStats = sched.Stats
 )
 
 // Data abstractions.
@@ -112,6 +144,34 @@ type (
 	// BillingRecord documents one accountability event.
 	BillingRecord = guard.BillingRecord
 )
+
+// Fleet-membership types (the mesh subsystem: gossip discovery and
+// consistent-hash agent placement across many sites).
+type (
+	// Mesh is one site's membership view of the fleet.
+	Mesh = mesh.Mesh
+	// MeshConfig tunes gossip cadence, fanout, and failure detection.
+	MeshConfig = mesh.Config
+	// Ring is an immutable consistent-hash snapshot of the live sites.
+	Ring = mesh.Ring
+)
+
+// Brokerage types (resource scheduling via broker agents).
+type Broker = broker.Broker
+
+// Fault-tolerance types (the rear-guard subsystem).
+type (
+	// RearGuard manages rear-guard agents: checkpointed itinerant
+	// computations that relaunch from the last checkpoint on site failure.
+	RearGuard = rearguard.Manager
+	// RearGuardConfig describes one guarded itinerant launch.
+	RearGuardConfig = rearguard.Config
+	// RearGuardResult reports how a guarded computation ended.
+	RearGuardResult = rearguard.Result
+)
+
+// Message is one electronic-mail message (the paper's mail application).
+type Message = mail.Message
 
 // Interp is a TacL interpreter, exposed for embedding TacL outside agents.
 type Interp = tacl.Interp
@@ -238,4 +298,48 @@ func SignedScript(k *Keyring, principal, home, src string, bc *Briefcase) (*Brie
 // LaunchSigned starts a prepared signed agent at a site.
 func LaunchSigned(ctx context.Context, s *Site, bc *Briefcase) error {
 	return guard.Launch(ctx, s, bc)
+}
+
+// At directs a Meet to the named site: the briefcase travels there, the
+// agent executes there, and the mutated briefcase folds back on success.
+func At(dest SiteID) MeetOption { return core.At(dest) }
+
+// Async detaches a Meet: the call returns immediately and h reports
+// completion. Site.Wait quiesces outstanding asynchronous meets.
+func Async(h *Handle) MeetOption { return core.Async(h) }
+
+// Deadline bounds a Meet: the cancellation context expires at t.
+func Deadline(t time.Time) MeetOption { return core.Deadline(t) }
+
+// NewMesh attaches a fleet-membership mesh to a site. Join (or Start, on
+// the first site) brings it into the gossip group; Ring() then places
+// agents on live sites by consistent hashing.
+func NewMesh(s *Site, cfg MeshConfig) *Mesh { return mesh.New(s, cfg) }
+
+// NewBroker creates a standalone broker (resource scheduling state).
+func NewBroker() *Broker { return broker.NewBroker() }
+
+// InstallBroker registers the broker agent at a site and returns its
+// broker, ready for provider registrations and client requests.
+func InstallBroker(s *Site) *Broker { return broker.Install(s) }
+
+// InstallRearGuard registers the rear-guard agents at a site and returns
+// the manager used to Launch guarded itinerant computations and Recover
+// persisted checkpoints after a restart.
+func InstallRearGuard(s *Site) *RearGuard { return rearguard.Install(s) }
+
+// InstallMailbox registers the mailbox agent at a site, making it a mail
+// host for addresses of the form "user@site". Depositing mail wakes any
+// agent parked on the recipient's mailbox folder.
+func InstallMailbox(s *Site) { mail.InstallMailbox(s) }
+
+// SendMail dispatches a message via a courier agent from the given site;
+// wantReceipt asks the courier to carry a delivery receipt home.
+func SendMail(ctx context.Context, from *Site, msg Message, wantReceipt bool) error {
+	return mail.Send(ctx, from, msg, wantReceipt)
+}
+
+// ListMail fetches the messages in user's mailbox at a mail host.
+func ListMail(ctx context.Context, client *Site, user string, at SiteID) ([]Message, error) {
+	return mail.List(ctx, client, user, at)
 }

@@ -154,6 +154,92 @@ func TestFacadeCabinetAccess(t *testing.T) {
 	}
 }
 
+// TestFacadeUnifiedMeet drives the redesigned entry point and its options
+// entirely through the facade.
+func TestFacadeUnifiedMeet(t *testing.T) {
+	sys := NewSystem(2, SystemConfig{Seed: 1})
+	defer sys.Wait()
+	a, b := sys.SiteAt(0), sys.SiteAt(1)
+	for _, s := range []*Site{a, b} {
+		s.Register("where", AgentFunc(func(mc *MeetContext, bc *Briefcase) error {
+			bc.PutString("AT", string(mc.Site.ID()))
+			return nil
+		}))
+	}
+	bc := NewBriefcase()
+	if err := a.Meet(context.Background(), "where", bc,
+		At(b.ID()), Deadline(time.Now().Add(time.Minute))); err != nil {
+		t.Fatal(err)
+	}
+	if at, _ := bc.GetString("AT"); at != "site-1" {
+		t.Fatalf("At(site-1) ran at %q", at)
+	}
+	var h Handle
+	bc = NewBriefcase()
+	if err := a.Meet(context.Background(), "where", bc, Async(&h)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if at, _ := bc.GetString("AT"); at != "site-0" {
+		t.Fatalf("Async ran at %q", at)
+	}
+	if st := a.WireStats(); st.MeetsV2+st.MeetsV1 == 0 {
+		t.Fatalf("WireStats = %+v, expected a sent meet", st)
+	}
+}
+
+// TestFacadeSubsystemCatchUp exercises the re-exported subsystem surface:
+// mesh, broker, rear guard, and mail — including a mail deposit waking a
+// parked agent through the facade.
+func TestFacadeSubsystemCatchUp(t *testing.T) {
+	sys := NewSystem(2, SystemConfig{Seed: 1})
+	defer sys.Wait()
+	a, b := sys.SiteAt(0), sys.SiteAt(1)
+
+	m := NewMesh(a, MeshConfig{})
+	m.Start()
+	defer m.Stop()
+	var ring *Ring = m.Ring()
+	if owner, ok := ring.Owner("anyone"); !ok || owner != a.ID() {
+		t.Fatalf("one-site ring owner = %q, %v", owner, ok)
+	}
+
+	var br *Broker = InstallBroker(a)
+	if br == nil {
+		t.Fatal("InstallBroker returned nil")
+	}
+	var rg *RearGuard = InstallRearGuard(a)
+	if rg.ActiveGuards() != 0 {
+		t.Fatal("fresh rear-guard manager has active guards")
+	}
+
+	InstallMailbox(a)
+	InstallMailbox(b)
+	if _, err := RunScript(context.Background(), b, `
+		if {![bc_has PARK_HOP]} { park fred-notifier MBOX:fred }
+		cab_append NOTIFIED x
+	`, nil); err != nil {
+		t.Fatal(err)
+	}
+	msg := Message{From: "ann@site-0", To: "fred@site-1", Subject: "hi", Body: "wake up"}
+	if err := SendMail(context.Background(), a, msg, false); err != nil {
+		t.Fatal(err)
+	}
+	sys.Wait()
+	if n := b.Cabinet().FolderLen("NOTIFIED"); n != 1 {
+		t.Fatalf("mail deposit woke parked agent %d times, want 1", n)
+	}
+	msgs, err := ListMail(context.Background(), a, "fred", b.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || msgs[0].Subject != "hi" {
+		t.Fatalf("ListMail = %+v", msgs)
+	}
+}
+
 func TestFacadeNetworkControls(t *testing.T) {
 	sys := NewSystem(2, SystemConfig{CallTimeout: 20 * time.Millisecond})
 	sys.Net.Crash("site-1")
