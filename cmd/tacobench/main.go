@@ -31,6 +31,7 @@ import (
 
 	tacoma "repro"
 	"repro/internal/core"
+	"repro/internal/repl"
 	"repro/internal/vnet"
 )
 
@@ -70,7 +71,7 @@ func main() {
 
 func run() error {
 	var (
-		modes       = flag.String("modes", "local,cabinet,remote,guarded,script,hop,durable,durable-naive,mixed,parked,fleet,fleet-lookup,fleet-converge", "comma-separated workloads to run")
+		modes       = flag.String("modes", "local,cabinet,remote,guarded,script,hop,durable,durable-naive,replicated,mixed,parked,fleet,fleet-lookup,fleet-converge", "comma-separated workloads to run")
 		concurrency = flag.Int("concurrency", 2*runtime.GOMAXPROCS(0), "concurrent client goroutines per workload")
 		duration    = flag.Duration("duration", 2*time.Second, "measurement window per workload")
 		payload     = flag.Int("payload", 64, "briefcase payload element size in bytes")
@@ -262,9 +263,11 @@ func buildWorkload(mode string, o benchOpts) (workload, error) {
 	case "hop":
 		return hopWorkload(concurrency, payload)
 	case "durable":
-		return durableWorkload(payload, false)
+		return durableWorkload(payload, false, false)
 	case "durable-naive":
-		return durableWorkload(payload, true)
+		return durableWorkload(payload, true, false)
+	case "replicated":
+		return durableWorkload(payload, false, true)
 	case "parked":
 		return parkedWorkload(o.parkedPop, concurrency, payload)
 	case "fleet":
@@ -287,7 +290,7 @@ func buildWorkload(mode string, o benchOpts) (workload, error) {
 			cleanup: remote.cleanup,
 		}, nil
 	default:
-		return workload{}, fmt.Errorf("unknown mode %q (want local, cabinet, remote, guarded, script, hop, durable, durable-naive, parked, fleet, fleet-lookup, fleet-converge, or mixed)", mode)
+		return workload{}, fmt.Errorf("unknown mode %q (want local, cabinet, remote, guarded, script, hop, durable, durable-naive, replicated, parked, fleet, fleet-lookup, fleet-converge, or mixed)", mode)
 	}
 }
 
@@ -493,8 +496,12 @@ const (
 // exceeds 1k elements — all journaled, with one group-committed fdatasync
 // barrier per meet. naive switches the WAL to fsync-per-mutation, the
 // baseline the group-commit design exists to beat (see DESIGN.md § Durable
-// cabinets for the measured gap).
-func durableWorkload(payload int, naive bool) (workload, error) {
+// cabinets for the measured gap). replicated attaches a repl follower (its
+// own fdatasynced replica directory) shipping in the background, measuring
+// what WAL shipping costs the durable meet path — asynchronous shipping
+// means the answer should be "disk contention only", and the lane proves
+// or disproves that.
+func durableWorkload(payload int, naive, replicated bool) (workload, error) {
 	dir, err := os.MkdirTemp("", "tacobench-wal-")
 	if err != nil {
 		return workload{}, err
@@ -559,6 +566,53 @@ func durableWorkload(payload int, naive bool) (workload, error) {
 			return nil
 		}))
 
+	// The replicated lane attaches a follower with its own fdatasynced
+	// replica directory on a private two-node sim net (shipping is a lane
+	// RPC; it needs a wire, not the meet path's site). The meet workload is
+	// byte-identical to the durable lane — the delta between the two lanes
+	// IS the cost of background WAL shipping.
+	teardown := func() {
+		wal.Close()
+		os.RemoveAll(dir)
+	}
+	if replicated {
+		repDir, err := os.MkdirTemp("", "tacobench-replica-")
+		if err != nil {
+			wal.Close()
+			os.RemoveAll(dir)
+			return workload{}, err
+		}
+		rnet := vnet.NewNetwork(vnet.WithSeed(1))
+		nodeL, nodeF := rnet.AddNode("bench-ldr"), rnet.AddNode("bench-rep")
+		fsite := core.NewSite(nodeF, core.SiteConfig{
+			Admission: func(agent, from string) error { return fmt.Errorf("standby") },
+		})
+		fol, err := repl.NewFollower(fsite, repl.FollowerConfig{
+			Dir: repDir, Leader: "bench-ldr",
+		})
+		if err != nil {
+			wal.Close()
+			os.RemoveAll(dir)
+			os.RemoveAll(repDir)
+			return workload{}, err
+		}
+		ldr := repl.StartLeader(nodeL, wal, repl.LeaderConfig{Follower: "bench-rep"})
+		teardown = func() {
+			// Drain first: a lane that finishes with unbounded lag would be
+			// measuring a queue, not replication.
+			dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			if err := ldr.Drain(dctx); err != nil {
+				fmt.Fprintf(os.Stderr, "tacobench: replicated drain: %v\n", err)
+			}
+			cancel()
+			ldr.Stop()
+			fol.Close()
+			wal.Close()
+			os.RemoveAll(dir)
+			os.RemoveAll(repDir)
+		}
+	}
+
 	bcs := make([]*tacoma.Briefcase, durableConcurrency)
 	seqs := make([]int, durableConcurrency)
 	for i := range bcs {
@@ -577,10 +631,7 @@ func durableWorkload(payload int, naive bool) (workload, error) {
 			bcs[worker].PutString("REQ", fmt.Sprintf("%d/%d", worker, seqs[worker]))
 			return site.MeetClient(context.Background(), "deliver", bcs[worker])
 		},
-		cleanup: func() {
-			wal.Close()
-			os.RemoveAll(dir)
-		},
+		cleanup:     teardown,
 		concurrency: durableConcurrency,
 	}, nil
 }

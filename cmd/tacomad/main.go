@@ -11,6 +11,18 @@
 // diffusion), a mailbox, and the rear-guard machinery, and registers each
 // -peer in the site-local SITES folder so diffusion agents can spread.
 //
+// A WAL-backed daemon (-wal) can be paired with a cold standby for
+// failover: the leader adds -replica-listen name=host:port to ship its WAL
+// to the standby in the background, and the standby runs with -replica-of
+// leader -wal <dir> — refusing meets, landing shipped bytes durably, and
+// promoting itself in place (guards re-armed, parked agents re-registered)
+// when the leader dies:
+//
+//	tacomad -site L -listen 127.0.0.1:7100 -wal /var/l.wal \
+//	        -replica-listen F=127.0.0.1:7200
+//	tacomad -site F -listen 127.0.0.1:7200 -wal /var/f.wal \
+//	        -replica-of L -peer L=127.0.0.1:7100
+//
 // Guard flags turn the daemon into a firewall site: -firewall rejects
 // unsigned inbound agents, -enroll name=hexkey installs signature keys,
 // -allow name=agents grants meet capabilities, -meter-steps/-activation-fee
@@ -33,6 +45,7 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -42,6 +55,7 @@ import (
 	"repro/internal/mail"
 	"repro/internal/mesh"
 	"repro/internal/rearguard"
+	"repro/internal/repl"
 	"repro/internal/store"
 	"repro/internal/vnet"
 )
@@ -97,6 +111,13 @@ func main() {
 	var meshSeeds strList
 	flag.Var(&meshSeeds, "mesh-seed", "mesh seed site name, must also be a -peer (repeatable)")
 
+	// Replication flags: a leader ships its WAL to a standby
+	// (-replica-listen names the standby); the standby runs with
+	// -replica-of and promotes itself when the leader dies.
+	replicaOf := flag.String("replica-of", "", "run as a cold standby replica of this leader site (must also be a -peer): shipped WAL bytes land in -wal, the leader is probed, and on its death this site promotes in place; requires -wal")
+	replicaListen := flag.String("replica-listen", "", "ship this site's WAL to the standby replica listening at name=host:port; requires -wal")
+	probeInterval := flag.Duration("replica-probe-interval", 250*time.Millisecond, "with -replica-of, the pause between leader-death probe rounds")
+
 	// Guard subsystem flags. Any of them installs a guard at the site.
 	firewall := flag.Bool("firewall", false, "reject unsigned/unauthorized inbound agents at the network boundary")
 	requireCash := flag.Bool("require-cash", false, "firewall additionally rejects agents carrying no electronic cash")
@@ -128,6 +149,16 @@ func main() {
 	if *flushInterval < 0 {
 		log.Fatalf("tacomad: -flush-interval must be positive, got %v", *flushInterval)
 	}
+	follower := *replicaOf != ""
+	if follower && *replicaListen != "" {
+		log.Fatalf("tacomad: -replica-of and -replica-listen are mutually exclusive (no chained replication)")
+	}
+	if follower && *walDir == "" {
+		log.Fatalf("tacomad: -replica-of needs -wal (the replica directory)")
+	}
+	if *replicaListen != "" && *walDir == "" {
+		log.Fatalf("tacomad: -replica-listen needs -wal (there is nothing to ship otherwise)")
+	}
 
 	// "File cabinets can be flushed to disk when permanence is required."
 	// -wal is the recommended mode: every mutation is crash-durable via the
@@ -138,12 +169,28 @@ func main() {
 	// acknowledged — against a half-recovered, journal-less cabinet.
 	// -cabinet remains as the legacy whole-image mode (shutdown flush,
 	// optionally periodic).
+	// A sticky sync failure means durability is gone for good (the WAL
+	// refuses further commits); say so the moment it happens, loudly, not
+	// just as an error on whichever meet next hits the Sync path.
+	walOpt := store.Options{
+		Logf: log.Printf,
+		OnFailure: func(err error) {
+			log.Printf("tacomad: WAL SYNC FAILURE (sticky): %v — durability is lost and further commits are refused; restart this site on a healthy disk", err)
+		},
+	}
 	var wal *store.WAL
 	siteCfg := core.SiteConfig{MaxSteps: *maxSteps}
-	if *walDir != "" {
+	if follower {
+		// Standby replicas are a disk, not a place agents run: refuse
+		// every meet until promotion swaps in a live site.
+		leader := *replicaOf
+		siteCfg.Admission = func(agent, from string) error {
+			return fmt.Errorf("standby replica of %s", leader)
+		}
+	} else if *walDir != "" {
 		cab := folder.NewCabinet()
 		var werr error
-		wal, werr = store.Open(*walDir, cab, store.Options{Logf: log.Printf})
+		wal, werr = store.Open(*walDir, cab, walOpt)
 		if werr != nil {
 			log.Fatalf("tacomad: open WAL %s: %v", *walDir, werr)
 		}
@@ -155,11 +202,13 @@ func main() {
 	mail.InstallMailbox(s)
 	rgm := rearguard.Install(s)
 
+	var g *guard.Guard
 	if *firewall || *requireCash || *meterSteps > 0 || *activationFee > 0 ||
 		len(enrolls) > 0 || len(allows) > 0 {
-		g, err := buildGuard(*firewall, *requireCash, *meterSteps, *activationFee, enrolls, allows)
-		if err != nil {
-			log.Fatalf("tacomad: %v", err)
+		var gerr error
+		g, gerr = buildGuard(*firewall, *requireCash, *meterSteps, *activationFee, enrolls, allows)
+		if gerr != nil {
+			log.Fatalf("tacomad: %v", gerr)
 		}
 		guard.Install(s, g)
 		log.Printf("tacomad: guard installed (firewall=%v, metering=%v, principals=%v)",
@@ -270,15 +319,103 @@ func main() {
 		m.Start()
 	}
 
+	// Replication wiring. The leader ships asynchronously in the
+	// background; the follower serves the repl lane and watches the leader,
+	// promoting itself in place when the leader dies.
+	var ldr *repl.Leader
+	var fol *repl.Follower
+	promoted := make(chan *repl.Takeover, 1)
+	if *replicaListen != "" {
+		name, addr, ok := strings.Cut(*replicaListen, "=")
+		if !ok || name == "" || addr == "" {
+			log.Fatalf("tacomad: -replica-listen must be name=host:port, got %q", *replicaListen)
+		}
+		ep.AddPeer(vnet.SiteID(name), addr)
+		ldr = repl.StartLeader(ep, wal, repl.LeaderConfig{
+			Follower: vnet.SiteID(name),
+			Logf:     log.Printf,
+		})
+		log.Printf("tacomad: shipping WAL %s to standby %s at %s", *walDir, name, addr)
+	}
+	if follower {
+		leader := vnet.SiteID(*replicaOf)
+		known := false
+		for _, p := range peers {
+			if name, _, _ := strings.Cut(p, "="); name == *replicaOf {
+				known = true
+			}
+		}
+		if !known {
+			log.Fatalf("tacomad: -replica-of %s is not a -peer", *replicaOf)
+		}
+		var ferr error
+		fol, ferr = repl.NewFollower(s, repl.FollowerConfig{
+			Dir:           *walDir,
+			Leader:        leader,
+			ProbeInterval: *probeInterval,
+			Logf:          log.Printf,
+		})
+		if ferr != nil {
+			log.Fatalf("tacomad: open replica %s: %v", *walDir, ferr)
+		}
+		promote := func() {
+			log.Printf("tacomad: leader %s declared dead; promoting", leader)
+			tk, err := fol.Promote(core.SiteConfig{MaxSteps: *maxSteps}, walOpt, nil)
+			if err != nil {
+				log.Printf("tacomad: promote: %v", err)
+				return
+			}
+			mail.InstallMailbox(tk.Site)
+			if g != nil {
+				guard.Install(tk.Site, g)
+			}
+			log.Printf("tacomad: PROMOTED in place of %s (%d folders, %d rear guards re-armed, %d parked agents re-registered)",
+				leader, tk.Cabinet.Len(), tk.RearmedGuards, tk.Parked)
+			promoted <- tk
+		}
+		fol.StartProbe(promote)
+		if m != nil {
+			// A mesh death verdict beats the local probe when gossip
+			// converges first; both funnel into the same once-only
+			// trigger. Only a leader previously seen alive counts — the
+			// thin membership before gossip converges must not promote.
+			var seen atomic.Bool
+			m.OnChange(func(alive []vnet.SiteID) {
+				for _, a := range alive {
+					if a == leader {
+						seen.Store(true)
+						return
+					}
+				}
+				if seen.Load() {
+					fol.LeaderDead(promote)
+				}
+			})
+		}
+		log.Printf("tacomad: standby replica of %s (replica dir %s, probe every %v)",
+			leader, *walDir, *probeInterval)
+	}
+
 	log.Printf("tacomad: site %s listening on %s with %d peers, agents: %v",
 		*site, ep.Addr(), len(peers), s.AgentNames())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
+	for wait := true; wait; {
+		select {
+		case <-sig:
+			wait = false
+		case tk := <-promoted:
+			// Promotion in place: the promoted site owns the endpoint and
+			// its WAL from here on; keep serving until a signal arrives.
+			s, wal = tk.Site, tk.WAL
+		}
+	}
 	log.Printf("tacomad: site %s shutting down", *site)
 	// Shutdown failures are logged, never fatal: each cleanup step must run
-	// even when an earlier one fails.
+	// even when an earlier one fails. Ordering matters: everything that
+	// needs the endpoint — the mesh goodbye, the replication drain, and the
+	// durability barrier for already-acked meets — runs before ep.Close.
 	close(stopMeshJoin)
 	meshJoinWG.Wait()
 	if m != nil {
@@ -289,10 +426,32 @@ func main() {
 		cancel()
 		m.Stop()
 	}
+	if ldr != nil {
+		// Hand the standby the full tail while the wire still exists; a
+		// graceful shutdown should leave a promotable replica behind.
+		drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := ldr.Drain(drainCtx); err != nil {
+			log.Printf("tacomad: replica drain: %v", err)
+		}
+		cancel()
+		ldr.Stop()
+	}
+	if wal != nil {
+		// Final sync BEFORE the endpoint closes: every meet acked over the
+		// wire is on disk by the time peers see the connection die.
+		if err := wal.Sync(); err != nil {
+			log.Printf("tacomad: final WAL sync: %v", err)
+		}
+	}
 	if err := ep.Close(); err != nil {
 		log.Printf("tacomad: close: %v", err)
 	}
 	s.Wait()
+	if fol != nil {
+		if err := fol.Close(); err != nil {
+			log.Printf("tacomad: close replica: %v", err)
+		}
+	}
 	close(stopFlush)
 	flushWG.Wait()
 

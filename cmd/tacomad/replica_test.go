@@ -1,0 +1,106 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/vnet"
+)
+
+// TestReplicaTakeoverAfterKill9 is the daemon-level failover test: a
+// WAL-backed leader tacomad ships to a standby tacomad, the leader is
+// SIGKILLed, and the standby must promote itself and serve the leader's
+// durable cabinet on its own address. (The guard/relaunch half of failover
+// is proven in internal/repl's sim test; this one proves the flag wiring,
+// the probe, and promotion in a real process.)
+func TestReplicaTakeoverAfterKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real daemons; skipped in -short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	epO, err := vnet.NewTCPEndpoint("O", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epO.Close()
+	siteO := core.NewSite(epO, core.SiteConfig{})
+
+	addrL, addrF := freePort(t), freePort(t)
+	epO.AddPeer("L", addrL)
+	epO.AddPeer("F", addrF)
+
+	leader := spawnTacomad(t,
+		"-site", "L", "-listen", addrL, "-wal", t.TempDir(),
+		"-peer", "O="+epO.Addr(),
+		"-replica-listen", "F="+addrF,
+	)
+	killed := false
+	defer func() {
+		if !killed {
+			leader.Process.Kill()
+			leader.Wait()
+		}
+	}()
+	standby := spawnTacomad(t,
+		"-site", "F", "-listen", addrF, "-wal", t.TempDir(),
+		"-peer", "L="+addrL, "-peer", "O="+epO.Addr(),
+		"-replica-of", "L",
+		"-replica-probe-interval", "100ms",
+	)
+	defer func() {
+		standby.Process.Kill()
+		standby.Wait()
+	}()
+	waitUp(t, ctx, siteO, "L")
+	waitUp(t, ctx, siteO, "F")
+
+	// Durable state at the leader: the meet returns only after L's WAL
+	// commit, and the background shipper pushes the bytes to F.
+	if _, err := remoteScript(ctx, siteO, "L", `cab_append FAILOVER survived-the-kill`); err != nil {
+		t.Fatal(err)
+	}
+
+	// The standby is a disk, not a site: meets must be refused.
+	if _, err := remoteScript(ctx, siteO, "F", `cab_append X y`); err == nil {
+		t.Fatal("standby accepted a meet before promotion")
+	} else if !strings.Contains(err.Error(), "standby") {
+		t.Fatalf("standby refusal reads %q, want the admission message", err)
+	}
+
+	// Let the async shipper drain (sync-notify driven, so this is a wide
+	// margin, not a tuned sleep), then kill -9 the leader.
+	time.Sleep(1200 * time.Millisecond)
+	killed = true
+	if err := leader.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	leader.Wait()
+
+	// The probe declares L dead and F promotes in place: the same address
+	// now serves the leader's cabinet.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		out, err := remoteScript(ctx, siteO, "F",
+			`bc_push OUT [cab_contains FAILOVER survived-the-kill]`)
+		if err == nil && out.Len() == 1 {
+			if s, _ := out.StringAt(0); s == "1" {
+				break
+			}
+			t.Fatal("promoted standby lost the replicated folder")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("standby never promoted: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// And it is a live site now: new durable writes land.
+	if _, err := remoteScript(ctx, siteO, "F", `cab_append FAILOVER post-promotion`); err != nil {
+		t.Fatalf("promoted site refused a meet: %v", err)
+	}
+}

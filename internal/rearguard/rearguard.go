@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -638,4 +639,18 @@ func (m *Manager) ActiveGuards() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.guards)
+}
+
+// GuardKeys returns the sorted "id/hop" keys of every armed guard. The
+// replication failover tests compare a promoted follower's guard set
+// against the dead leader's to assert zero guards were lost.
+func (m *Manager) GuardKeys() []string {
+	m.mu.Lock()
+	keys := make([]string, 0, len(m.guards))
+	for k := range m.guards {
+		keys = append(keys, k)
+	}
+	m.mu.Unlock()
+	sort.Strings(keys)
+	return keys
 }

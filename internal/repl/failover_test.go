@@ -1,0 +1,209 @@
+package repl
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/folder"
+	"repro/internal/rearguard"
+	"repro/internal/store"
+	"repro/internal/vnet"
+)
+
+// TestLeaderKillUnderLossFollowerTakesOver is the PR's acceptance
+// scenario: a guarded itinerary is mid-flight, the leader site L holds an
+// armed rear guard (watching the agent's current site D) and a parked
+// resident, the whole replication link runs under injected packet loss —
+// and then L is killed outright. The follower F must promote with:
+//
+//   - zero lost armed guards (F's guard set equals L's pre-kill set),
+//   - the parked resident re-registered,
+//   - no double relaunch (the agent at D is alive, so F's re-armed guard
+//     must stay quiet; when D later dies, exactly one relaunch finishes
+//     the computation).
+func TestLeaderKillUnderLossFollowerTakesOver(t *testing.T) {
+	net := vnet.NewNetwork(vnet.WithSeed(12345), vnet.WithCallTimeout(25*time.Millisecond))
+	nodeO, nodeL := net.AddNode("O"), net.AddNode("L")
+	nodeD, nodeF := net.AddNode("D"), net.AddNode("F")
+
+	// O and D are plain sites; L is the durable leader.
+	siteO := core.NewSite(nodeO, core.SiteConfig{})
+	siteD := core.NewSite(nodeD, core.SiteConfig{})
+	cabL := folder.NewCabinet()
+	ldir := t.TempDir()
+	walL, err := store.Open(ldir, cabL, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	siteL := core.NewSite(nodeL, core.SiteConfig{Cabinet: cabL, Durable: walL})
+
+	mgrs := map[string]*rearguard.Manager{}
+	for name, s := range map[string]*core.Site{"O": siteO, "L": siteL, "D": siteD} {
+		m := rearguard.Install(s)
+		m.Interval = 10 * time.Millisecond
+		m.Misses = 3
+		mgrs[name] = m
+	}
+	blocker := make(chan struct{})
+	reached := make(chan struct{})
+	for _, s := range []*core.Site{siteO, siteL} {
+		s.Register("work", core.AgentFunc(func(mc *core.MeetContext, bc *folder.Briefcase) error {
+			bc.Ensure("TRAIL").PushString(string(mc.Site.ID()))
+			return nil
+		}))
+	}
+	siteD.Register("work", core.AgentFunc(func(mc *core.MeetContext, bc *folder.Briefcase) error {
+		bc.Ensure("TRAIL").PushString("D")
+		close(reached)
+		<-blocker
+		return nil
+	}))
+
+	// Follower F: standby site that refuses meets until promoted.
+	siteF := core.NewSite(nodeF, core.SiteConfig{
+		Admission: func(agent, from string) error { return fmt.Errorf("standby") },
+	})
+	fol, err := NewFollower(siteF, FollowerConfig{
+		Dir: t.TempDir(), Leader: "L", NoSyncReplica: true,
+		ProbeInterval: 10 * time.Millisecond, ProbeTimeout: 25 * time.Millisecond,
+		ProbeAttempts: 3, ProbeMisses: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldr := StartLeader(nodeL, walL, LeaderConfig{
+		Follower: "F", RetryInterval: 5 * time.Millisecond, CallTimeout: 100 * time.Millisecond,
+	})
+	defer ldr.Stop()
+
+	// The chaos knobs: the replication and probe paths run lossy from the
+	// start — shipping, acks, and failure detection all have to cope.
+	net.SetBidirFaults("L", "F", vnet.Faults{Drop: 0.15, Jitter: 2 * time.Millisecond})
+	net.SetBidirFaults("F", "L", vnet.Faults{Drop: 0.15})
+
+	// A parked resident at L: it must survive the takeover.
+	parkBC := folder.NewBriefcase()
+	parkBC.Ensure(folder.CodeFolder).PushString("(noop)")
+	if err := siteL.Park("resident-1", "", parkBC); err != nil {
+		t.Fatal(err)
+	}
+
+	// Promotion trigger: the probe's death verdict promotes in place.
+	tkCh := make(chan *Takeover, 1)
+	fol.StartProbe(func() {
+		tk, err := fol.Promote(core.SiteConfig{}, store.Options{NoSync: true},
+			func(m *rearguard.Manager) { m.Interval = 10 * time.Millisecond; m.Misses = 3 })
+		if err != nil {
+			t.Errorf("promote: %v", err)
+			return
+		}
+		tkCh <- tk
+	})
+
+	// Launch the guarded itinerary O → L → D and let it block at D: the
+	// hop handoff leaves an armed guard at L watching D.
+	resCh, err := mgrs["O"].Launch(context.Background(), rearguard.Config{
+		ID: "fo1", Task: "work", Itinerary: []vnet.SiteID{"L", "D"}, Guards: true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-reached:
+	case <-time.After(5 * time.Second):
+		t.Fatal("agent never reached D")
+	}
+	deadline := time.After(5 * time.Second)
+	for len(mgrs["L"].GuardKeys()) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("no guard armed at L")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	keysL := mgrs["L"].GuardKeys()
+
+	// Drain: the kill is only lossless for state the follower has acked —
+	// asynchronous replication's contract (and the paper's: recovery is
+	// from the last *durable* checkpoint).
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := ldr.Drain(ctx); err != nil {
+		t.Fatalf("drain under loss: %v", err)
+	}
+
+	// kill -9: the machine is gone mid-itinerary.
+	if err := net.Crash("L"); err != nil {
+		t.Fatal(err)
+	}
+
+	var tk *Takeover
+	select {
+	case tk = <-tkCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("follower never promoted")
+	}
+	defer tk.WAL.Close()
+
+	// Zero lost armed guards: the promoted guard set is exactly L's.
+	keysF := tk.Guards.GuardKeys()
+	if len(keysF) != len(keysL) {
+		t.Fatalf("guard sets differ: L=%v F=%v", keysL, keysF)
+	}
+	for i := range keysL {
+		if keysF[i] != keysL[i] {
+			t.Fatalf("guard sets differ: L=%v F=%v", keysL, keysF)
+		}
+	}
+	if tk.RearmedGuards != len(keysL) {
+		t.Fatalf("RearmedGuards=%d, want %d", tk.RearmedGuards, len(keysL))
+	}
+	// All parked residents re-registered.
+	if tk.Parked != 1 || !tk.Site.IsParked("resident-1") {
+		t.Fatalf("parked resident lost: Parked=%d IsParked=%v", tk.Parked, tk.Site.IsParked("resident-1"))
+	}
+
+	// No double relaunch: the agent at D is alive (blocked, but alive),
+	// so the re-armed guard must hold its fire through many probe rounds.
+	time.Sleep(150 * time.Millisecond)
+	select {
+	case res := <-resCh:
+		t.Fatalf("computation finished while agent still blocked: %+v", res)
+	default:
+	}
+	if got := tk.Guards.GuardKeys(); len(got) != len(keysL) {
+		t.Fatalf("guards changed while D alive: %v", got)
+	}
+
+	// Now D dies too. Exactly one relaunch — from the follower's re-armed
+	// guard — must finish the computation: D's hop is skipped (its site
+	// stayed dead) and the result comes home to O.
+	if err := net.Crash("D"); err != nil {
+		t.Fatal(err)
+	}
+	close(blocker)
+	res := rearguard.Wait(resCh, 10*time.Second)
+	if !res.Completed {
+		t.Fatal("computation lost despite replicated guard")
+	}
+	if res.Relaunches != 1 {
+		t.Fatalf("Relaunches=%d, want exactly 1 (no double relaunch)", res.Relaunches)
+	}
+	found := false
+	for _, s := range res.Skipped {
+		if s == "D" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dead D not skipped: %+v", res)
+	}
+	// The L hop ran before the kill; its trail entry came home.
+	trail, _ := res.Briefcase.Folder("TRAIL")
+	if ts := trail.Strings(); len(ts) == 0 || ts[0] != "L" {
+		t.Fatalf("TRAIL=%v, want L first", ts)
+	}
+}

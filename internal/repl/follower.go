@@ -1,0 +1,349 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/folder"
+	"repro/internal/rearguard"
+	"repro/internal/store"
+	"repro/internal/vnet"
+)
+
+// FollowerConfig tunes a replica follower.
+type FollowerConfig struct {
+	// Dir is the replica WAL directory.
+	Dir string
+	// Leader is the site being replicated, the probe's target.
+	Leader vnet.SiteID
+	// ProbeInterval is the pause between probe rounds. Default 50ms.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one ping. Default 250ms.
+	ProbeTimeout time.Duration
+	// ProbeAttempts is how many pings one round tries before counting a
+	// miss; retries within a round ride out packet loss without burning a
+	// verdict. Default 3.
+	ProbeAttempts int
+	// ProbeMisses is how many consecutive failed rounds declare the
+	// leader dead. Default 5.
+	ProbeMisses int
+	// NoSyncReplica skips fdatasync on shipped bytes (tests only: an ack
+	// then promises nothing).
+	NoSyncReplica bool
+	// Logf, if non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *FollowerConfig) setDefaults() {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 50 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 250 * time.Millisecond
+	}
+	if c.ProbeAttempts <= 0 {
+		c.ProbeAttempts = 3
+	}
+	if c.ProbeMisses <= 0 {
+		c.ProbeMisses = 5
+	}
+}
+
+func (c *FollowerConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// FollowerStats is a snapshot of a follower's apply progress.
+type FollowerStats struct {
+	// Chunks and Bytes count applied segment chunks.
+	Chunks int64
+	Bytes  int64
+	// Snapshots counts installed catch-up snapshots.
+	Snapshots int64
+	// Resets counts replica wipes the leader demanded.
+	Resets int64
+	// Seg/Size is the durable watermark.
+	Seg  uint64
+	Size int64
+	// Sealed reports the follower has promoted.
+	Sealed bool
+}
+
+// Follower serves the repl lane at a standby site, writing shipped bytes
+// into a replica WAL directory, and promotes on a leader-death verdict.
+// Pre-promotion the site should refuse meets (core.SiteConfig.Admission);
+// the follower is a disk, not a place where agents run — until it is.
+type Follower struct {
+	site *core.Site
+	cfg  FollowerConfig
+
+	mu     sync.Mutex
+	rep    *store.Replica
+	cache  *folder.DeltaCache
+	sealed bool
+	chunks int64
+	bytes  int64
+	snaps  int64
+	resets int64
+
+	probeStop chan struct{}
+	probeDone chan struct{}
+	deadOnce  sync.Once
+	stopOnce  sync.Once
+}
+
+// NewFollower opens (or creates) the replica directory and registers the
+// repl lane on site's endpoint. The site serves shipments immediately.
+func NewFollower(site *core.Site, cfg FollowerConfig) (*Follower, error) {
+	cfg.setDefaults()
+	var rep *store.Replica
+	var err error
+	if cfg.NoSyncReplica {
+		rep, err = store.OpenReplicaNoSync(cfg.Dir)
+	} else {
+		rep, err = store.OpenReplica(cfg.Dir)
+	}
+	if err != nil {
+		return nil, err
+	}
+	f := &Follower{
+		site:      site,
+		cfg:       cfg,
+		rep:       rep,
+		cache:     folder.NewDeltaCache(0),
+		probeStop: make(chan struct{}),
+		probeDone: make(chan struct{}),
+	}
+	site.HandleKind(Kind, f.handle)
+	return f, nil
+}
+
+// Stats returns a snapshot of apply progress.
+func (f *Follower) Stats() FollowerStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := FollowerStats{
+		Chunks:    f.chunks,
+		Bytes:     f.bytes,
+		Snapshots: f.snaps,
+		Resets:    f.resets,
+		Sealed:    f.sealed,
+	}
+	if f.rep != nil {
+		st.Seg, st.Size = f.rep.Watermark()
+	}
+	return st
+}
+
+// handle serves one replication frame. Serialized under f.mu: the replica
+// is a single append cursor, and concurrent shipments would interleave.
+func (f *Follower) handle(from vnet.SiteID, kind string, payload []byte) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.sealed {
+		return appendReply(nil, reply{status: stSealed}), nil
+	}
+	r, err := decodeRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	wm := func(status byte) []byte {
+		seg, size := f.rep.Watermark()
+		return appendReply(nil, reply{status: status, seg: seg, size: size})
+	}
+	switch r.typ {
+	case frHello:
+		return wm(stOK), nil
+	case frSeg:
+		if err := f.rep.Append(r.seq, r.off, r.data); err != nil {
+			if errors.Is(err, store.ErrWatermark) {
+				// Not where we are: ack the true watermark, the leader
+				// rewinds. Nothing was written.
+				return wm(stOK), nil
+			}
+			f.cfg.logf("repl: apply seg %d@%d failed: %v", r.seq, r.off, err)
+			return wm(stErr), nil
+		}
+		f.chunks++
+		f.bytes += int64(len(r.data))
+		return wm(stOK), nil
+	case frSnap:
+		b, missing, err := folder.DecodeBriefcaseDelta(r.data, f.cache.Get, func(h folder.Hash, enc []byte) {
+			f.cache.PutCopy(h, enc)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(missing) > 0 {
+			return wm(stMiss), nil
+		}
+		if err := f.rep.InstallSnapshot(r.seq, b); err != nil {
+			f.cfg.logf("repl: snapshot %d install failed: %v", r.seq, err)
+			return wm(stErr), nil
+		}
+		f.snaps++
+		return wm(stOK), nil
+	case frReset:
+		if err := f.rep.Reset(); err != nil {
+			f.cfg.logf("repl: reset failed: %v", err)
+			return wm(stErr), nil
+		}
+		f.resets++
+		return wm(stOK), nil
+	}
+	return nil, fmt.Errorf("%w: type %d", ErrFrame, r.typ)
+}
+
+// StartProbe launches the leader-death failure detector: periodic pings
+// with in-round retries (so packet loss costs retries, not verdicts), and
+// onDead fired exactly once after ProbeMisses consecutive failed rounds.
+// A mesh death verdict can call LeaderDead directly; both trigger paths
+// funnel into the same once.
+func (f *Follower) StartProbe(onDead func()) {
+	go func() {
+		defer close(f.probeDone)
+		misses := 0
+		for {
+			select {
+			case <-f.probeStop:
+				return
+			case <-time.After(f.cfg.ProbeInterval):
+			}
+			alive := false
+			for i := 0; i < f.cfg.ProbeAttempts; i++ {
+				_, err := f.site.PingIncarnation(context.Background(), f.cfg.Leader, f.cfg.ProbeTimeout)
+				if err == nil {
+					alive = true
+					break
+				}
+			}
+			if alive {
+				misses = 0
+				continue
+			}
+			misses++
+			if misses >= f.cfg.ProbeMisses {
+				f.cfg.logf("repl: leader %s declared dead after %d failed probe rounds", f.cfg.Leader, misses)
+				f.deadOnce.Do(onDead)
+				return
+			}
+		}
+	}()
+}
+
+// LeaderDead feeds an external death verdict (e.g. the mesh failure
+// detector) into the same once-only trigger as the probe. onDead runs on
+// the caller's goroutine if this is the first verdict.
+func (f *Follower) LeaderDead(onDead func()) {
+	f.deadOnce.Do(onDead)
+}
+
+// StopProbe ends the prober without promoting (planned shutdown).
+func (f *Follower) StopProbe() {
+	f.stopOnce.Do(func() { close(f.probeStop) })
+}
+
+// Takeover is the result of a promotion: a live site over the recovered
+// state, with rear guards re-armed and parked residents re-registered.
+type Takeover struct {
+	// Site is the promoted site, serving on the follower's endpoint.
+	Site *core.Site
+	// Cabinet is the recovered file cabinet.
+	Cabinet *folder.FileCabinet
+	// WAL is the promoted site's own write-ahead log over the replica
+	// directory.
+	WAL *store.WAL
+	// Guards is the rear-guard manager with every surviving guard armed.
+	Guards *rearguard.Manager
+	// RearmedGuards and Parked count what recovery brought back.
+	RearmedGuards int
+	Parked        int
+}
+
+// Promote turns the follower into a live site. The sequence is the
+// paper's failover story made concrete:
+//
+//  1. Seal: the repl lane starts refusing shipments, fencing off a zombie
+//     leader (a stale leader that was only partitioned, not dead, gets
+//     stSealed and stops).
+//  2. Recover: store.Open replays the replica directory — snapshot plus
+//     segments through the watermark, torn tail truncated — exactly the
+//     code path a local restart runs.
+//  3. Serve: a new core.Site takes over the endpoint (NewSite installs
+//     its handler, atomically replacing the standby's), with the WAL as
+//     its durability barrier.
+//  4. Re-arm: rearguard.Recover re-arms every guard checkpoint and
+//     Site.RecoverParked re-registers every parked resident. In-flight
+//     agents relaunch from their last durable checkpoint when their
+//     watched site dies — or never, if they are still alive elsewhere
+//     (hop marks make a double relaunch execute zero duplicate tasks).
+//
+// cfg is the promoted site's configuration (Cabinet and Durable are set
+// here); tune, if non-nil, adjusts the rear-guard manager (Interval,
+// Misses) before recovery arms the guards.
+func (f *Follower) Promote(cfg core.SiteConfig, opt store.Options, tune func(*rearguard.Manager)) (*Takeover, error) {
+	f.mu.Lock()
+	if f.sealed {
+		f.mu.Unlock()
+		return nil, errors.New("repl: already promoted")
+	}
+	f.sealed = true
+	rep := f.rep
+	f.rep = nil
+	f.mu.Unlock()
+	f.StopProbe()
+	if err := rep.Close(); err != nil {
+		return nil, err
+	}
+
+	cab := folder.NewCabinet()
+	w, err := store.Open(f.cfg.Dir, cab, opt)
+	if err != nil {
+		return nil, fmt.Errorf("repl: promote recovery: %w", err)
+	}
+	cfg.Cabinet = cab
+	cfg.Durable = w
+	site := core.NewSite(f.site.Endpoint(), cfg)
+	// The promoted site answers stray shipments with the seal, so a
+	// zombie leader (partitioned, not dead) learns it is fenced off
+	// instead of seeing an opaque unknown-kind error forever.
+	site.HandleKind(Kind, func(vnet.SiteID, string, []byte) ([]byte, error) {
+		return appendReply(nil, reply{status: stSealed}), nil
+	})
+	m := rearguard.Install(site)
+	if tune != nil {
+		tune(m)
+	}
+	rearmed := m.Recover()
+	parked := site.RecoverParked()
+	f.cfg.logf("repl: promoted %s: %d guards re-armed, %d parked residents recovered",
+		site.ID(), rearmed, parked)
+	return &Takeover{
+		Site:          site,
+		Cabinet:       cab,
+		WAL:           w,
+		Guards:        m,
+		RearmedGuards: rearmed,
+		Parked:        parked,
+	}, nil
+}
+
+// Close releases the follower without promoting.
+func (f *Follower) Close() error {
+	f.StopProbe()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sealed = true
+	if f.rep == nil {
+		return nil
+	}
+	err := f.rep.Close()
+	f.rep = nil
+	return err
+}

@@ -1,0 +1,188 @@
+// Package repl replicates a site's WAL to a follower that can take over.
+//
+// The paper's fault-tolerance story is that agents outlive failures:
+// rear guards plus state in stable storage let an itinerary survive a site
+// crash. PR 5 made that true for a site that *restarts* over its own disk;
+// repl makes it true for a site that *dies*: a leader asynchronously ships
+// its durable WAL bytes to a follower site over the ordinary meet
+// transport (a HandleKind lane, like mesh gossip), and on a death verdict
+// the follower promotes — replays its copy of the log through the same
+// torn-tail-tolerant recovery as a local restart, re-arms every surviving
+// rear guard, and resumes parked residents.
+//
+// # Wire protocol (lane "repl")
+//
+// Four request frames, one reply shape. All integers are uvarints; every
+// frame begins with a version byte.
+//
+//	hello:               (watermark query)
+//	seg   seq off data   (raw durable segment bytes [off, off+len(data)))
+//	snap  seq delta      (briefcase delta of snapshot seq — catch-up)
+//	reset:               (wipe the replica; history diverged)
+//
+//	reply status seg size
+//
+// The reply watermark (seg, size) is the follower's append position after
+// applying the frame, fdatasynced before the reply is sent — an ack never
+// promises bytes the follower could lose. The leader treats the reply
+// watermark as authoritative: a chunk that does not land (duplicate, gap,
+// follower restarted) simply moves the leader's cursor to wherever the
+// follower actually is. Under packet loss this makes every frame safe to
+// retransmit: shipped bytes are verbatim leader bytes, so replays are
+// idempotent by construction.
+//
+// Status values: ok; miss (a snapshot delta referenced hashes the follower
+// does not hold — the leader forgets them and re-ships full bytes, the PR 4
+// miss-retry protocol); sealed (the follower has promoted and this leader
+// must stop shipping — the fencing that prevents a zombie leader from
+// writing to its successor); err (follower-side I/O failure, retryable).
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Kind is the HandleKind lane replication frames travel on.
+const Kind = "repl"
+
+const frameVersion = 1
+
+// Request frame types.
+const (
+	frHello byte = iota + 1
+	frSeg
+	frSnap
+	frReset
+)
+
+// Reply statuses.
+const (
+	stOK byte = iota
+	stMiss
+	stSealed
+	stErr
+)
+
+// Codec errors.
+var (
+	// ErrVersion reports a frame from an incompatible peer.
+	ErrVersion = errors.New("repl: unsupported frame version")
+	// ErrFrame reports a malformed frame.
+	ErrFrame = errors.New("repl: malformed frame")
+)
+
+// request is one decoded request frame.
+type request struct {
+	typ  byte
+	seq  uint64 // frSeg: segment number; frSnap: snapshot sequence
+	off  int64  // frSeg: byte offset of data within the segment
+	data []byte // frSeg: raw segment bytes; frSnap: briefcase delta
+}
+
+// appendRequest encodes r.
+func appendRequest(dst []byte, r *request) []byte {
+	dst = append(dst, frameVersion, r.typ)
+	switch r.typ {
+	case frSeg:
+		dst = binary.AppendUvarint(dst, r.seq)
+		dst = binary.AppendUvarint(dst, uint64(r.off))
+		dst = append(dst, r.data...)
+	case frSnap:
+		dst = binary.AppendUvarint(dst, r.seq)
+		dst = append(dst, r.data...)
+	}
+	return dst
+}
+
+// decodeRequest parses a request frame. Hostile input must not panic; the
+// data tail aliases the input.
+func decodeRequest(data []byte) (*request, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("%w: short request", ErrFrame)
+	}
+	if data[0] != frameVersion {
+		return nil, fmt.Errorf("%w: %d", ErrVersion, data[0])
+	}
+	r := &request{typ: data[1]}
+	rest := data[2:]
+	switch r.typ {
+	case frHello, frReset:
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("%w: trailing bytes", ErrFrame)
+		}
+	case frSeg:
+		var err error
+		if r.seq, rest, err = takeUvarint(rest); err != nil {
+			return nil, err
+		}
+		var off uint64
+		if off, rest, err = takeUvarint(rest); err != nil {
+			return nil, err
+		}
+		r.off = int64(off)
+		r.data = rest
+	case frSnap:
+		var err error
+		if r.seq, rest, err = takeUvarint(rest); err != nil {
+			return nil, err
+		}
+		r.data = rest
+	default:
+		return nil, fmt.Errorf("%w: unknown type %d", ErrFrame, r.typ)
+	}
+	if r.seq == 0 && r.typ != frHello && r.typ != frReset {
+		return nil, fmt.Errorf("%w: zero sequence", ErrFrame)
+	}
+	return r, nil
+}
+
+// reply is the single reply shape: a status plus the follower's durable
+// watermark.
+type reply struct {
+	status byte
+	seg    uint64
+	size   int64
+}
+
+// appendReply encodes p.
+func appendReply(dst []byte, p reply) []byte {
+	dst = append(dst, frameVersion, p.status)
+	dst = binary.AppendUvarint(dst, p.seg)
+	return binary.AppendUvarint(dst, uint64(p.size))
+}
+
+// decodeReply parses a reply frame.
+func decodeReply(data []byte) (reply, error) {
+	if len(data) < 2 {
+		return reply{}, fmt.Errorf("%w: short reply", ErrFrame)
+	}
+	if data[0] != frameVersion {
+		return reply{}, fmt.Errorf("%w: %d", ErrVersion, data[0])
+	}
+	p := reply{status: data[1]}
+	rest := data[2:]
+	var err error
+	if p.seg, rest, err = takeUvarint(rest); err != nil {
+		return reply{}, err
+	}
+	var size uint64
+	if size, rest, err = takeUvarint(rest); err != nil {
+		return reply{}, err
+	}
+	if len(rest) != 0 {
+		return reply{}, fmt.Errorf("%w: trailing bytes", ErrFrame)
+	}
+	p.size = int64(size)
+	return p, nil
+}
+
+// takeUvarint consumes one uvarint.
+func takeUvarint(data []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad uvarint", ErrFrame)
+	}
+	return v, data[n:], nil
+}

@@ -1,0 +1,67 @@
+package repl
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []request{
+		{typ: frHello},
+		{typ: frReset},
+		{typ: frSeg, seq: 7, off: 1234, data: []byte("raw segment bytes")},
+		{typ: frSeg, seq: 1, off: 0, data: nil},
+		{typ: frSnap, seq: 42, data: []byte{0xBC, 0x01, 0x02}},
+	}
+	for _, c := range cases {
+		enc := appendRequest(nil, &c)
+		got, err := decodeRequest(enc)
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		if got.typ != c.typ || got.seq != c.seq || got.off != c.off || !bytes.Equal(got.data, c.data) {
+			t.Fatalf("round trip %+v -> %+v", c, got)
+		}
+	}
+
+	for _, p := range []reply{
+		{status: stOK, seg: 3, size: 99999},
+		{status: stSealed},
+		{status: stMiss, seg: 1, size: 16},
+	} {
+		got, err := decodeReply(appendReply(nil, p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != p {
+			t.Fatalf("round trip %+v -> %+v", p, got)
+		}
+	}
+}
+
+func TestFrameHostileInput(t *testing.T) {
+	// None of these may panic; all must error.
+	bad := [][]byte{
+		nil,
+		{},
+		{frameVersion},
+		{99, frHello},                   // wrong version
+		{frameVersion, 200},             // unknown type
+		{frameVersion, frHello, 1},      // trailing bytes
+		{frameVersion, frSeg},           // missing fields
+		{frameVersion, frSeg, 0x80},     // truncated uvarint
+		{frameVersion, frSeg, 0, 0},     // zero segment
+		{frameVersion, frSnap, 0},       // zero sequence
+		{frameVersion, frSnap},          // missing seq
+	}
+	for _, b := range bad {
+		if _, err := decodeRequest(b); err == nil {
+			t.Fatalf("decodeRequest(%v) accepted hostile input", b)
+		}
+	}
+	for _, b := range [][]byte{nil, {}, {frameVersion}, {9, stOK, 1, 1}, {frameVersion, stOK, 0x80}, {frameVersion, stOK, 1, 1, 1}} {
+		if _, err := decodeReply(b); err == nil {
+			t.Fatalf("decodeReply(%v) accepted hostile input", b)
+		}
+	}
+}

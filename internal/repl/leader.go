@@ -1,0 +1,389 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/folder"
+	"repro/internal/store"
+	"repro/internal/vnet"
+)
+
+// LeaderConfig tunes a shipping leader.
+type LeaderConfig struct {
+	// Follower is the replica site to ship to.
+	Follower vnet.SiteID
+	// ChunkBytes bounds one shipped segment chunk. Default 256 KiB.
+	ChunkBytes int
+	// RetryInterval is the backoff after a failed or lossy exchange, and
+	// the idle heartbeat period. Default 100ms.
+	RetryInterval time.Duration
+	// CallTimeout bounds one ship RPC. Default 2s.
+	CallTimeout time.Duration
+	// Logf, if non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *LeaderConfig) setDefaults() {
+	if c.ChunkBytes <= 0 {
+		c.ChunkBytes = 256 << 10
+	}
+	if c.RetryInterval <= 0 {
+		c.RetryInterval = 100 * time.Millisecond
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 2 * time.Second
+	}
+}
+
+func (c *LeaderConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// LeaderStats is a snapshot of a leader's shipping progress.
+type LeaderStats struct {
+	// ShippedBytes counts segment bytes sent (retransmits included).
+	ShippedBytes int64
+	// ShippedChunks counts seg frames sent.
+	ShippedChunks int64
+	// AckedSeg/AckedSize is the follower's last acknowledged watermark:
+	// everything before it is fdatasynced on the follower's disk.
+	AckedSeg  uint64
+	AckedSize int64
+	// Lag is the durable log bytes the follower has not yet acked.
+	Lag int64
+	// Snapshots counts snapshot catch-ups shipped.
+	Snapshots int64
+	// Resets counts replica wipes demanded after divergence.
+	Resets int64
+	// Errors counts failed exchanges (timeouts, loss); each is retried.
+	Errors int64
+	// Sealed reports the follower has promoted: shipping is over, this
+	// leader is fenced off.
+	Sealed bool
+}
+
+// Leader ships a WAL's durable bytes to one follower. Shipping is
+// asynchronous: meets commit locally at full speed and a single background
+// shipper pushes the tail, so replication costs no meet latency — the
+// trade the paper's rear-guard model already makes (failover replays from
+// the last durable state, not from an unreplicated tail; the acceptance
+// test therefore drains the leader before killing it when it wants a
+// zero-loss takeover).
+type Leader struct {
+	ep  vnet.Endpoint
+	w   *store.WAL
+	cfg LeaderConfig
+
+	cache  *folder.DeltaCache
+	notify chan struct{}
+	stop   chan struct{}
+	done   chan struct{}
+
+	mu       sync.Mutex
+	wmValid  bool   // watermark learned via hello
+	wmSeg    uint64 // follower's append position
+	wmSize   int64
+	sealed   bool
+	shipped  int64
+	chunks   int64
+	snaps    int64
+	resets   int64
+	errs     int64
+	noRefs   bool // next snapshot ships full bytes (after a miss)
+	stopOnce sync.Once
+}
+
+// StartLeader begins shipping w's durable bytes to cfg.Follower over ep.
+// The WAL's sync notifications drive the shipper; Stop (or Drain then
+// Stop) ends it.
+func StartLeader(ep vnet.Endpoint, w *store.WAL, cfg LeaderConfig) *Leader {
+	cfg.setDefaults()
+	l := &Leader{
+		ep:     ep,
+		w:      w,
+		cfg:    cfg,
+		cache:  folder.NewDeltaCache(0),
+		notify: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	w.SetSyncNotify(l.notify)
+	go l.run()
+	return l
+}
+
+// Stats returns a snapshot of shipping progress.
+func (l *Leader) Stats() LeaderStats {
+	l.mu.Lock()
+	st := LeaderStats{
+		ShippedBytes:  l.shipped,
+		ShippedChunks: l.chunks,
+		AckedSeg:      l.wmSeg,
+		AckedSize:     l.wmSize,
+		Snapshots:     l.snaps,
+		Resets:        l.resets,
+		Errors:        l.errs,
+		Sealed:        l.sealed,
+	}
+	valid := l.wmValid
+	l.mu.Unlock()
+	if valid {
+		st.Lag = l.w.LagFrom(st.AckedSeg, st.AckedSize)
+	} else {
+		st.Lag = l.w.LagFrom(0, 0)
+	}
+	return st
+}
+
+// Drain blocks until the follower has acked everything durable (lag 0) or
+// ctx expires. Call it before a planned shutdown so the follower's copy is
+// complete.
+func (l *Leader) Drain(ctx context.Context) error {
+	for {
+		st := l.Stats()
+		if st.Sealed {
+			return errors.New("repl: follower sealed (promoted)")
+		}
+		if st.Lag == 0 && l.valid() {
+			return nil
+		}
+		l.poke()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+func (l *Leader) valid() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.wmValid
+}
+
+// Stop ends the shipper. It does not drain; pair with Drain for a graceful
+// handoff.
+func (l *Leader) Stop() {
+	l.stopOnce.Do(func() { close(l.stop) })
+	<-l.done
+	l.w.SetSyncNotify(nil)
+}
+
+// poke wakes the shipper immediately.
+func (l *Leader) poke() {
+	select {
+	case l.notify <- struct{}{}:
+	default:
+	}
+}
+
+// run is the shipper loop: push until caught up, then sleep until a sync
+// notification (or the retry heartbeat, which doubles as the error
+// backoff) wakes it.
+func (l *Leader) run() {
+	defer close(l.done)
+	for {
+		if err := l.ship(); err != nil {
+			l.mu.Lock()
+			l.errs++
+			sealed := l.sealed
+			l.mu.Unlock()
+			if sealed {
+				l.cfg.logf("repl: follower %s promoted; shipping fenced off", l.cfg.Follower)
+				return
+			}
+		}
+		select {
+		case <-l.stop:
+			return
+		case <-l.notify:
+		case <-time.After(l.cfg.RetryInterval):
+		}
+	}
+}
+
+// ship pushes durable bytes until the follower is caught up or an exchange
+// fails. Every error is retryable from the loop; the follower's reply
+// watermark resynchronizes the cursor after any disagreement.
+func (l *Leader) ship() error {
+	if !l.valid() {
+		if err := l.hello(); err != nil {
+			return err
+		}
+	}
+	for i := 0; ; i++ {
+		select {
+		case <-l.stop:
+			return nil
+		default:
+		}
+		l.mu.Lock()
+		seg, size := l.wmSeg, l.wmSize
+		l.mu.Unlock()
+		tail := l.w.Tail()
+
+		switch {
+		case seg > tail.Seg || (seg == tail.Seg && size > tail.Size):
+			// The follower holds bytes this leader never wrote: it was
+			// following someone else (or our disk was replaced). Wipe it.
+			if err := l.reset(); err != nil {
+				return err
+			}
+		case seg == tail.Seg && size == tail.Size:
+			return nil // caught up
+		case seg < tail.FirstSeg && tail.SnapSeq > seg:
+			// The log the follower needs is pruned; catch up by snapshot.
+			if err := l.snapshot(); err != nil {
+				return err
+			}
+		case seg < tail.FirstSeg:
+			// Fresh follower, nothing pruned yet (FirstSeg has no snapshot
+			// behind it): start shipping the oldest segment from byte 0.
+			l.mu.Lock()
+			l.wmSeg, l.wmSize = tail.FirstSeg, 0
+			l.mu.Unlock()
+		default:
+			if err := l.shipChunk(seg, size); err != nil {
+				if errors.Is(err, store.ErrSegmentGone) {
+					// Compaction pruned under the cursor; re-plan — the
+					// next iteration takes the snapshot path.
+					continue
+				}
+				return err
+			}
+		}
+	}
+}
+
+// call performs one lane RPC.
+func (l *Leader) call(r *request) (reply, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), l.cfg.CallTimeout)
+	defer cancel()
+	resp, err := l.ep.Call(ctx, l.cfg.Follower, Kind, appendRequest(nil, r))
+	if err != nil {
+		return reply{}, err
+	}
+	p, err := decodeReply(resp)
+	if err != nil {
+		return reply{}, err
+	}
+	if p.status == stSealed {
+		l.mu.Lock()
+		l.sealed = true
+		l.mu.Unlock()
+		return p, errors.New("repl: follower sealed")
+	}
+	if p.status == stErr {
+		return p, errors.New("repl: follower I/O error")
+	}
+	return p, nil
+}
+
+// adopt records the follower's reply watermark as the shipping cursor.
+func (l *Leader) adopt(p reply) {
+	l.mu.Lock()
+	l.wmSeg, l.wmSize, l.wmValid = p.seg, p.size, true
+	l.mu.Unlock()
+}
+
+// hello learns the follower's watermark.
+func (l *Leader) hello() error {
+	p, err := l.call(&request{typ: frHello})
+	if err != nil {
+		return err
+	}
+	l.adopt(p)
+	return nil
+}
+
+// reset wipes a diverged follower.
+func (l *Leader) reset() error {
+	l.cfg.logf("repl: follower %s diverged; resetting replica", l.cfg.Follower)
+	p, err := l.call(&request{typ: frReset})
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.resets++
+	l.mu.Unlock()
+	l.adopt(p)
+	return nil
+}
+
+// snapshot ships the newest snapshot as a briefcase delta. On a miss the
+// referenced hashes are forgotten and the next attempt ships full bytes.
+func (l *Leader) snapshot() error {
+	seq, b, err := l.w.SnapshotForShip()
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	noRefs := l.noRefs
+	l.mu.Unlock()
+	var refs func(folder.Hash) ([]byte, bool)
+	if !noRefs {
+		refs = l.cache.Get
+	}
+	enc := folder.AppendBriefcaseDelta(nil, b, l.cache, refs, nil, nil)
+	p, err := l.call(&request{typ: frSnap, seq: seq, data: enc})
+	if err != nil {
+		return err
+	}
+	if p.status == stMiss {
+		// The PR 4 miss-retry protocol: the follower lacks segments our
+		// cache says it has (it restarted). Re-ship with refs disabled;
+		// the full bytes repopulate both caches.
+		l.mu.Lock()
+		l.noRefs = true
+		l.mu.Unlock()
+		// Only the shipper goroutine touches the cache, so a wholesale
+		// replacement is the cheapest way to drop every stale entry.
+		l.cache = folder.NewDeltaCache(0)
+		return errors.New("repl: snapshot delta miss (will re-ship full)")
+	}
+	l.mu.Lock()
+	l.snaps++
+	l.noRefs = false
+	l.mu.Unlock()
+	l.adopt(p)
+	l.cfg.logf("repl: follower %s caught up by snapshot %d", l.cfg.Follower, seq)
+	return nil
+}
+
+// shipChunk ships durable bytes at (seg, size) and advances the cursor to
+// wherever the follower says it is.
+func (l *Leader) shipChunk(seg uint64, size int64) error {
+	chunk, sealedSeg, err := l.w.ReadSegmentDurable(seg, size, l.cfg.ChunkBytes)
+	if err != nil {
+		return err
+	}
+	if len(chunk) == 0 {
+		if sealedSeg {
+			// Already at the sealed segment's end: advance to the next.
+			l.mu.Lock()
+			l.wmSeg, l.wmSize = seg+1, 0
+			l.mu.Unlock()
+			return nil
+		}
+		return nil // durable frontier; nothing to ship yet
+	}
+	p, err := l.call(&request{typ: frSeg, seq: seg, off: size, data: chunk})
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.chunks++
+	l.shipped += int64(len(chunk))
+	l.mu.Unlock()
+	if p.seg == seg && p.size == size+int64(len(chunk)) && sealedSeg {
+		p.seg, p.size = seg+1, 0
+	}
+	l.adopt(p)
+	return nil
+}

@@ -42,7 +42,7 @@ func (w *WAL) compact() {
 	usable := w.usableLocked()
 	w.mu.Unlock()
 	if !usable {
-		w.finishCompaction(0, false)
+		w.finishCompaction(0, 0, false)
 		return
 	}
 	// Only compaction rotates and compactions are single-flight, so
@@ -50,7 +50,7 @@ func (w *WAL) compact() {
 	newF, err := w.createSegment(nextSeq)
 	if err != nil {
 		w.opt.logf("store: compaction could not create segment %d (will retry): %v", nextSeq, err)
-		w.finishCompaction(0, false)
+		w.finishCompaction(0, 0, false)
 		return
 	}
 
@@ -96,26 +96,31 @@ func (w *WAL) compact() {
 		os.Remove(segPath(w.dir, nextSeq))
 	}
 	if rotErr != nil {
-		w.finishCompaction(0, false)
+		w.finishCompaction(0, 0, false)
 		return
 	}
 
 	if err := w.writeSnapshot(seq, b); err != nil {
 		w.opt.logf("store: compaction of segment %d failed (will retry): %v", seq-1, err)
-		w.finishCompaction(0, false)
+		w.finishCompaction(0, 0, false)
 		return
 	}
 	w.pruneObsolete(seq)
-	w.finishCompaction(int64(folder.EncodedSize(b)), true)
+	w.finishCompaction(seq, int64(folder.EncodedSize(b)), true)
 	w.opt.logf("store: compacted through segment %d (%d folders)", seq-1, b.Len())
 }
 
 // finishCompaction publishes the compaction outcome and wakes Close waiters.
-func (w *WAL) finishCompaction(snapBytes int64, ok bool) {
+func (w *WAL) finishCompaction(seq uint64, snapBytes int64, ok bool) {
 	w.mu.Lock()
 	if ok {
 		w.snapBytes = snapBytes
+		w.snapSeq = seq
+		w.firstSeg = seq
 		w.stCompactions.Add(1)
+		// A compaction moved the log's left edge: a shipper whose follower
+		// sits below firstSeg must switch to snapshot catch-up.
+		w.notifyLocked()
 	}
 	w.compacting = false
 	w.cond.Broadcast()

@@ -45,6 +45,7 @@ func (w *WAL) recover() error {
 			return fmt.Errorf("%w: snapshot %d: %v", ErrCorrupt, start, err)
 		}
 		w.snapBytes = int64(len(body))
+		w.snapSeq = start
 	}
 
 	// Replay the segments the snapshot does not cover, oldest first.
@@ -62,6 +63,7 @@ func (w *WAL) recover() error {
 			seq = 1
 		}
 		w.mu.Lock()
+		w.firstSeg = seq
 		err := w.openSegmentLocked(seq)
 		w.mu.Unlock()
 		return err
@@ -99,6 +101,7 @@ func (w *WAL) recover() error {
 	w.f = f
 	w.seg = last
 	w.segBytes = st.Size() - fileHdrSize
+	w.firstSeg = live[0]
 	return nil
 }
 

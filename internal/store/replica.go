@@ -1,0 +1,283 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/folder"
+)
+
+// Replica manages a follower's copy of a leader's WAL directory. It is a
+// byte sink, not a storage engine: shipped chunks are raw segment bytes
+// appended verbatim, so the replica directory is at all times a
+// byte-for-byte prefix of the leader's durable files. Promotion is then
+// just store.Open on the directory — the same torn-tail-tolerant recovery
+// a local restart runs, which is the whole point: replication adds no new
+// recovery code to trust.
+//
+// Replica is not safe for concurrent use; the repl follower serializes
+// access (vnet handlers may run concurrently, so it locks around it).
+
+// ErrWatermark reports a shipped chunk that does not land at the replica's
+// append position. The follower answers with its actual watermark and the
+// leader rewinds; no bytes are lost, the protocol just resynchronizes.
+var ErrWatermark = errors.New("store: chunk does not match replica watermark")
+
+// Replica is the follower-side WAL directory writer.
+type Replica struct {
+	dir  string
+	seg  uint64   // current segment (0: none yet)
+	size int64    // durable bytes in the current segment, header included
+	f    *os.File // current segment, open for append (nil when seg == 0)
+	sync bool     // fdatasync each append (false only in tests)
+}
+
+// OpenReplica scans (creating if needed) a replica directory and positions
+// the write watermark at the end of the last segment's valid prefix. A
+// torn tail — the follower crashed mid-append — is truncated exactly like
+// local recovery would, so resumed shipping stays byte-aligned with the
+// leader; the leader re-ships from the reported watermark.
+func OpenReplica(dir string) (*Replica, error) {
+	return openReplica(dir, true)
+}
+
+// OpenReplicaNoSync is OpenReplica without per-append fdatasync. Tests
+// only: an ack from a no-sync replica promises nothing across a crash.
+func OpenReplicaNoSync(dir string) (*Replica, error) {
+	return openReplica(dir, false)
+}
+
+func openReplica(dir string, sync bool) (*Replica, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	r := &Replica{dir: dir, sync: sync}
+	segs, _, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		return r, nil
+	}
+	last := segs[len(segs)-1]
+	valid, err := validPrefix(segPath(dir, last), last)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.Truncate(segPath(dir, last), valid); err != nil {
+		return nil, fmt.Errorf("store: replica truncate: %w", err)
+	}
+	f, err := os.OpenFile(segPath(dir, last), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	r.f, r.seg, r.size = f, last, valid
+	return r, nil
+}
+
+// validPrefix returns the length of the segment's valid prefix: header plus
+// every whole CRC-clean record. The scan treats the file as final-segment,
+// so a torn tail yields the offset to truncate at rather than an error;
+// damage before the tail still refuses (the replica's earlier bytes were
+// fdatasynced before they were acked, so they must verify).
+func validPrefix(path string, seq uint64) (int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	if len(data) < fileHdrSize {
+		// The segment-creating chunk itself was torn; drop the remnant and
+		// let the leader re-ship the segment from offset 0.
+		return 0, os.Remove(path)
+	}
+	if got, err := parseFileHeader(data, segMagic); err != nil || got != seq {
+		return 0, fmt.Errorf("%w: replica segment %d bad header", ErrCorrupt, seq)
+	}
+	rest := data[fileHdrSize:]
+	off := int64(fileHdrSize)
+	for len(rest) > 0 {
+		_, next, err := nextRecord(rest, true)
+		if errors.Is(err, errTorn) {
+			return off, nil
+		}
+		if err != nil {
+			return 0, fmt.Errorf("replica segment %d at %d: %w", seq, off, err)
+		}
+		off += int64(len(rest) - len(next))
+		rest = next
+	}
+	return off, nil
+}
+
+// Watermark returns the replica's append position: the current segment and
+// its size in bytes. A fresh replica reports (0, 0).
+func (r *Replica) Watermark() (seg uint64, size int64) { return r.seg, r.size }
+
+// Append applies one shipped chunk: seg's bytes [off, off+len(data)) from
+// the leader's durable file. The chunk is fdatasynced before Append
+// returns, so acking it never promises bytes the replica could lose.
+//
+//   - off == current watermark: plain append.
+//   - off == 0, seg > current: a new segment begins (its first chunk
+//     carries the 16-byte file header); the previous segment is sealed.
+//   - chunk entirely below the watermark: duplicate delivery (the leader
+//     resent after a lost ack) — a no-op, because shipped bytes are
+//     verbatim leader bytes and therefore identical.
+//   - overlapping chunk: the already-held prefix is trimmed, the rest
+//     appends.
+//
+// Anything else is ErrWatermark; the caller replies with Watermark() and
+// the leader rewinds.
+func (r *Replica) Append(seg uint64, off int64, data []byte) error {
+	if seg == r.seg && off < r.size {
+		if off+int64(len(data)) <= r.size {
+			return nil // pure duplicate
+		}
+		data = data[r.size-off:]
+		off = r.size
+	}
+	switch {
+	case r.f != nil && seg == r.seg && off == r.size:
+		return r.append(data)
+	case r.f != nil && seg == r.seg+1 && off == 0:
+		// Strictly the next segment: a larger jump would write a gap the
+		// promotion recovery must refuse.
+		return r.startSegment(seg, data)
+	case r.f == nil && off == 0 && (r.seg == 0 || seg == r.seg):
+		// Fresh replica, or the first chunk of the segment a just-installed
+		// snapshot points at (InstallSnapshot set seg with no file yet).
+		return r.startSegment(seg, data)
+	case seg < r.seg:
+		return nil // duplicate from a sealed segment
+	default:
+		return fmt.Errorf("%w: got seg=%d off=%d, watermark seg=%d size=%d",
+			ErrWatermark, seg, off, r.seg, r.size)
+	}
+}
+
+// startSegment begins segment seq with its first chunk, which must carry a
+// valid file header. The previous segment file is closed; its bytes are
+// already durable.
+func (r *Replica) startSegment(seq uint64, data []byte) error {
+	if len(data) < fileHdrSize {
+		return fmt.Errorf("%w: new segment %d chunk lacks header", ErrWatermark, seq)
+	}
+	if got, err := parseFileHeader(data, segMagic); err != nil || got != seq {
+		return fmt.Errorf("%w: new segment %d chunk bad header", ErrCorrupt, seq)
+	}
+	f, err := os.OpenFile(segPath(r.dir, seq), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: replica segment: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("store: replica write: %w", err)
+	}
+	if r.sync {
+		if err := fdatasync(f); err != nil {
+			f.Close()
+			return fmt.Errorf("store: replica sync: %w", err)
+		}
+		if err := syncDir(r.dir); err != nil {
+			f.Close()
+			return fmt.Errorf("store: replica dir sync: %w", err)
+		}
+	}
+	if r.f != nil {
+		r.f.Close()
+	}
+	r.f, r.seg, r.size = f, seq, int64(len(data))
+	return nil
+}
+
+// append extends the current segment.
+func (r *Replica) append(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	if _, err := r.f.Write(data); err != nil {
+		return fmt.Errorf("store: replica write: %w", err)
+	}
+	if r.sync {
+		if err := fdatasync(r.f); err != nil {
+			return fmt.Errorf("store: replica sync: %w", err)
+		}
+	}
+	r.size += int64(len(data))
+	return nil
+}
+
+// InstallSnapshot replaces the replica's contents with a shipped snapshot:
+// the briefcase is written as snapshot seq (durable before the old files
+// go), every older segment and snapshot is removed, and the watermark
+// resets to (seq, 0) — the leader ships segment seq from byte 0 next. A
+// snapshot at or below the current watermark segment is a stale duplicate
+// and is ignored.
+func (r *Replica) InstallSnapshot(seq uint64, b *folder.Briefcase) error {
+	if seq <= r.seg {
+		return nil
+	}
+	enc := appendFileHeader(make([]byte, 0, fileHdrSize+folder.EncodedSize(b)), snapMagic, seq)
+	enc = folder.AppendBriefcase(enc, b)
+	if err := WriteFileAtomic(snapPath(r.dir, seq), r.sync, func(f io.Writer) error {
+		_, err := f.Write(enc)
+		return err
+	}); err != nil {
+		return fmt.Errorf("store: replica snapshot: %w", err)
+	}
+	if r.f != nil {
+		r.f.Close()
+		r.f = nil
+	}
+	segs, snaps, err := scanDir(r.dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		os.Remove(segPath(r.dir, s))
+	}
+	for _, s := range snaps {
+		if s < seq {
+			os.Remove(snapPath(r.dir, s))
+		}
+	}
+	r.seg, r.size = seq, 0
+	// Snapshot seq claims coverage through segment seq-1 but segment seq
+	// does not exist yet; store.Open handles exactly this shape (a
+	// snapshot whose follow-on segment never became durable) by starting a
+	// fresh segment, so even a promotion right here is safe.
+	return nil
+}
+
+// Reset wipes the replica directory. The leader demands it when the
+// replica's history diverged (e.g. the replica is ahead of a leader that
+// lost its disk); everything re-ships from scratch.
+func (r *Replica) Reset() error {
+	if r.f != nil {
+		r.f.Close()
+		r.f = nil
+	}
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		os.Remove(filepath.Join(r.dir, e.Name()))
+	}
+	r.seg, r.size = 0, 0
+	return nil
+}
+
+// Close releases the replica's file handle. The directory remains valid
+// for promotion or a later OpenReplica.
+func (r *Replica) Close() error {
+	if r.f == nil {
+		return nil
+	}
+	err := r.f.Close()
+	r.f = nil
+	return err
+}

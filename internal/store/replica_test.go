@@ -1,0 +1,338 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"repro/internal/folder"
+)
+
+// shipAll drains leader w into replica r chunk by chunk, exactly as the
+// repl shipper does: read at the replica watermark, append, advance.
+func shipAll(t *testing.T, w *WAL, r *Replica, chunk int) {
+	t.Helper()
+	for {
+		seg, size := r.Watermark()
+		tail := w.Tail()
+		if seg == 0 {
+			seg, size = tail.FirstSeg, 0
+		}
+		if seg == tail.Seg && size >= tail.Size {
+			return
+		}
+		data, sealed, err := w.ReadSegmentDurable(seg, size, chunk)
+		if err != nil {
+			t.Fatalf("read seg %d off %d: %v", seg, size, err)
+		}
+		if err := r.Append(seg, size, data); err != nil {
+			t.Fatalf("append seg %d off %d: %v", seg, size, err)
+		}
+		if sealed {
+			if err := r.Append(seg+1, 0, mustRead(t, w, seg+1)); err != nil {
+				t.Fatalf("start seg %d: %v", seg+1, err)
+			}
+		}
+	}
+}
+
+// mustRead reads the opening chunk of a segment.
+func mustRead(t *testing.T, w *WAL, seg uint64) []byte {
+	t.Helper()
+	data, _, err := w.ReadSegmentDurable(seg, 0, 1<<20)
+	if err != nil {
+		t.Fatalf("read seg %d: %v", seg, err)
+	}
+	return data
+}
+
+// promote opens the replica directory as a WAL — the follower's promotion
+// path — and returns the recovered image.
+func promote(t *testing.T, r *Replica, dir string) ([]byte, *folder.FileCabinet, *WAL) {
+	t.Helper()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return reopen(t, dir)
+}
+
+func TestReplicaShipAndPromote(t *testing.T) {
+	ldir, rdir := t.TempDir(), t.TempDir()
+	cab, w := openTemp(t, ldir, Options{NoSync: true})
+	for i := 0; i < 50; i++ {
+		cab.AppendString("LOG", "entry")
+	}
+	cab.Put("CFG", folder.OfStrings("a", "b"))
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := openReplica(rdir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipAll(t, w, r, 64) // small chunks: most splits land mid-record
+
+	got, _, w2 := promote(t, r, rdir)
+	defer w2.Close()
+	if want := image(t, cab); string(got) != string(want) {
+		t.Fatal("promoted replica image differs from leader cabinet")
+	}
+}
+
+func TestReplicaDuplicateAndRewind(t *testing.T) {
+	ldir, rdir := t.TempDir(), t.TempDir()
+	cab, w := openTemp(t, ldir, Options{NoSync: true})
+	cab.AppendString("A", "x")
+	cab.AppendString("A", "y")
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := openReplica(rdir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := w.Tail()
+	whole := mustRead(t, w, tail.Seg)
+
+	if err := r.Append(tail.Seg, 0, whole); err != nil {
+		t.Fatal(err)
+	}
+	// A lost ack makes the leader resend: pure duplicates and overlapping
+	// chunks must be absorbed without corrupting the byte prefix.
+	if err := r.Append(tail.Seg, 0, whole); err != nil {
+		t.Fatalf("duplicate resend: %v", err)
+	}
+	if err := r.Append(tail.Seg, 0, whole[:len(whole)-3]); err != nil {
+		t.Fatalf("shorter duplicate: %v", err)
+	}
+	if _, size := r.Watermark(); size != int64(len(whole)) {
+		t.Fatalf("watermark %d after duplicates, want %d", size, len(whole))
+	}
+	// A chunk beyond the watermark is refused with ErrWatermark so the
+	// leader rewinds to the acked position.
+	if err := r.Append(tail.Seg, int64(len(whole))+10, []byte("zz")); !errors.Is(err, ErrWatermark) {
+		t.Fatalf("future chunk: want ErrWatermark, got %v", err)
+	}
+
+	got, _, w2 := promote(t, r, rdir)
+	defer w2.Close()
+	if want := image(t, cab); string(got) != string(want) {
+		t.Fatal("image diverged after duplicate handling")
+	}
+}
+
+func TestReplicaTornTailTruncatedOnReopen(t *testing.T) {
+	ldir, rdir := t.TempDir(), t.TempDir()
+	cab, w := openTemp(t, ldir, Options{NoSync: true})
+	cab.AppendString("A", "first")
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := openReplica(rdir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := w.Tail()
+	whole := mustRead(t, w, tail.Seg)
+	if err := r.Append(tail.Seg, 0, whole); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The follower crashed mid-append: a torn half-record sits past the
+	// durable prefix. Reopen must truncate it and report the pre-tear
+	// watermark, keeping resumed shipping byte-aligned with the leader.
+	f, err := os.OpenFile(segPath(rdir, tail.Seg), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xFF, 0x03, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r2, err := openReplica(rdir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg, size := r2.Watermark(); seg != tail.Seg || size != int64(len(whole)) {
+		t.Fatalf("watermark (%d,%d) after torn tail, want (%d,%d)", seg, size, tail.Seg, len(whole))
+	}
+	// Shipping resumes from the truncated offset.
+	cab.AppendString("A", "second")
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	shipAll(t, w, r2, 1<<20)
+	got, _, w2 := promote(t, r2, rdir)
+	defer w2.Close()
+	if want := image(t, cab); string(got) != string(want) {
+		t.Fatal("image diverged after torn-tail resume")
+	}
+}
+
+func TestReplicaRefusesSegmentGap(t *testing.T) {
+	ldir, rdir := t.TempDir(), t.TempDir()
+	cab, w := openTemp(t, ldir, Options{NoSync: true})
+	cab.AppendString("A", "x")
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := openReplica(rdir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := w.Tail()
+	whole := mustRead(t, w, tail.Seg)
+	if err := r.Append(tail.Seg, 0, whole); err != nil {
+		t.Fatal(err)
+	}
+	// Applying segment N+2 with N+1 never shipped would persist a gap the
+	// promotion recovery must refuse — Append rejects it up front.
+	hdr := appendFileHeader(nil, segMagic, tail.Seg+2)
+	if err := r.Append(tail.Seg+2, 0, hdr); !errors.Is(err, ErrWatermark) {
+		t.Fatalf("gap append: want ErrWatermark, got %v", err)
+	}
+
+	// And if a gap somehow reaches disk (operator copy error), promotion
+	// refuses with ErrCorrupt rather than silently dropping a segment.
+	if err := os.WriteFile(segPath(rdir, tail.Seg+2), hdr, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if _, err := Open(rdir, folder.NewCabinet(), Options{NoSync: true}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("promotion over gap: want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestReplicaSnapshotCatchUpRacingRotation(t *testing.T) {
+	ldir, rdir := t.TempDir(), t.TempDir()
+	// Tiny compaction thresholds so rotations happen constantly under load.
+	cab, w := openTemp(t, ldir, Options{NoSync: true, CompactMinBytes: 1, CompactRatio: 1})
+	for i := 0; i < 200; i++ {
+		cab.AppendString("LOG", "payload-payload-payload")
+		if i%20 == 0 {
+			if err := w.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	waitCompactions(t, w)
+
+	tail := w.Tail()
+	if tail.SnapSeq == 0 || tail.FirstSeg <= 1 {
+		t.Fatalf("compaction never pruned: tail=%+v", tail)
+	}
+
+	// A fresh follower below FirstSeg needs snapshot catch-up; keep
+	// mutating (and compacting) while it installs, the rotation race.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			cab.AppendString("LOG", "concurrent-concurrent")
+			w.Sync()
+		}
+	}()
+	seq, b, err := w.SnapshotForShip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	waitCompactions(t, w)
+
+	r, err := openReplica(rdir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.InstallSnapshot(seq, b); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot's follow-on segment may itself have been pruned by a
+	// compaction that ran after SnapshotForShip — exactly ErrSegmentGone —
+	// in which case the shipper re-snapshots; otherwise ship the log tail.
+	for {
+		seg, size := r.Watermark()
+		tl := w.Tail()
+		if seg >= tl.Seg && size >= tl.Size {
+			break
+		}
+		data, _, err := w.ReadSegmentDurable(seg, size, 1<<20)
+		if errors.Is(err, ErrSegmentGone) {
+			seq, b, err := w.SnapshotForShip()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.InstallSnapshot(seq, b); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Append(seg, size, data); err != nil {
+			t.Fatal(err)
+		}
+		if seg < tl.Seg {
+			sdata, _, err := w.ReadSegmentDurable(seg+1, 0, 1<<20)
+			if err == nil {
+				if err := r.Append(seg+1, 0, sdata); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	got, _, w2 := promote(t, r, rdir)
+	defer w2.Close()
+	if want := image(t, cab); string(got) != string(want) {
+		t.Fatal("image diverged after snapshot catch-up under rotation")
+	}
+}
+
+func TestReplicaReset(t *testing.T) {
+	ldir, rdir := t.TempDir(), t.TempDir()
+	cab, w := openTemp(t, ldir, Options{NoSync: true})
+	cab.AppendString("A", "x")
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := openReplica(rdir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := w.Tail()
+	if err := r.Append(tail.Seg, 0, mustRead(t, w, tail.Seg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if seg, size := r.Watermark(); seg != 0 || size != 0 {
+		t.Fatalf("watermark (%d,%d) after reset, want (0,0)", seg, size)
+	}
+	entries, err := os.ReadDir(rdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("%d files survive Reset", len(entries))
+	}
+}
+
+// waitCompactions blocks until no compaction is in flight.
+func waitCompactions(t *testing.T, w *WAL) {
+	t.Helper()
+	w.mu.Lock()
+	for w.compacting {
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
+}

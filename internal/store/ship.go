@@ -1,0 +1,174 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/folder"
+)
+
+// Leader-side replication support: a shipper (internal/repl) reads durable
+// WAL bytes through this API and sends them to a follower verbatim. The
+// invariant everything rests on is that the follower's files are a
+// byte-for-byte prefix of the leader's durable files — shipped chunks carry
+// raw segment bytes (CRC framing included), never re-encoded records, so
+// the follower's promotion is exactly a local recovery.
+
+// ErrSegmentGone reports that a requested segment no longer exists: a
+// compaction pruned it while the shipper was (or before it started)
+// reading. The shipper reacts by re-reading TailView and switching to
+// snapshot catch-up.
+var ErrSegmentGone = errors.New("store: segment pruned")
+
+// TailView is a consistent snapshot of the WAL's durable extent, the
+// coordinates a shipper plans against.
+type TailView struct {
+	// Seg is the live segment's sequence number.
+	Seg uint64
+	// Size is the live segment's durable byte size, file header included.
+	// Bytes recorded but not yet fdatasynced are excluded: shipping them
+	// would let the follower get ahead of the leader's own durability.
+	Size int64
+	// FirstSeg is the oldest segment still on disk. A follower whose
+	// watermark segment is below it (and below the snapshot) cannot be
+	// caught up by log shipping alone.
+	FirstSeg uint64
+	// SnapSeq is the newest durable snapshot's sequence, 0 when none
+	// exists.
+	SnapSeq uint64
+}
+
+// Tail returns the WAL's current durable extent.
+func (w *WAL) Tail() TailView {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return TailView{
+		Seg:      w.seg,
+		Size:     fileHdrSize + w.segBytes,
+		FirstSeg: w.firstSeg,
+		SnapSeq:  w.snapSeq,
+	}
+}
+
+// ReadSegmentDurable reads up to max bytes of segment seq starting at byte
+// offset off (0 includes the 16-byte file header), clipped to the durable
+// extent. sealed reports that the durable extent of seq ends at
+// off+len(chunk) and a newer segment exists — the shipper should advance to
+// seq+1 at offset 0. A chunk may end mid-record; the follower appends bytes
+// blindly and only the recovery path interprets them, so record boundaries
+// do not matter on the wire.
+//
+// A pruned segment returns ErrSegmentGone. Reading at the durable frontier
+// of the live segment returns an empty chunk (nothing to ship yet).
+func (w *WAL) ReadSegmentDurable(seq uint64, off int64, max int) (chunk []byte, sealed bool, err error) {
+	if max <= 0 || off < 0 {
+		return nil, false, fmt.Errorf("store: bad read bounds off=%d max=%d", off, max)
+	}
+	w.mu.Lock()
+	live := w.seg
+	first := w.firstSeg
+	durable := fileHdrSize + w.segBytes
+	w.mu.Unlock()
+	if seq < first {
+		return nil, false, fmt.Errorf("%w: %d < first %d", ErrSegmentGone, seq, first)
+	}
+	if seq > live {
+		return nil, false, fmt.Errorf("store: segment %d beyond live %d", seq, live)
+	}
+
+	f, err := os.Open(segPath(w.dir, seq))
+	if err != nil {
+		if os.IsNotExist(err) {
+			// Pruned between the bounds check and the open.
+			return nil, false, fmt.Errorf("%w: %d", ErrSegmentGone, seq)
+		}
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+
+	limit := durable
+	if seq != live {
+		// A sealed segment is durable end to end: rotation flushes the old
+		// segment before the swap, and it never grows again.
+		st, err := f.Stat()
+		if err != nil {
+			return nil, false, fmt.Errorf("store: %w", err)
+		}
+		limit = st.Size()
+	}
+	// (For the live segment, the file may have rotated away between the
+	// bounds snapshot and the open; it then holds at least `durable`
+	// bytes, so the clip below stays correct.)
+	if off > limit {
+		return nil, false, fmt.Errorf("store: segment %d offset %d beyond durable %d", seq, off, limit)
+	}
+	n := limit - off
+	if n > int64(max) {
+		n = int64(max)
+	}
+	chunk = make([]byte, n)
+	if _, err := io.ReadFull(io.NewSectionReader(f, off, n), chunk); err != nil {
+		return nil, false, fmt.Errorf("store: segment %d read: %w", seq, err)
+	}
+	return chunk, seq != live && off+n == limit, nil
+}
+
+// LagFrom returns how many durable log bytes lie beyond position
+// (seg, size) — a follower's replication lag. A position at or past the
+// durable frontier reports 0; a position behind the pruned log reports the
+// distance from the oldest surviving segment (the follower needs snapshot
+// catch-up, so the number is a floor, not an exact byte count).
+func (w *WAL) LagFrom(seg uint64, size int64) int64 {
+	tail := w.Tail()
+	if seg > tail.Seg || (seg == tail.Seg && size >= tail.Size) {
+		return 0
+	}
+	if seg < tail.FirstSeg {
+		seg, size = tail.FirstSeg, 0
+	}
+	if seg == tail.Seg {
+		return tail.Size - size
+	}
+	lag := tail.Size
+	for s := seg; s < tail.Seg; s++ {
+		st, err := os.Stat(segPath(w.dir, s))
+		if err != nil {
+			continue // pruned under us; undercounts, never overcounts
+		}
+		lag += st.Size()
+	}
+	return lag - size
+}
+
+// SnapshotForShip returns the newest durable snapshot's sequence and its
+// decoded briefcase, for catching up a follower that fell behind the
+// pruned log. Racing compaction is handled by retrying against the newer
+// snapshot when the one being read is pruned mid-flight. Returns an error
+// when no snapshot exists (the follower can then be served from segment
+// FirstSeg directly).
+func (w *WAL) SnapshotForShip() (uint64, *folder.Briefcase, error) {
+	for {
+		w.mu.Lock()
+		seq := w.snapSeq
+		w.mu.Unlock()
+		if seq == 0 {
+			return 0, nil, errors.New("store: no snapshot to ship")
+		}
+		body, err := readSnapshot(snapPath(w.dir, seq), seq)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				// Compaction pruned this snapshot after publishing a newer
+				// one; go read that instead.
+				continue
+			}
+			return 0, nil, err
+		}
+		b, err := folder.DecodeBriefcase(body)
+		if err != nil {
+			return 0, nil, fmt.Errorf("%w: snapshot %d: %v", ErrCorrupt, seq, err)
+		}
+		return seq, b, nil
+	}
+}

@@ -40,6 +40,11 @@ type Options struct {
 	// Logf, if non-nil, receives operational log lines (compaction results,
 	// sticky failures).
 	Logf func(format string, args ...any)
+	// OnFailure, if non-nil, is invoked exactly once — from its own
+	// goroutine — when the WAL takes its first sticky failure. Daemons use
+	// it to raise a loud alarm the moment durability is lost, instead of
+	// discovering the wreck at the next explicit Sync.
+	OnFailure func(err error)
 }
 
 func (o *Options) setDefaults() {
@@ -70,6 +75,12 @@ type Stats struct {
 	SegmentBytes int64
 	// SnapshotBytes is the size of the newest durable snapshot.
 	SnapshotBytes int64
+	// SyncFailures counts write/sync errors. Failure is sticky, so this is
+	// 0 or 1 in practice; it exists so monitors can alert on >0 without
+	// having to provoke a Sync.
+	SyncFailures int64
+	// LastSyncError is the sticky failure's message, "" while healthy.
+	LastSyncError string
 }
 
 // WAL is a write-ahead log bound to one file cabinet. It implements
@@ -107,12 +118,17 @@ type WAL struct {
 	err      error // sticky first failure
 	segBytes int64 // record bytes durably in the live segment
 
-	snapBytes  int64 // size of the newest snapshot's briefcase body
+	snapBytes  int64  // size of the newest snapshot's briefcase body
+	snapSeq    uint64 // sequence of the newest durable snapshot (0: none)
+	firstSeg   uint64 // oldest segment still on disk
 	compacting bool
+
+	notify chan<- struct{} // replication shipper wakeup (nonblocking sends)
 
 	stRecords     atomic.Int64
 	stSyncs       atomic.Int64
 	stCompactions atomic.Int64
+	stFailures    atomic.Int64
 }
 
 // maxRetainedBuf bounds the recycled record buffer so one huge load record
@@ -200,6 +216,10 @@ func (w *WAL) Err() error {
 func (w *WAL) Stats() Stats {
 	w.mu.Lock()
 	seg, snap := w.segBytes, w.snapBytes
+	lastErr := ""
+	if w.err != nil {
+		lastErr = w.err.Error()
+	}
 	w.mu.Unlock()
 	return Stats{
 		Records:       w.stRecords.Load(),
@@ -207,6 +227,31 @@ func (w *WAL) Stats() Stats {
 		Compactions:   w.stCompactions.Load(),
 		SegmentBytes:  seg,
 		SnapshotBytes: snap,
+		SyncFailures:  w.stFailures.Load(),
+		LastSyncError: lastErr,
+	}
+}
+
+// SetSyncNotify installs a wakeup channel that receives a nonblocking send
+// after every successful sync cycle and compaction — state changes a
+// replication shipper cares about. A nil channel disables notification.
+// The channel should be buffered (capacity 1 suffices: a coalesced wakeup
+// means "re-read TailView", not "one event each").
+func (w *WAL) SetSyncNotify(ch chan<- struct{}) {
+	w.mu.Lock()
+	w.notify = ch
+	w.mu.Unlock()
+}
+
+// notifyLocked pokes the sync-notify channel, dropping the wakeup if one is
+// already pending. Called with w.mu held.
+func (w *WAL) notifyLocked() {
+	if w.notify == nil {
+		return
+	}
+	select {
+	case w.notify <- struct{}{}:
+	default:
 	}
 }
 
@@ -388,6 +433,9 @@ func (w *WAL) flushLocked() {
 		w.synced = target
 		w.segBytes += int64(len(batch))
 		w.stSyncs.Add(1)
+		if len(batch) > 0 {
+			w.notifyLocked()
+		}
 		w.maybeCompactLocked()
 	}
 	if cap(batch) <= maxRetainedBuf && w.spare == nil {
@@ -401,7 +449,13 @@ func (w *WAL) flushLocked() {
 func (w *WAL) failLocked(err error) {
 	if w.err == nil {
 		w.err = err
+		w.stFailures.Add(1)
 		w.opt.logf("store: WAL failed, durability lost: %v", err)
+		if cb := w.opt.OnFailure; cb != nil {
+			// Own goroutine: the callback may call back into the WAL
+			// (Stats, Sync) or block on logging without holding w.mu.
+			go cb(err)
+		}
 	}
 }
 

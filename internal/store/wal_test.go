@@ -419,6 +419,53 @@ func TestStickyFailure(t *testing.T) {
 	_ = w.Close()
 }
 
+// TestFailureReporting: the first sticky failure fires OnFailure exactly
+// once and surfaces in Stats without anyone calling Sync.
+func TestFailureReporting(t *testing.T) {
+	dir := t.TempDir()
+	fired := make(chan error, 2)
+	cab := folder.NewCabinet()
+	w, err := Open(dir, cab, Options{NoSync: true, OnFailure: func(err error) { fired <- err }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if st := w.Stats(); st.SyncFailures != 0 || st.LastSyncError != "" {
+		t.Fatalf("healthy WAL reports failures: %+v", st)
+	}
+
+	w.mu.Lock()
+	w.f.Close()
+	w.mu.Unlock()
+	cab.AppendString("S", "x")
+	w.Sync()
+
+	select {
+	case err := <-fired:
+		if err == nil {
+			t.Fatal("OnFailure fired with nil error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnFailure never fired")
+	}
+	st := w.Stats()
+	if st.SyncFailures != 1 {
+		t.Fatalf("SyncFailures=%d, want 1", st.SyncFailures)
+	}
+	if st.LastSyncError == "" {
+		t.Fatal("LastSyncError empty after failure")
+	}
+	// A second failed Sync must not re-fire the callback (failure is
+	// sticky, the alarm is one-shot).
+	cab.AppendString("S", "y")
+	w.Sync()
+	select {
+	case <-fired:
+		t.Fatal("OnFailure fired twice")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
 func TestSnapshotGapRefused(t *testing.T) {
 	dir := t.TempDir()
 	cab, w := openTemp(t, dir, Options{NoSync: true, CompactMinBytes: 256, CompactRatio: 1})

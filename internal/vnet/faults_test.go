@@ -1,0 +1,138 @@
+package vnet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// faultNet builds a two-node network with a fast call timeout so dropped
+// messages fail quickly.
+func faultNet(t *testing.T, opts ...Option) (*Network, *Node, *Node) {
+	t.Helper()
+	opts = append([]Option{WithSeed(42), WithCallTimeout(20 * time.Millisecond)}, opts...)
+	n := NewNetwork(opts...)
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	b.SetHandler(func(from SiteID, kind string, payload []byte) ([]byte, error) {
+		return append([]byte("ok:"), payload...), nil
+	})
+	return n, a, b
+}
+
+func TestFaultsDropTimesOut(t *testing.T) {
+	n, a, _ := faultNet(t)
+	n.SetFaults("a", "b", Faults{Drop: 1})
+	_, err := a.Call(context.Background(), "b", "t", []byte("x"))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Drop=1 request: want ErrTimeout, got %v", err)
+	}
+
+	// Clearing faults restores the link.
+	n.ClearFaults()
+	if _, err := a.Call(context.Background(), "b", "t", []byte("x")); err != nil {
+		t.Fatalf("after ClearFaults: %v", err)
+	}
+
+	// Reply-direction drop also manifests as a timeout, but the handler ran.
+	served := 0
+	n.Node("b").SetHandler(func(from SiteID, kind string, payload []byte) ([]byte, error) {
+		served++
+		return nil, nil
+	})
+	n.SetFaults("b", "a", Faults{Drop: 1})
+	_, err = a.Call(context.Background(), "b", "t", []byte("x"))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Drop=1 reply: want ErrTimeout, got %v", err)
+	}
+	if served != 1 {
+		t.Fatalf("reply drop must not suppress delivery: served=%d", served)
+	}
+}
+
+func TestFaultsDelayHoldsMessages(t *testing.T) {
+	n, a, _ := faultNet(t)
+	const hold = 30 * time.Millisecond
+	n.SetFaults("a", "b", Faults{Delay: hold})
+	start := time.Now()
+	if _, err := a.Call(context.Background(), "b", "t", []byte("x")); err != nil {
+		t.Fatalf("delayed call: %v", err)
+	}
+	if el := time.Since(start); el < hold {
+		t.Fatalf("Delay=%v not applied: call took %v", hold, el)
+	}
+
+	// A ctx expiring inside the injected hold surfaces as ctx.Err, not a
+	// phantom reply.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := a.Call(ctx, "b", "t", []byte("x")); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ctx during injected delay: want DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestFaultsReorderSwapsAdjacentMessages(t *testing.T) {
+	n, a, b := faultNet(t)
+	var mu sync.Mutex
+	var order []string
+	b.SetHandler(func(from SiteID, kind string, payload []byte) ([]byte, error) {
+		mu.Lock()
+		order = append(order, string(payload))
+		mu.Unlock()
+		return nil, nil
+	})
+	n.SetFaults("a", "b", Faults{Reorder: 1, ReorderWindow: time.Second})
+
+	// m1 is selected for reordering (Reorder=1) and parks; m2 finds the
+	// held slot occupied, becomes the releaser, and delivers first.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := a.Call(context.Background(), "b", "t", []byte("m1")); err != nil {
+			t.Errorf("m1: %v", err)
+		}
+	}()
+	// Give m1 time to reach the held slot before m2 enters.
+	time.Sleep(20 * time.Millisecond)
+	if _, err := a.Call(context.Background(), "b", "t", []byte("m2")); err != nil {
+		t.Fatalf("m2: %v", err)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "m2" || order[1] != "m1" {
+		t.Fatalf("want delivery order [m2 m1], got %v", order)
+	}
+}
+
+func TestFaultsReorderWindowReleasesLoneMessage(t *testing.T) {
+	n, a, _ := faultNet(t)
+	n.SetFaults("a", "b", Faults{Reorder: 1, ReorderWindow: 10 * time.Millisecond})
+	// No successor ever arrives: the hold must drain on the window timer
+	// rather than wedging the link.
+	start := time.Now()
+	if _, err := a.Call(context.Background(), "b", "t", []byte("solo")); err != nil {
+		t.Fatalf("lone reordered call: %v", err)
+	}
+	if el := time.Since(start); el < 10*time.Millisecond {
+		t.Fatalf("reorder window not applied: call took %v", el)
+	}
+}
+
+func TestFaultsPartitionStillSevers(t *testing.T) {
+	// Faults compose with the existing partition knob: partition wins.
+	n, a, _ := faultNet(t)
+	n.SetFaults("a", "b", Faults{Delay: time.Millisecond})
+	n.Partition("a", "b")
+	if _, err := a.Call(context.Background(), "b", "t", nil); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("partitioned: want ErrTimeout, got %v", err)
+	}
+	n.Heal("a", "b")
+	if _, err := a.Call(context.Background(), "b", "t", nil); err != nil {
+		t.Fatalf("healed: %v", err)
+	}
+}

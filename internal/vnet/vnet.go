@@ -89,6 +89,36 @@ func (p LinkParams) TransferTime(n int) time.Duration {
 
 type linkKey struct{ from, to SiteID }
 
+// Faults injects adverse behavior on a directed link, layered on top of the
+// link's base LinkParams. Where LinkParams model the physics of a healthy
+// link (propagation delay, bandwidth, background loss), Faults model a
+// misbehaving one: the chaos harness sets them per link to prove protocols
+// survive drops, delays, and reordering — the takeover test kills a leader
+// under these knobs. Partition/Heal remain the fourth knob: a 100% fault.
+//
+// Fault delays are wall-clock sleeps even on a virtual-time network:
+// injection exists to perturb real goroutine interleavings, not to model
+// transfer cost (which LinkParams already charge).
+type Faults struct {
+	// Drop is the probability in [0,1] that a message vanishes, on top of
+	// the link's base Loss.
+	Drop float64
+	// Delay is a fixed extra hold applied to every message.
+	Delay time.Duration
+	// Jitter adds a uniform random hold in [0, Jitter) per message.
+	Jitter time.Duration
+	// Reorder is the probability a message is held until the next message
+	// on the same link has been fully delivered, swapping their order. At
+	// most one message per link is held at a time; a held message with no
+	// successor is released after ReorderWindow.
+	Reorder float64
+	// ReorderWindow bounds how long a reorder-held message waits for a
+	// successor; 0 means a 5ms default.
+	ReorderWindow time.Duration
+}
+
+const defaultReorderWindow = 5 * time.Millisecond
+
 // headerOverhead approximates per-message framing cost (ids, kind, lengths)
 // so byte accounting is not flattered by tiny payloads.
 const headerOverhead = 24
@@ -100,6 +130,8 @@ type Network struct {
 	nodes       map[SiteID]*Node
 	links       map[linkKey]LinkParams
 	partitioned map[linkKey]bool
+	faults      map[linkKey]Faults
+	held        map[linkKey]chan struct{}
 	defaults    LinkParams
 	realTime    bool
 	callTimeout time.Duration
@@ -139,6 +171,8 @@ func NewNetwork(opts ...Option) *Network {
 		nodes:       make(map[SiteID]*Node),
 		links:       make(map[linkKey]LinkParams),
 		partitioned: make(map[linkKey]bool),
+		faults:      make(map[linkKey]Faults),
+		held:        make(map[linkKey]chan struct{}),
 		bytesByLink: make(map[linkKey]*atomic.Int64),
 		bytesByKind: make(map[string]*atomic.Int64),
 		callTimeout: 250 * time.Millisecond,
@@ -192,6 +226,105 @@ func (n *Network) SetLink(a, b SiteID, p LinkParams) {
 func (n *Network) SetBidirLink(a, b SiteID, p LinkParams) {
 	n.SetLink(a, b, p)
 	n.SetLink(b, a, p)
+}
+
+// SetFaults installs fault injection on the directed link a→b. A zero
+// Faults value disables injection for the link.
+func (n *Network) SetFaults(a, b SiteID, f Faults) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if f == (Faults{}) {
+		delete(n.faults, linkKey{a, b})
+		return
+	}
+	n.faults[linkKey{a, b}] = f
+}
+
+// SetBidirFaults installs the same faults on both directions of a link.
+func (n *Network) SetBidirFaults(a, b SiteID, f Faults) {
+	n.SetFaults(a, b, f)
+	n.SetFaults(b, a, f)
+}
+
+// ClearFaults removes all injected faults network-wide. Messages currently
+// held for reordering drain on their window timer.
+func (n *Network) ClearFaults() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faults = make(map[linkKey]Faults)
+}
+
+// applyFaults runs the injected-fault pipeline for one message direction.
+// It returns dropped=true when the message must vanish. When release is
+// non-nil, the caller owes a close(release) after this message's delivery
+// completes — that wakes the reorder-held message it superseded, which is
+// what actually swaps their order. A non-nil error is ctx expiring during
+// an injected hold.
+func (n *Network) applyFaults(ctx context.Context, from, to SiteID) (dropped bool, release chan struct{}, err error) {
+	key := linkKey{from, to}
+	n.mu.Lock()
+	f, ok := n.faults[key]
+	if !ok {
+		n.mu.Unlock()
+		return false, nil, nil
+	}
+	if f.Drop > 0 && n.rng.Float64() < f.Drop {
+		n.mu.Unlock()
+		return true, nil, nil
+	}
+	var jitter time.Duration
+	if f.Jitter > 0 {
+		jitter = time.Duration(n.rng.Int63n(int64(f.Jitter)))
+	}
+	reorder := f.Reorder > 0 && n.rng.Float64() < f.Reorder
+	var wait chan struct{}
+	if held := n.held[key]; held != nil {
+		// A predecessor is parked on this link: we are its successor and
+		// will release it after our own delivery, even if we too were
+		// selected for reordering (at most one held message per link —
+		// no chains, so injection can never wedge a link).
+		release = held
+		delete(n.held, key)
+	} else if reorder {
+		wait = make(chan struct{})
+		n.held[key] = wait
+	}
+	n.mu.Unlock()
+
+	if d := f.Delay + jitter; d > 0 {
+		if err := sleepCtx(ctx, d); err != nil {
+			n.unhold(key, wait)
+			return false, release, err
+		}
+	}
+	if wait != nil {
+		window := f.ReorderWindow
+		if window <= 0 {
+			window = defaultReorderWindow
+		}
+		select {
+		case <-wait:
+		case <-time.After(window):
+			n.unhold(key, wait)
+		case <-ctx.Done():
+			n.unhold(key, wait)
+			return false, release, ctx.Err()
+		}
+	}
+	return false, release, nil
+}
+
+// unhold retracts a reorder slot if it is still ours (a successor may have
+// claimed it concurrently, in which case its close is a harmless wake).
+func (n *Network) unhold(key linkKey, wait chan struct{}) {
+	if wait == nil {
+		return
+	}
+	n.mu.Lock()
+	if n.held[key] == wait {
+		delete(n.held, key)
+	}
+	n.mu.Unlock()
 }
 
 // Partition severs both directions between a and b until Heal is called.
@@ -400,6 +533,19 @@ func (nd *Node) Call(ctx context.Context, to SiteID, kind string, payload []byte
 	if !connected || dest.crashed.Load() || nd.net.lossDrop(params.Loss) {
 		return nil, awaitTimeout(ctx, timeout, to)
 	}
+	dropped, release, ferr := nd.net.applyFaults(ctx, nd.id, to)
+	if release != nil {
+		// The reorder-held predecessor on this link resumes only after our
+		// delivery fully completes (including the reply), which is what
+		// makes the swap deterministic.
+		defer close(release)
+	}
+	if ferr != nil {
+		return nil, ferr
+	}
+	if dropped {
+		return nil, awaitTimeout(ctx, timeout, to)
+	}
 
 	dest.hmu.RLock()
 	h := dest.handler
@@ -448,6 +594,16 @@ func (nd *Node) Call(ctx context.Context, to SiteID, kind string, payload []byte
 	}
 	back, backOK := nd.net.linkFor(to, nd.id)
 	if !backOK || nd.net.lossDrop(back.Loss) {
+		return nil, awaitTimeout(ctx, timeout, to)
+	}
+	rdropped, rrelease, rerr := nd.net.applyFaults(ctx, to, nd.id)
+	if rrelease != nil {
+		defer close(rrelease)
+	}
+	if rerr != nil {
+		return nil, rerr
+	}
+	if rdropped {
 		return nil, awaitTimeout(ctx, timeout, to)
 	}
 	nd.net.chargeTransfer(to, nd.id, kind, len(res.data), back)
