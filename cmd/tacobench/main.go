@@ -78,6 +78,7 @@ func run() error {
 		fleetSites  = flag.Int("fleet-sites", 10, "fleet lanes: number of meshed in-process sites")
 		fleetAgents = flag.Int("fleet-agents", 100000, "fleet lanes: resident agent population across the fleet")
 		parkedPop   = flag.Int("parked-agents", 100000, "parked lane: idle parked-agent population at the measured site")
+		scriptSrc   = flag.String("script-src", "", "file whose contents replace the built-in script-lane workload (default: core.ScriptWorkloadSrc)")
 		cpus        = flag.String("cpus", "", "comma-separated GOMAXPROCS values (e.g. 1,2,4,8); runs the whole mode list once per value, one report per value")
 		out         = flag.String("out", "BENCH_meet.json", "output path for the JSON report ('-' for stdout); a -cpus sweep inserts .cpuN before the extension")
 		verbose     = flag.Bool("v", false, "print per-workload results as they finish")
@@ -124,6 +125,13 @@ func run() error {
 		fleetSites:  *fleetSites,
 		fleetAgents: *fleetAgents,
 		parkedPop:   *parkedPop,
+	}
+	if *scriptSrc != "" {
+		src, err := os.ReadFile(*scriptSrc)
+		if err != nil {
+			return fmt.Errorf("script-src: %w", err)
+		}
+		opts.scriptSrc = string(src)
 	}
 
 	// A -cpus sweep runs the whole mode list once per GOMAXPROCS setting
@@ -224,6 +232,10 @@ type benchOpts struct {
 	fleetSites  int
 	fleetAgents int
 	parkedPop   int
+	// scriptSrc, when non-empty, replaces the script lane's built-in
+	// workload (-script-src). testdata/heavy.tacl is the committed
+	// proc-and-cabinet-heavy alternative.
+	scriptSrc string
 }
 
 // runMode builds the named workload and measures it.
@@ -259,7 +271,7 @@ func buildWorkload(mode string, o benchOpts) (workload, error) {
 	case "guarded":
 		return guardedWorkload(concurrency, payload)
 	case "script":
-		return scriptWorkload(concurrency, payload), nil
+		return scriptWorkload(concurrency, payload, o.scriptSrc), nil
 	case "hop":
 		return hopWorkload(concurrency, payload)
 	case "durable":
@@ -386,18 +398,22 @@ func guardedWorkload(concurrency, payload int) (workload, error) {
 	}}, nil
 }
 
-// scriptWorkload: the scripted-agent meet — each op pushes
-// core.ScriptWorkloadSrc (the same constant BenchmarkScriptedMeet runs, so
-// the CI gate and the Go benchmark measure one workload) onto CODE and
-// meets ag_tacl, exercising the compile cache, the pooled interpreter, and
-// the shared host-command table under concurrency.
-func scriptWorkload(concurrency, payload int) workload {
+// scriptWorkload: the scripted-agent meet — each op pushes the workload
+// script (by default core.ScriptWorkloadSrc, the same constant
+// BenchmarkScriptedMeet runs, so the CI gate and the Go benchmark measure
+// one workload; -script-src substitutes any file) onto CODE and meets
+// ag_tacl, exercising the bytecode cache, the pooled interpreter, and the
+// shared host-command table under concurrency.
+func scriptWorkload(concurrency, payload int, src string) workload {
+	if src == "" {
+		src = core.ScriptWorkloadSrc
+	}
 	sys := tacoma.NewSystem(1, tacoma.SystemConfig{Seed: 1})
 	site := sys.SiteAt(0)
 	bcs := workerBriefcases(concurrency, payload)
 	return workload{op: func(worker int) error {
 		bc := bcs[worker]
-		bc.Ensure(tacoma.CodeFolder).PushString(core.ScriptWorkloadSrc)
+		bc.Ensure(tacoma.CodeFolder).PushString(src)
 		return site.MeetClient(context.Background(), tacoma.AgTacl, bc)
 	}}
 }

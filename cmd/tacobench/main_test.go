@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"os"
 	"testing"
 	"time"
 )
@@ -28,6 +29,25 @@ func TestWorkloadsSmoke(t *testing.T) {
 				t.Errorf("implausible percentiles: p50=%d p99=%d", res.P50Ns, res.P99Ns)
 			}
 		})
+	}
+}
+
+// The committed heavy fixture must keep running through -script-src: it is
+// the proc-and-cabinet-heavy alternative workload for the script lane.
+func TestScriptSrcFixture(t *testing.T) {
+	src, err := os.ReadFile("testdata/heavy.tacl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runMode("script", benchOpts{
+		concurrency: 2, duration: 30 * time.Millisecond, payload: 16,
+		scriptSrc: string(src),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops <= 0 {
+		t.Errorf("no throughput recorded: %+v", res)
 	}
 }
 

@@ -114,6 +114,11 @@ type SiteConfig struct {
 	// (see SetDurable) before the site serves its first call, so no meet
 	// is ever acknowledged without its durability barrier.
 	Durable CommitSyncer
+	// TaclEngine pins agent scripts to a TacL execution engine. The zero
+	// value is the bytecode VM; tests pin tacl.EngineAST or
+	// tacl.EngineReference to check the engines against each other through
+	// the full host-command path.
+	TaclEngine tacl.Engine
 }
 
 // defaultMaxSteps bounds runaway agents when the site does not configure a

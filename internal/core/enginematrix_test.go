@@ -1,0 +1,75 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/folder"
+	"repro/internal/tacl"
+)
+
+// The engine matrix pins the full host path — site, guard checks, briefcase
+// commands — across all three TacL execution engines via SiteConfig.
+// Behavior that only shows up under the kernel bindings (frozen-folder
+// refusal, host command ordering) must not depend on which engine ran the
+// script.
+
+var matrixEngines = []struct {
+	name   string
+	engine tacl.Engine
+}{
+	{"vm", tacl.EngineVM},
+	{"ast", tacl.EngineAST},
+	{"reference", tacl.EngineReference},
+}
+
+// TestEngineMatrixFrozenFolder runs a loop that mutates a frozen briefcase
+// folder: every engine must refuse with the same folder.ErrFrozen error —
+// same text, same wrapping — raised from inside the loop's inlined host
+// call.
+func TestEngineMatrixFrozenFolder(t *testing.T) {
+	const src = `set i 0
+while {$i < 3} { bc_push LOCKED [format "x-%d" $i]; set i [expr $i + 1] }`
+	var want string
+	for i, e := range matrixEngines {
+		sys := NewSystem(1, SystemConfig{Site: SiteConfig{TaclEngine: e.engine}})
+		bc := folder.NewBriefcase()
+		bc.Ensure("LOCKED").Freeze()
+		_, err := RunScript(context.Background(), sys.SiteAt(0), src, bc)
+		if err == nil || !errors.Is(err, folder.ErrFrozen) {
+			t.Fatalf("engine %s: want ErrFrozen, got %v", e.name, err)
+		}
+		if i == 0 {
+			want = err.Error()
+		} else if err.Error() != want {
+			t.Errorf("engine %s: error %q, want %q (as engine %s)",
+				e.name, err.Error(), want, matrixEngines[0].name)
+		}
+	}
+}
+
+// TestEngineMatrixScriptWorkload runs the benchmark workload itself through
+// every engine and compares the briefcase it leaves behind.
+func TestEngineMatrixScriptWorkload(t *testing.T) {
+	var want string
+	for i, e := range matrixEngines {
+		sys := NewSystem(1, SystemConfig{Site: SiteConfig{TaclEngine: e.engine}})
+		bc, err := RunScript(context.Background(), sys.SiteAt(0), ScriptWorkloadSrc, nil)
+		if err != nil {
+			t.Fatalf("engine %s: %v", e.name, err)
+		}
+		got, err := bc.GetString("OUT")
+		if err != nil {
+			t.Fatalf("engine %s: %v", e.name, err)
+		}
+		if i == 0 {
+			want = got
+			if want == "" {
+				t.Fatal("workload produced empty OUT")
+			}
+		} else if got != want {
+			t.Errorf("engine %s: OUT %q, want %q", e.name, got, want)
+		}
+	}
+}

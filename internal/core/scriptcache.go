@@ -72,6 +72,11 @@ func (c *scriptCache) compiled(src string) (*tacl.Script, error) {
 		return nil, err
 	}
 	if !ok && len(src) <= maxCacheableScript {
+		// A retained script will run again: lower it to bytecode now, off
+		// the next activation's critical path. The program attaches to the
+		// shared *tacl.Script, so the byte-cap and admission policy above
+		// bound the compiled form exactly as they bound the parse.
+		prog.Precompile()
 		sh.mu.Lock()
 		cur, _ := sh.v.Load().(map[uint64]scriptEntry)
 		if _, raced := cur[h]; !raced {

@@ -52,6 +52,7 @@ func runTacL(mc *MeetContext, bc *folder.Briefcase, src string) error {
 		return err
 	}
 	in := tacl.Get(site.taclTable)
+	in.SetEngine(site.cfg.TaclEngine)
 	in.MaxSteps = site.cfg.MaxSteps
 	// Scripted activations run on scheduler pool workers (async meets,
 	// parked-agent resumes) as well as caller goroutines; yielding between
@@ -125,15 +126,21 @@ func (h *hostCtx) checkCab(name string, write bool) error {
 // checkBc guards mutations of the briefcase's own folders: frozen
 // folders (the guard freezes SIG after signing) refuse politely rather
 // than panicking, and the site guard protects its managed folders (SIG,
-// CASH) from in-script tampering even before they are frozen.
-func (h *hostCtx) checkBc(name string) error {
-	if f := h.bc.Lookup(name); f != nil && f.IsFrozen() {
-		return fmt.Errorf("%w: %q", folder.ErrFrozen, name)
+// CASH) from in-script tampering even before they are frozen. It returns
+// the named folder (nil when absent) so callers skip a second map lookup;
+// the result is never held across other host commands, which may replace
+// folders wholesale (guard signing, putlist).
+func (h *hostCtx) checkBc(name string) (*folder.Folder, error) {
+	f := h.bc.Lookup(name)
+	if f != nil && f.IsFrozen() {
+		return nil, fmt.Errorf("%w: %q", folder.ErrFrozen, name)
 	}
 	if g := h.mc.Site.Guard(); g != nil {
-		return g.CheckBriefcase(h.mc, h.bc, name)
+		if err := g.CheckBriefcase(h.mc, h.bc, name); err != nil {
+			return nil, err
+		}
 	}
-	return nil
+	return f, nil
 }
 
 // newHostTable returns the shared command table: the TacL builtins plus the
@@ -191,10 +198,17 @@ func hostBcPush(in *tacl.Interp, args []string) (string, error) {
 		return "", err
 	}
 	h := hctx(in)
-	if err := h.checkBc(args[0]); err != nil {
+	f, err := h.checkBc(args[0])
+	if err != nil {
 		return "", err
 	}
-	h.bc.Ensure(args[0]).PushString(args[1])
+	if f == nil {
+		f = h.bc.Ensure(args[0])
+	}
+	// PushOwned of arena bytes: the briefcase push in a script's hot loop
+	// costs no per-call allocation (the arena's pages are append-only, so
+	// the folder's ownership of the copy is never violated).
+	f.PushOwned(in.ArenaBytes(args[1]))
 	return "", nil
 }
 
@@ -203,12 +217,12 @@ func hostBcPop(in *tacl.Interp, args []string) (string, error) {
 		return "", err
 	}
 	h := hctx(in)
-	if err := h.checkBc(args[0]); err != nil {
-		return "", err
-	}
-	f, err := h.bc.Folder(args[0])
+	f, err := h.checkBc(args[0])
 	if err != nil {
 		return "", err
+	}
+	if f == nil {
+		return "", fmt.Errorf("%w: %q", folder.ErrNoFolder, args[0])
 	}
 	return f.PopString()
 }
@@ -218,12 +232,12 @@ func hostBcDequeue(in *tacl.Interp, args []string) (string, error) {
 		return "", err
 	}
 	h := hctx(in)
-	if err := h.checkBc(args[0]); err != nil {
-		return "", err
-	}
-	f, err := h.bc.Folder(args[0])
+	f, err := h.checkBc(args[0])
 	if err != nil {
 		return "", err
+	}
+	if f == nil {
+		return "", fmt.Errorf("%w: %q", folder.ErrNoFolder, args[0])
 	}
 	return f.DequeueString()
 }
@@ -260,12 +274,12 @@ func hostBcSet(in *tacl.Interp, args []string) (string, error) {
 		return "", err
 	}
 	h := hctx(in)
-	if err := h.checkBc(args[0]); err != nil {
-		return "", err
-	}
-	f, err := h.bc.Folder(args[0])
+	f, err := h.checkBc(args[0])
 	if err != nil {
 		return "", err
+	}
+	if f == nil {
+		return "", fmt.Errorf("%w: %q", folder.ErrNoFolder, args[0])
 	}
 	i, err := strconv.Atoi(args[1])
 	if err != nil {
@@ -297,7 +311,7 @@ func hostBcDel(in *tacl.Interp, args []string) (string, error) {
 		return "", err
 	}
 	h := hctx(in)
-	if err := h.checkBc(args[0]); err != nil {
+	if _, err := h.checkBc(args[0]); err != nil {
 		return "", err
 	}
 	h.bc.Delete(args[0])
@@ -324,7 +338,7 @@ func hostBcPutlist(in *tacl.Interp, args []string) (string, error) {
 		return "", err
 	}
 	h := hctx(in)
-	if err := h.checkBc(args[0]); err != nil {
+	if _, err := h.checkBc(args[0]); err != nil {
 		return "", err
 	}
 	elems, err := tacl.ParseList(args[1])

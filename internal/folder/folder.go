@@ -45,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Common errors returned by folder operations.
@@ -218,13 +219,13 @@ func (f *Folder) RawAt(i int) []byte {
 	return f.elems[i]
 }
 
-// StringAt returns the i'th element as a string. The string conversion is
-// the only copy made.
+// StringAt returns the i'th element as a string, without copying (see
+// asString).
 func (f *Folder) StringAt(i int) (string, error) {
 	if i < 0 || i >= len(f.elems) {
 		return "", fmt.Errorf("%w: %d of %d", ErrBadIndex, i, len(f.elems))
 	}
-	return string(f.elems[i]), nil
+	return asString(f.elems[i]), nil
 }
 
 // Push appends an element to the end of the folder (stack push / enqueue).
@@ -269,13 +270,28 @@ func (f *Folder) Pop() ([]byte, error) {
 	return f.takeOut(e), nil
 }
 
-// PopString removes and returns the last element as a string.
+// asString views element bytes as a string without copying. Sound because
+// stored elements are write-once: no folder operation ever rewrites element
+// bytes in place (Set swaps the slice pointer, clones protect shared
+// elements), so the bytes behind the view are immutable for its lifetime.
+// A view can pin the decode buffer an element was materialized from, which
+// is fine for the transient strings the TacL lane produces; callers that
+// retain results long-term should use the []byte accessors and copy.
+func asString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// PopString removes and returns the last element as a string, without
+// copying (see asString).
 func (f *Folder) PopString() (string, error) {
 	b, err := f.Pop()
 	if err != nil {
 		return "", err
 	}
-	return string(b), nil
+	return asString(b), nil
 }
 
 // Dequeue removes and returns the first element (queue discipline).
@@ -291,13 +307,14 @@ func (f *Folder) Dequeue() ([]byte, error) {
 	return f.takeOut(e), nil
 }
 
-// DequeueString removes and returns the first element as a string.
+// DequeueString removes and returns the first element as a string, without
+// copying (see asString).
 func (f *Folder) DequeueString() (string, error) {
 	b, err := f.Dequeue()
 	if err != nil {
 		return "", err
 	}
-	return string(b), nil
+	return asString(b), nil
 }
 
 // Peek returns the last element without removing it.

@@ -45,14 +45,14 @@ func TestFrameHostileInput(t *testing.T) {
 		nil,
 		{},
 		{frameVersion},
-		{99, frHello},                   // wrong version
-		{frameVersion, 200},             // unknown type
-		{frameVersion, frHello, 1},      // trailing bytes
-		{frameVersion, frSeg},           // missing fields
-		{frameVersion, frSeg, 0x80},     // truncated uvarint
-		{frameVersion, frSeg, 0, 0},     // zero segment
-		{frameVersion, frSnap, 0},       // zero sequence
-		{frameVersion, frSnap},          // missing seq
+		{99, frHello},               // wrong version
+		{frameVersion, 200},         // unknown type
+		{frameVersion, frHello, 1},  // trailing bytes
+		{frameVersion, frSeg},       // missing fields
+		{frameVersion, frSeg, 0x80}, // truncated uvarint
+		{frameVersion, frSeg, 0, 0}, // zero segment
+		{frameVersion, frSnap, 0},   // zero sequence
+		{frameVersion, frSnap},      // missing seq
 	}
 	for _, b := range bad {
 		if _, err := decodeRequest(b); err == nil {

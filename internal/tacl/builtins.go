@@ -189,7 +189,9 @@ func cmdWhile(in *Interp, args []string) (string, error) {
 	if err := arity(args, 2, 2, "while cond body"); err != nil {
 		return "", err
 	}
+	line := in.curLine
 	for {
+		s0 := in.Steps
 		ok, err := exprTruthy(in, args[0])
 		if err != nil {
 			return "", err
@@ -201,10 +203,18 @@ func cmdWhile(in *Interp, args []string) (string, error) {
 			if err == errBreak {
 				return "", nil
 			}
-			if err == errContinue {
-				continue
+			if err != errContinue {
+				return "", err
 			}
-			return "", err
+		}
+		// An iteration that evaluated no commands (empty body, command-free
+		// condition) still burns one step: without this a hostile agent
+		// could spin `while {1} {}` for free under guard metering. Mirrored
+		// by the VM's loop-bottom op.
+		if in.Steps == s0 {
+			if err := in.chargeStep(line); err != nil {
+				return "", err
+			}
 		}
 	}
 }
@@ -213,10 +223,12 @@ func cmdFor(in *Interp, args []string) (string, error) {
 	if err := arity(args, 4, 4, "for init cond step body"); err != nil {
 		return "", err
 	}
+	line := in.curLine
 	if _, err := in.EvalCached(args[0]); err != nil {
 		return "", err
 	}
 	for {
+		s0 := in.Steps
 		ok, err := exprTruthy(in, args[1])
 		if err != nil {
 			return "", err
@@ -235,6 +247,12 @@ func cmdFor(in *Interp, args []string) (string, error) {
 		if _, err := in.EvalCached(args[2]); err != nil {
 			return "", err
 		}
+		// Charge spin iterations that evaluated no commands; see cmdWhile.
+		if in.Steps == s0 {
+			if err := in.chargeStep(line); err != nil {
+				return "", err
+			}
+		}
 	}
 }
 
@@ -242,20 +260,27 @@ func cmdForeach(in *Interp, args []string) (string, error) {
 	if err := arity(args, 3, 3, "foreach varName list body"); err != nil {
 		return "", err
 	}
+	line := in.curLine
 	elems, err := ParseList(args[1])
 	if err != nil {
 		return "", err
 	}
 	for _, e := range elems {
+		s0 := in.Steps
 		in.setVar(args[0], e)
 		if _, err := in.EvalCached(args[2]); err != nil {
 			if err == errBreak {
 				return "", nil
 			}
-			if err == errContinue {
-				continue
+			if err != errContinue {
+				return "", err
 			}
-			return "", err
+		}
+		// Charge iterations whose body evaluated no commands; see cmdWhile.
+		if in.Steps == s0 {
+			if err := in.chargeStep(line); err != nil {
+				return "", err
+			}
 		}
 	}
 	return "", nil
@@ -709,6 +734,9 @@ func globMatch(pattern, s string) bool {
 func cmdFormat(in *Interp, args []string) (string, error) {
 	if err := arity(args, 1, -1, "format formatString ?arg ...?"); err != nil {
 		return "", err
+	}
+	if out, ok := fastFormat(in, args[0], args[1:]); ok {
+		return out, nil
 	}
 	// Translate the format string verb-by-verb so numeric verbs receive
 	// proper Go types.

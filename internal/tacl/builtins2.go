@@ -26,8 +26,8 @@ func init() {
 	}
 }
 
-// extraBuiltins collects late-registered builtins; registerBuiltins drains
-// it so New() picks everything up regardless of file order.
+// extraBuiltins collects late-registered builtins; registerBuiltinsInto
+// drains it so New() picks everything up regardless of file order.
 var extraBuiltins = map[string]CmdFunc{}
 
 // cmdSwitch implements Tcl's switch:

@@ -1,0 +1,641 @@
+package tacl
+
+import (
+	"errors"
+	"strings"
+)
+
+// Bytecode compiler. A parsed Script is lowered once into a flat register
+// IR: a []vmOp stream with pooled constants, precompiled expressions,
+// interned command symbols, and inlined control flow. The VM in vm.go
+// executes the stream; the tree-walker in interp.go remains the reference
+// the IR must be observationally identical to (results, error text, step
+// accounting, side-effect order, jump/park semantics — pinned by the
+// three-way equivalence suite and fuzz targets).
+//
+// Inlining policy: if/while/for/foreach/expr are flattened into the op
+// stream only when the relevant words are braced literals (the universal
+// idiom); each inlined construct is preceded by a guard op that falls back
+// to generic dispatch when the name is shadowed by a proc, a per-interp
+// override, or a non-canonical table entry, so redefinition semantics are
+// preserved exactly. Anything else — including malformed construct grammar,
+// whose error text the builtins own — compiles to a generic call.
+
+// Opcodes. a/b/c index the program's pools or are pc targets; line is the
+// source line for step charging and error decoration.
+const (
+	opStep        uint8 = iota // charge one step for the command at line
+	opArgConst                 // push consts[a]
+	opArgVar                   // push variable named consts[a]
+	opArgScript                // push result of scripts[a] ([cmd] substitution)
+	opArgWord                  // push result of multi-segment words[a]
+	opCall                     // static call syms[a] with top b args
+	opCallConst                // static call syms[b] with argLists[a] (all-const args)
+	opCallDyn                  // dynamic call, top a words (args[0] is the name)
+	opGuard                    // inline guard: if syms[a] shadowed, run cmds[c] generically, jump b
+	opJump                     // jump to a
+	opCondJump                 // eval exprs[a]; mark slot c (if >=0); jump b when false
+	opLoopBottom               // charge step at line if slot a marked no progress; jump b
+	opForeachInit              // pop list string, ParseList into slot a
+	opForeachNext              // next element of slot a into var consts[c]; jump b when done
+	opExpr                     // result = eval exprs[a] (inlined expr command)
+	opResult                   // result = consts[a]
+	opDepth                    // enter an inlined [cmd]: depth++ with ErrDepth check
+	opArgResult                // leave an inlined [cmd]: depth--, push result register
+)
+
+type vmOp struct {
+	code uint8
+	kind uint8 // canon kind for opGuard
+	line int32
+	a    int32
+	b    int32
+	c    int32
+}
+
+// exprRef is a precompiled expression operand. prog == nil means the source
+// failed expression compilation and the VM falls back to the reference
+// string-walking evaluator at runtime (same rule as evalExpr). Pure
+// expressions are folded at compile time; folding never captures errors, so
+// a constant erroring expression still evaluates (and errors) at runtime.
+type exprRef struct {
+	src            string
+	prog           *exprProg
+	isConst        bool
+	constVal       string
+	constTruthy    bool
+	constTruthyErr error
+}
+
+// region describes error-handling extents of the op stream. Loop regions
+// intercept break/continue raised anywhere in the loop body (including from
+// nested [cmd] substitution); decor regions add the construct's
+// name-and-line frame to non-control errors, mirroring what evalCommand's
+// decorate call does around each tree-walked builtin. Regions are properly
+// nested, so the innermost region containing a pc is the smallest.
+type region struct {
+	start, end int32 // [start, end) op index range
+	isLoop     bool
+	// isDepth marks an inlined [cmd] substitution: an error propagating out
+	// of the region undoes the opDepth increment, exactly as the
+	// tree-walker's evalWord decrements depth before returning an error.
+	isDepth bool
+	name    string
+	line    int32
+	breakPC int32
+	contPC  int32
+	// scratch is the number of enclosing pending call arguments live at the
+	// loop's resume pcs (nonzero when the loop sits inside an inlined [cmd]
+	// that is itself an argument under construction). Error recovery restores
+	// the arg stack to base+scratch instead of base, so a break escaping the
+	// substitution does not discard the outer call's already-pushed words.
+	scratch int32
+}
+
+type program struct {
+	ops      []vmOp
+	consts   []string
+	exprs    []*exprRef
+	syms     []*symbol
+	words    []*word
+	scripts  []*Script
+	cmds     []*command
+	argLists [][]string
+	regions  []region
+	numSlots int // loop state slots (marks / foreach lists)
+}
+
+const (
+	maxInlineDepth = 32
+	maxProgramOps  = 1 << 20
+)
+
+var errProgramTooLarge = errors.New("tacl: script too large for bytecode")
+
+// compiled returns the script's bytecode program, compiling on first use.
+// Compile failure is sticky: the script permanently falls back to the
+// tree-walker, which is observationally identical.
+func (s *Script) compiled() *program {
+	if p := s.prog.Load(); p != nil {
+		return p
+	}
+	if s.noVM.Load() {
+		return nil
+	}
+	p, err := compileProgram(s)
+	if err != nil {
+		s.noVM.Store(true)
+		return nil
+	}
+	s.prog.Store(p)
+	return p
+}
+
+// Precompile lowers the script to bytecode ahead of its first execution, so
+// cache layers can pay compilation at insert time instead of on the first
+// activation's critical path. Safe to call concurrently and more than once.
+func (s *Script) Precompile() { s.compiled() }
+
+func compileProgram(s *Script) (p *program, err error) {
+	// A compiler bug must degrade to the (identical) tree-walker, never
+	// take down the site.
+	defer func() {
+		if r := recover(); r != nil {
+			p, err = nil, errProgramTooLarge
+		}
+	}()
+	c := &compiler{
+		prog:     &program{},
+		constIdx: make(map[string]int32),
+		exprIdx:  make(map[string]int32),
+		symIdx:   make(map[*symbol]int32),
+	}
+	c.compileCmds(s.cmds)
+	if len(c.prog.ops) > maxProgramOps {
+		return nil, errProgramTooLarge
+	}
+	return c.prog, nil
+}
+
+type compiler struct {
+	prog     *program
+	constIdx map[string]int32
+	exprIdx  map[string]int32
+	symIdx   map[*symbol]int32
+	inline   int
+	// pendingArgs tracks how many argument words of enclosing calls are on
+	// the scratch stack at the current emission point (see region.scratch).
+	pendingArgs int32
+}
+
+func (c *compiler) pc() int32 { return int32(len(c.prog.ops)) }
+
+func (c *compiler) emit(op vmOp) int32 {
+	c.prog.ops = append(c.prog.ops, op)
+	return int32(len(c.prog.ops) - 1)
+}
+
+func (c *compiler) patchB(at, target int32) { c.prog.ops[at].b = target }
+
+func (c *compiler) constRef(s string) int32 {
+	if i, ok := c.constIdx[s]; ok {
+		return i
+	}
+	i := int32(len(c.prog.consts))
+	c.prog.consts = append(c.prog.consts, s)
+	c.constIdx[s] = i
+	return i
+}
+
+func (c *compiler) symRef(s *symbol) int32 {
+	if i, ok := c.symIdx[s]; ok {
+		return i
+	}
+	i := int32(len(c.prog.syms))
+	c.prog.syms = append(c.prog.syms, s)
+	c.symIdx[s] = i
+	return i
+}
+
+func (c *compiler) wordRef(w *word) int32 {
+	c.prog.words = append(c.prog.words, w)
+	return int32(len(c.prog.words) - 1)
+}
+
+func (c *compiler) scriptRef(s *Script) int32 {
+	c.prog.scripts = append(c.prog.scripts, s)
+	return int32(len(c.prog.scripts) - 1)
+}
+
+func (c *compiler) cmdRef(cmd *command) int32 {
+	c.prog.cmds = append(c.prog.cmds, cmd)
+	return int32(len(c.prog.cmds) - 1)
+}
+
+func (c *compiler) argListRef(args []string) int32 {
+	c.prog.argLists = append(c.prog.argLists, args)
+	return int32(len(c.prog.argLists) - 1)
+}
+
+func (c *compiler) newSlot() int32 {
+	c.prog.numSlots++
+	return int32(c.prog.numSlots - 1)
+}
+
+func (c *compiler) addRegion(r region) { c.prog.regions = append(c.prog.regions, r) }
+
+// exprRefIdx precompiles an expression operand, folding it when pure.
+func (c *compiler) exprRefIdx(src string) int32 {
+	if i, ok := c.exprIdx[src]; ok {
+		return i
+	}
+	ref := &exprRef{src: src}
+	if p, err := compileExprCached(src); err == nil {
+		ref.prog = p
+		if exprPure(p.root) {
+			if v, err2 := p.root.eval(nil); err2 == nil {
+				ref.isConst = true
+				ref.constVal = v.text()
+				ref.constTruthy, ref.constTruthyErr = Truthy(ref.constVal)
+			}
+		}
+	}
+	i := int32(len(c.prog.exprs))
+	c.prog.exprs = append(c.prog.exprs, ref)
+	c.exprIdx[src] = i
+	return i
+}
+
+// exprPure reports whether an expression AST is free of variable and
+// [command] references, i.e. safe to evaluate at compile time.
+func exprPure(n exprNode) bool {
+	switch x := n.(type) {
+	case *constNode:
+		return true
+	case *notNode:
+		return exprPure(x.x)
+	case *negNode:
+		return exprPure(x.x)
+	case *andOrNode:
+		return exprPure(x.l) && exprPure(x.r)
+	case *eqNode:
+		return exprPure(x.l) && exprPure(x.r)
+	case *relNode:
+		return exprPure(x.l) && exprPure(x.r)
+	case *addNode:
+		return exprPure(x.l) && exprPure(x.r)
+	case *mulNode:
+		return exprPure(x.l) && exprPure(x.r)
+	case *ternaryNode:
+		return exprPure(x.cond) && exprPure(x.then) && exprPure(x.els)
+	case *callNode:
+		for _, a := range x.args {
+			if !exprPure(a) {
+				return false
+			}
+		}
+		return true
+	default: // varNode, cmdNode
+		return false
+	}
+}
+
+// constWord returns a word's literal text when it is a single literal
+// segment (braced words, bare words without substitution).
+func constWord(w *word) (string, bool) {
+	if len(w.segs) == 1 && w.segs[0].kind == segLit {
+		return w.segs[0].text, true
+	}
+	return "", false
+}
+
+// constArgs returns the command's words as literals when every word is
+// constant. The returned slice is shared across executions: CmdFuncs
+// receive args read-only (nothing in the builtin set or host bridge
+// mutates its argument slice).
+func constArgs(cmd *command) ([]string, bool) {
+	args := make([]string, len(cmd.words))
+	for i := range cmd.words {
+		s, ok := constWord(&cmd.words[i])
+		if !ok {
+			return nil, false
+		}
+		args[i] = s
+	}
+	return args, true
+}
+
+func (c *compiler) compileCmds(cmds []command) {
+	for i := range cmds {
+		c.compileCommand(&cmds[i])
+	}
+}
+
+func (c *compiler) compileCommand(cmd *command) {
+	line := int32(cmd.line)
+	c.emit(vmOp{code: opStep, line: line})
+	name, nameConst := constWord(&cmd.words[0])
+	if nameConst && c.inline < maxInlineDepth {
+		switch name {
+		case "if":
+			if c.tryIf(cmd) {
+				return
+			}
+		case "while":
+			if c.tryWhile(cmd) {
+				return
+			}
+		case "for":
+			if c.tryFor(cmd) {
+				return
+			}
+		case "foreach":
+			if c.tryForeach(cmd) {
+				return
+			}
+		case "expr":
+			if c.tryExpr(cmd) {
+				return
+			}
+		}
+	}
+	if nameConst {
+		if sym := internScriptSym(name); sym != nil {
+			if args, ok := constArgs(cmd); ok {
+				c.emit(vmOp{code: opCallConst, line: line, a: c.argListRef(args[1:]), b: c.symRef(sym)})
+				return
+			}
+			saved := c.pendingArgs
+			for i := 1; i < len(cmd.words); i++ {
+				c.compileArg(&cmd.words[i])
+				c.pendingArgs++
+			}
+			c.pendingArgs = saved
+			c.emit(vmOp{code: opCall, line: line, a: c.symRef(sym), b: int32(len(cmd.words) - 1)})
+			return
+		}
+	}
+	saved := c.pendingArgs
+	for i := range cmd.words {
+		c.compileArg(&cmd.words[i])
+		c.pendingArgs++
+	}
+	c.pendingArgs = saved
+	c.emit(vmOp{code: opCallDyn, line: line, a: int32(len(cmd.words))})
+}
+
+func (c *compiler) compileArg(w *word) {
+	if len(w.segs) == 1 {
+		seg := &w.segs[0]
+		switch seg.kind {
+		case segLit:
+			c.emit(vmOp{code: opArgConst, a: c.constRef(seg.text)})
+			return
+		case segVar:
+			c.emit(vmOp{code: opArgVar, a: c.constRef(seg.text)})
+			return
+		case segCmd:
+			// Inline the substitution's commands into this program: the hot
+			// `set v [host_cmd ...]` shape then costs zero nested VM entries.
+			// The depth ops reproduce evalWord's recursion accounting, and
+			// the depth region undoes it on the error path.
+			if c.inline < maxInlineDepth {
+				c.inline++
+				start := c.emit(vmOp{code: opDepth})
+				if len(seg.script.cmds) == 0 {
+					c.emit(vmOp{code: opResult, a: c.constRef("")})
+				} else {
+					c.compileCmds(seg.script.cmds)
+				}
+				end := c.pc()
+				c.emit(vmOp{code: opArgResult})
+				c.inline--
+				c.addRegion(region{start: start, end: end, isDepth: true})
+				return
+			}
+			c.emit(vmOp{code: opArgScript, a: c.scriptRef(seg.script)})
+			return
+		}
+	}
+	c.emit(vmOp{code: opArgWord, a: c.wordRef(w)})
+}
+
+// emitGuard emits the shadow check preceding an inlined construct. Returns
+// the guard's op index (its jump-over target is patched by the caller), or
+// -1 when the name cannot be interned (caller falls back to generic).
+func (c *compiler) emitGuard(cmd *command, kind uint8, name string) int32 {
+	sym := internScriptSym(name)
+	if sym == nil {
+		return -1
+	}
+	return c.emit(vmOp{
+		code: opGuard, kind: kind, line: int32(cmd.line),
+		a: c.symRef(sym), c: c.cmdRef(cmd),
+	})
+}
+
+func (c *compiler) tryExpr(cmd *command) bool {
+	args, ok := constArgs(cmd)
+	if !ok || len(args) < 2 {
+		return false
+	}
+	src := strings.Join(args[1:], " ")
+	g := c.emitGuard(cmd, kindExpr, "expr")
+	if g < 0 {
+		return false
+	}
+	c.emit(vmOp{code: opExpr, line: int32(cmd.line), a: c.exprRefIdx(src)})
+	c.patchB(g, c.pc())
+	return true
+}
+
+func (c *compiler) tryWhile(cmd *command) bool {
+	if len(cmd.words) != 3 {
+		return false
+	}
+	cond, ok1 := constWord(&cmd.words[1])
+	body, ok2 := constWord(&cmd.words[2])
+	if !ok1 || !ok2 {
+		return false
+	}
+	bodyScript, err := ParseCached(body)
+	if err != nil {
+		return false // generic call reproduces the parse error
+	}
+	g := c.emitGuard(cmd, kindWhile, "while")
+	if g < 0 {
+		return false
+	}
+	slot := c.newSlot()
+	line := int32(cmd.line)
+	top := c.pc()
+	cj := c.emit(vmOp{code: opCondJump, line: line, a: c.exprRefIdx(cond), c: slot})
+	c.inline++
+	bodyStart := c.pc()
+	c.compileCmds(bodyScript.cmds)
+	bodyEnd := c.pc()
+	c.inline--
+	bot := c.emit(vmOp{code: opLoopBottom, line: line, a: slot, b: top})
+	exit := c.emit(vmOp{code: opResult, a: c.constRef("")})
+	end := c.pc()
+	c.patchB(cj, exit)
+	c.patchB(g, end)
+	c.addRegion(region{start: bodyStart, end: bodyEnd, isLoop: true, breakPC: exit, contPC: bot, scratch: c.pendingArgs})
+	c.addRegion(region{start: top, end: exit, name: "while", line: line})
+	return true
+}
+
+func (c *compiler) tryFor(cmd *command) bool {
+	if len(cmd.words) != 5 {
+		return false
+	}
+	var lit [4]string
+	for i := 0; i < 4; i++ {
+		s, ok := constWord(&cmd.words[i+1])
+		if !ok {
+			return false
+		}
+		lit[i] = s
+	}
+	initScript, err := ParseCached(lit[0])
+	if err != nil {
+		return false
+	}
+	stepScript, err := ParseCached(lit[2])
+	if err != nil {
+		return false
+	}
+	bodyScript, err := ParseCached(lit[3])
+	if err != nil {
+		return false
+	}
+	g := c.emitGuard(cmd, kindFor, "for")
+	if g < 0 {
+		return false
+	}
+	slot := c.newSlot()
+	line := int32(cmd.line)
+	c.inline++
+	initStart := c.pc()
+	c.compileCmds(initScript.cmds)
+	top := c.pc()
+	cj := c.emit(vmOp{code: opCondJump, line: line, a: c.exprRefIdx(lit[1]), c: slot})
+	bodyStart := c.pc()
+	c.compileCmds(bodyScript.cmds)
+	bodyEnd := c.pc()
+	stepStart := c.pc()
+	c.compileCmds(stepScript.cmds)
+	c.inline--
+	c.emit(vmOp{code: opLoopBottom, line: line, a: slot, b: top})
+	exit := c.emit(vmOp{code: opResult, a: c.constRef("")})
+	end := c.pc()
+	c.patchB(cj, exit)
+	c.patchB(g, end)
+	c.addRegion(region{start: bodyStart, end: bodyEnd, isLoop: true, breakPC: exit, contPC: stepStart, scratch: c.pendingArgs})
+	c.addRegion(region{start: initStart, end: exit, name: "for", line: line})
+	return true
+}
+
+func (c *compiler) tryForeach(cmd *command) bool {
+	if len(cmd.words) != 4 {
+		return false
+	}
+	varName, ok1 := constWord(&cmd.words[1])
+	body, ok2 := constWord(&cmd.words[3])
+	if !ok1 || !ok2 {
+		return false
+	}
+	bodyScript, err := ParseCached(body)
+	if err != nil {
+		return false
+	}
+	g := c.emitGuard(cmd, kindForeach, "foreach")
+	if g < 0 {
+		return false
+	}
+	slot := c.newSlot()
+	line := int32(cmd.line)
+	// The list word may be dynamic; its evaluation errors stay undecorated
+	// (word-eval errors are raw in the tree-walker), so it sits outside the
+	// decor region.
+	c.compileArg(&cmd.words[2])
+	initPC := c.emit(vmOp{code: opForeachInit, line: line, a: slot})
+	top := c.emit(vmOp{code: opForeachNext, line: line, a: slot, c: c.constRef(varName)})
+	c.inline++
+	bodyStart := c.pc()
+	c.compileCmds(bodyScript.cmds)
+	bodyEnd := c.pc()
+	c.inline--
+	bot := c.emit(vmOp{code: opLoopBottom, line: line, a: slot, b: top})
+	exit := c.emit(vmOp{code: opResult, a: c.constRef("")})
+	end := c.pc()
+	c.patchB(top, exit)
+	c.patchB(g, end)
+	c.addRegion(region{start: bodyStart, end: bodyEnd, isLoop: true, breakPC: exit, contPC: bot, scratch: c.pendingArgs})
+	c.addRegion(region{start: initPC, end: exit, name: "foreach", line: line})
+	return true
+}
+
+func (c *compiler) tryIf(cmd *command) bool {
+	args, ok := constArgs(cmd)
+	if !ok {
+		return false
+	}
+	args = args[1:]
+	type branch struct {
+		cond    string
+		body    *Script
+		hasCond bool
+	}
+	var branches []branch
+	i := 0
+	for {
+		if i+1 >= len(args) {
+			return false // malformed: generic call owns the error text
+		}
+		body, err := ParseCached(args[i+1])
+		if err != nil {
+			return false
+		}
+		branches = append(branches, branch{cond: args[i], body: body, hasCond: true})
+		i += 2
+		if i >= len(args) {
+			break
+		}
+		switch args[i] {
+		case "elseif":
+			i++
+		case "else":
+			if i+1 != len(args)-1 {
+				return false
+			}
+			body, err := ParseCached(args[i+1])
+			if err != nil {
+				return false
+			}
+			branches = append(branches, branch{body: body})
+			i = len(args)
+		default:
+			return false
+		}
+		if i >= len(args) {
+			break
+		}
+	}
+	g := c.emitGuard(cmd, kindIf, "if")
+	if g < 0 {
+		return false
+	}
+	line := int32(cmd.line)
+	start := c.pc()
+	emptyIdx := c.constRef("")
+	var endJumps []int32
+	c.inline++
+	for _, b := range branches {
+		var cj int32 = -1
+		if b.hasCond {
+			cj = c.emit(vmOp{code: opCondJump, line: line, a: c.exprRefIdx(b.cond), c: -1})
+		}
+		if len(b.body.cmds) == 0 {
+			c.emit(vmOp{code: opResult, a: emptyIdx})
+		} else {
+			c.compileCmds(b.body.cmds)
+		}
+		if b.hasCond {
+			endJumps = append(endJumps, c.emit(vmOp{code: opJump}))
+			c.patchB(cj, c.pc())
+		}
+	}
+	c.inline--
+	// All conditions false with no else: the if evaluates to "".
+	if branches[len(branches)-1].hasCond {
+		c.emit(vmOp{code: opResult, a: emptyIdx})
+	}
+	end := c.pc()
+	for _, j := range endJumps {
+		c.prog.ops[j].a = end
+	}
+	c.patchB(g, end)
+	c.addRegion(region{start: start, end: end, name: "if", line: line})
+	return true
+}

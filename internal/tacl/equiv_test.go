@@ -7,12 +7,20 @@ import (
 	"testing"
 )
 
-// The equivalence suite pins the compiled execution engine (cached script
-// ASTs + compiled expressions) to the reference string-walking interpreter:
-// same results, same error text, same step counts, same StepHook billing,
-// same puts output, same jump/budget behavior. The reference path is
-// selected with the unexported direct flag, which routes expr evaluation
-// through evalExprDirect and is otherwise the same interpreter.
+// The equivalence suite pins all three execution engines to each other:
+// the bytecode VM (default), the compiled-AST tree-walker (EngineAST), and
+// the reference string-walking interpreter (EngineReference). Same results,
+// same error text, same step counts, same StepHook billing, same puts
+// output, same jump/budget behavior — any pairwise divergence fails.
+
+var allEngines = []struct {
+	name   string
+	engine Engine
+}{
+	{"vm", EngineVM},
+	{"ast", EngineAST},
+	{"reference", EngineReference},
+}
 
 type equivResult struct {
 	out      string
@@ -26,9 +34,9 @@ type equivResult struct {
 	isBudget bool
 }
 
-func runEquiv(src string, direct bool, maxSteps int) equivResult {
+func runEquiv(src string, engine Engine, maxSteps int) equivResult {
 	in := New()
-	in.direct = direct
+	in.SetEngine(engine)
 	in.MaxSteps = maxSteps
 	hooks := 0
 	in.StepHook = func() error { hooks++; return nil }
@@ -209,10 +217,11 @@ var equivCorpus = []string{
 
 func TestCompiledEquivalence(t *testing.T) {
 	for _, src := range equivCorpus {
-		compiled := runEquiv(src, false, 10000)
-		direct := runEquiv(src, true, 10000)
-		if compiled != direct {
-			t.Errorf("divergence on %q:\n  compiled: %+v\n  direct:   %+v", src, compiled, direct)
+		ref := runEquiv(src, EngineReference, 10000)
+		for _, e := range allEngines[:2] {
+			if got := runEquiv(src, e.engine, 10000); got != ref {
+				t.Errorf("divergence on %q:\n  %-9s %+v\n  reference %+v", src, e.name+":", got, ref)
+			}
 		}
 	}
 }
@@ -226,14 +235,20 @@ func TestCompiledEquivalenceBudget(t *testing.T) {
 		`catch {set i 0; while {$i < 10000} { incr i }} msg; set msg`,
 		`proc spin {} { spin }; spin`,
 		`for {set i 0} {1} {incr i} { set x $i }`,
+		// Empty-body spins: the per-iteration charge must make these
+		// exhaust the budget instead of hanging (the PR 3 step-budget gap).
+		`while {1} {}`,
+		`for {set i 0} {1} {} {}`,
+		`foreach x {a b c d e f g h} {}; set x`,
 	}
 	for _, src := range srcs {
 		for _, budget := range []int{1, 7, 50, 333} {
-			compiled := runEquiv(src, false, budget)
-			direct := runEquiv(src, true, budget)
-			if compiled != direct {
-				t.Errorf("budget %d divergence on %q:\n  compiled: %+v\n  direct:   %+v",
-					budget, src, compiled, direct)
+			ref := runEquiv(src, EngineReference, budget)
+			for _, e := range allEngines[:2] {
+				if got := runEquiv(src, e.engine, budget); got != ref {
+					t.Errorf("budget %d divergence on %q:\n  %-9s %+v\n  reference %+v",
+						budget, src, e.name+":", got, ref)
+				}
 			}
 		}
 	}

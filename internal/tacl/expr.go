@@ -71,13 +71,48 @@ func fltVal(f float64) exprVal {
 
 func strVal(s string) exprVal {
 	v := exprVal{s: s}
-	if i, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64); err == nil {
+	if i, ok := fastAtoi(s); ok {
+		v.isInt, v.i = true, i
+		v.isFlt, v.f = true, float64(i)
+	} else if i, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64); err == nil {
 		v.isInt, v.i = true, i
 		v.isFlt, v.f = true, float64(i)
 	} else if f, err := strconv.ParseFloat(strings.TrimSpace(s), 64); err == nil {
 		v.isFlt, v.f = true, f
 	}
 	return v
+}
+
+// fastAtoi parses plain decimal integers — the overwhelmingly common operand
+// shape (loop counters, folder lengths) — without the TrimSpace/ParseInt
+// machinery. Anything else (whitespace, floats, hex, overflow-length) falls
+// back to the reference path above with identical results: 18 digits cannot
+// overflow int64, and ParseInt accepts the same sign/leading-zero forms.
+func fastAtoi(s string) (int64, bool) {
+	if len(s) == 0 || len(s) > 18 {
+		return 0, false
+	}
+	i := 0
+	neg := false
+	if s[0] == '-' || s[0] == '+' {
+		neg = s[0] == '-'
+		i = 1
+		if len(s) == 1 {
+			return 0, false
+		}
+	}
+	var n int64
+	for ; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(c-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
 }
 
 func boolVal(b bool) exprVal {

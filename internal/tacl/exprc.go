@@ -13,6 +13,15 @@ import (
 // immutable and shared through the expression cache, so every activation of
 // the same script evaluates pre-compiled conditions.
 //
+// Tiering note: this compiled-AST engine (EngineAST) is now the middle tier
+// of the execution stack. The bytecode VM in bytecode.go/vm.go is the
+// default; it embeds these same exprProg trees for its opCondJump/opExpr
+// operands, so the compiled-expression layer is shared by both upper tiers.
+// EngineAST remains selectable (SetEngine) as the fallback when a script
+// fails to compile to bytecode and as the equivalence oracle's middle rung;
+// new evaluation features land in the VM first and here only to keep the
+// three-way equivalence suite honest.
+//
 // Semantics are kept identical to the reference evaluator — including its
 // quirks: ternary evaluates both branches, && and || evaluate both sides,
 // operands evaluate left-to-right before operator type checks, and nested

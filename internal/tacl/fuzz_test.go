@@ -1,16 +1,68 @@
 package tacl
 
 import (
-	"errors"
 	"testing"
 )
 
-// FuzzCompileEval differentially fuzzes the two expression engines:
-// compile-then-run (production) against parse-per-eval (reference). The
-// invariant is full observational equality: same result or same error
-// text, same step count, same side-effect count. (When compilation fails,
-// the production path falls back to the reference evaluator, so even
-// malformed expressions with side-effecting operands behave identically.)
+// fuzzRun evaluates src under one engine with a bounded interpreter and
+// returns the observable outcome tuple the fuzz targets compare.
+func fuzzRun(src string, engine Engine, script bool) (out, errText string, steps, probe int) {
+	in := New()
+	in.SetEngine(engine)
+	in.MaxSteps = 200
+	in.SetGlobal("x", "5")
+	in.SetGlobal("y", "abc")
+	in.SetGlobal("f", "2.5")
+	in.Register("probe", func(*Interp, []string) (string, error) {
+		probe++
+		return "1", nil
+	})
+	var err error
+	if script {
+		out, err = in.Eval(src)
+	} else {
+		out, err = evalExpr(in, src)
+	}
+	if err != nil {
+		out = ""
+		errText = err.Error()
+	}
+	return out, errText, in.Steps, probe
+}
+
+// fuzzCompare runs src under all three engines and fails on any pairwise
+// divergence in result, error text, step count, or side-effect count.
+func fuzzCompare(t *testing.T, src string, script bool) {
+	t.Helper()
+	refOut, refErr, refSteps, refProbe := fuzzRun(src, EngineReference, script)
+	for _, e := range []struct {
+		name   string
+		engine Engine
+	}{{"vm", EngineVM}, {"ast", EngineAST}} {
+		out, errText, steps, probe := fuzzRun(src, e.engine, script)
+		if errText != refErr {
+			t.Fatalf("error divergence on %q:\n  %-9s %q, %q\n  reference %q, %q",
+				src, e.name+":", out, errText, refOut, refErr)
+		}
+		if errText == "" && out != refOut {
+			t.Fatalf("result divergence on %q:\n  %-9s %q\n  reference %q", src, e.name+":", out, refOut)
+		}
+		if steps != refSteps || probe != refProbe {
+			t.Fatalf("billing divergence on %q:\n  %-9s steps %d, probes %d\n  reference steps %d, probes %d",
+				src, e.name+":", steps, probe, refSteps, refProbe)
+		}
+	}
+}
+
+// FuzzCompileEval differentially fuzzes expression evaluation across all
+// three engines: the bytecode VM and the compiled-AST tree-walker against
+// the parse-per-eval reference. The invariant is full observational
+// equality: same result or same error text, same step count, same
+// side-effect count. (When compilation fails, the faster engines fall back
+// to the reference evaluator, so even malformed expressions with
+// side-effecting operands behave identically.) Loops are enabled: the
+// per-iteration step charge bounds even empty-body spins, so every input
+// terminates within MaxSteps.
 func FuzzCompileEval(f *testing.F) {
 	seeds := []string{
 		`1 + 2 * 3 - 4 / 2`,
@@ -30,6 +82,8 @@ func FuzzCompileEval(f *testing.F) {
 		`$nosuchvar`,
 		`0x`,
 		`. + 1`,
+		`[while {1} {}] + 1`,
+		`[foreach q {a b} {}] eq ""`,
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -38,50 +92,45 @@ func FuzzCompileEval(f *testing.F) {
 		if len(src) > 120 {
 			t.Skip()
 		}
-		run := func(direct bool) (string, error, int, int) {
-			in := New()
-			in.direct = direct
-			in.MaxSteps = 200
-			// The step budget only counts command evaluations, so a loop
-			// whose body contains no commands could spin forever; loops add
-			// nothing to expression coverage, so disable them (identically
-			// on both sides — the invariant is unaffected).
-			disabled := func(*Interp, []string) (string, error) {
-				return "", errors.New("disabled under fuzzing")
-			}
-			for _, name := range []string{"while", "for", "foreach", "eval", "uplevel"} {
-				in.Register(name, disabled)
-			}
-			in.SetGlobal("x", "5")
-			in.SetGlobal("y", "abc")
-			in.SetGlobal("f", "2.5")
-			probe := 0
-			in.Register("probe", func(*Interp, []string) (string, error) {
-				probe++
-				return "1", nil
-			})
-			out, err := evalExpr(in, src)
-			return out, err, in.Steps, probe
+		fuzzCompare(t, src, false)
+	})
+}
+
+// FuzzVMScript differentially fuzzes whole-script execution: the bytecode
+// compiler + VM (and the tree-walker it falls back to) against the
+// reference engine, over scripts exercising control flow, procs, loops,
+// substitution, and the step budget.
+func FuzzVMScript(f *testing.F) {
+	seeds := []string{
+		`set i 0; while {$i < 10} { incr i }; set i`,
+		`while {1} {}`,
+		`for {set i 0} {$i < 5} {incr i} { probe }`,
+		`foreach v {a b c} { if {$v eq "b"} { continue }; probe }`,
+		`foreach v $y {}`,
+		`if {$x > 3} { probe } elseif {$x > 1} { set r b } else { set r c }`,
+		`proc add {a b} { expr {$a + $b} }; add $x 3`,
+		`proc spin {} { spin }; spin`,
+		`proc esc {} { break }; catch {esc} msg; set msg`,
+		`set r {}; switch $y {abc {set r A} default {set r D}}; set r`,
+		`catch {expr {1 / 0}} msg; set msg`,
+		`eval set q 7 {;} incr q`,
+		`set l [list a b "c d"]; lindex $l 2`,
+		`format "%s=%d" $y $x`,
+		`puts [string toupper $y]`,
+		`while {[probe] < 3} { set x $x }`,
+		`set x {unclosed`,
+		`break`,
+		`continue`,
+		`return 5`,
+		`unknowncmd a b`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 200 {
+			t.Skip()
 		}
-		outC, errC, stepsC, probeC := run(false)
-		outD, errD, stepsD, probeD := run(true)
-		errTextC, errTextD := "", ""
-		if errC != nil {
-			errTextC = errC.Error()
-		}
-		if errD != nil {
-			errTextD = errD.Error()
-		}
-		if errTextC != errTextD {
-			t.Fatalf("error divergence on %q:\n  compiled: %q, %q\n  direct:   %q, %q",
-				src, outC, errTextC, outD, errTextD)
-		}
-		if errC == nil && outC != outD {
-			t.Fatalf("result divergence on %q:\n  compiled: %q\n  direct:   %q", src, outC, outD)
-		}
-		if stepsC != stepsD || probeC != probeD {
-			t.Fatalf("billing divergence on %q:\n  compiled: steps %d, probes %d\n  direct:   steps %d, probes %d",
-				src, stepsC, probeC, stepsD, probeD)
-		}
+		fuzzCompare(t, src, true)
 	})
 }

@@ -52,11 +52,26 @@ type Interp struct {
 
 	depth int
 	// direct selects the reference string-walking expr evaluator instead
-	// of the compiled AST path; only the equivalence tests set it.
+	// of the compiled AST path; set via SetEngine(EngineReference).
 	direct bool
+	// noVM disables bytecode execution, forcing the compiled-AST
+	// tree-walker; set via SetEngine(EngineAST) (EngineReference implies
+	// it too).
+	noVM bool
+	// curLine is the source line of the command currently dispatching; the
+	// loop builtins read it so their per-iteration step charge reports the
+	// loop's own line.
+	curLine int
 	// freeFrames recycles proc call frames (and their maps) within this
 	// interpreter's lifetime.
 	freeFrames []*frame
+	// freeVMFrames recycles VM loop-state frames, as freeFrames does for
+	// proc frames.
+	freeVMFrames []*vmFrame
+	// arena bump-allocates small result strings for hot host commands.
+	arena byteArena
+	// fmtBuf is format's scratch buffer.
+	fmtBuf []byte
 	// argScratch is the argument arena: evalCommand appends each command's
 	// evaluated words here and hands the command its sub-slice, restoring
 	// the length afterwards. Nested evaluation stacks cleanly because a
@@ -172,7 +187,13 @@ type Table struct {
 }
 
 type tableState struct {
-	cmds  map[string]CmdFunc
+	cmds map[string]CmdFunc
+	// dense is the VM's inline cache: the same commands indexed by interned
+	// symbol id, so static dispatch is an atomic load plus an array index.
+	// Rebuilt (with cmds) on every Register, which is what invalidates all
+	// compiled call sites at once.
+	dense []CmdFunc
+	canon uint16   // bitmask of canonical inlinable builtins (kind* bits)
 	names []string // sorted; nil until computed by Names
 }
 
@@ -184,7 +205,7 @@ func NewTable() *Table {
 		cmds[k] = v
 	}
 	t := &Table{}
-	t.state.Store(&tableState{cmds: cmds})
+	t.state.Store(buildTableState(cmds))
 	return t
 }
 
@@ -206,7 +227,7 @@ func (t *Table) RegisterAll(cmds map[string]CmdFunc) {
 	for k, v := range cmds {
 		next[k] = v
 	}
-	t.state.Store(&tableState{cmds: next})
+	t.state.Store(buildTableState(next))
 }
 
 func (t *Table) lookup(name string) (CmdFunc, bool) {
@@ -232,7 +253,7 @@ func (t *Table) Names() []string {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	t.state.Store(&tableState{cmds: st.cmds, names: names})
+	t.state.Store(&tableState{cmds: st.cmds, dense: st.dense, canon: st.canon, names: names})
 	return names
 }
 
@@ -248,7 +269,7 @@ func builtinTable() *Table {
 		cmds := make(map[string]CmdFunc, 64)
 		registerBuiltinsInto(cmds)
 		t := &Table{}
-		t.state.Store(&tableState{cmds: cmds})
+		t.state.Store(buildTableState(cmds))
 		builtinProto = t
 	})
 	return builtinProto
@@ -306,7 +327,39 @@ func Put(in *Interp) {
 	in.Host = nil
 	in.depth = 0
 	in.direct = false
+	in.noVM = false
+	in.curLine = 0
+	// Pooled VM frames were already scrubbed of element references by
+	// putVMFrame; the freelist itself (and the arena page, which outlives
+	// activations by design) stays for reuse.
 	interpPool.Put(in)
+}
+
+// Engine selects which execution engine runs scripts. Selection order at
+// runtime: EngineVM lowers scripts to bytecode (vm.go) and falls back to
+// EngineAST automatically when a script fails to compile; EngineAST
+// tree-walks the parsed script with compiled expression ASTs (exprc.go);
+// EngineReference additionally re-walks expression source strings on every
+// evaluation (expr.go) — the slowest, most literal reading of the language,
+// kept as the differential-testing oracle.
+type Engine uint8
+
+const (
+	// EngineVM is the default: bytecode compilation + register VM.
+	EngineVM Engine = iota
+	// EngineAST forces the tree-walking evaluator with cached expression
+	// ASTs (the PR 3 engine, now the VM's fallback tier).
+	EngineAST
+	// EngineReference forces the direct string-walking evaluator.
+	EngineReference
+)
+
+// SetEngine pins the interpreter to an execution engine. The zero state is
+// EngineVM; tests pin EngineAST/EngineReference to differentially check the
+// VM.
+func (in *Interp) SetEngine(e Engine) {
+	in.direct = e == EngineReference
+	in.noVM = e != EngineVM
 }
 
 // Register installs (or replaces) a host command for this interpreter only,
@@ -370,8 +423,17 @@ func (in *Interp) EvalCached(src string) (string, error) {
 	return in.EvalScript(s)
 }
 
-// EvalScript runs a previously parsed script.
+// EvalScript runs a previously parsed script. Unless the interpreter is
+// pinned to a fallback engine, the script is lowered to bytecode on first
+// use and executed by the VM; compile failure degrades permanently (for
+// that script) to the tree-walker below, which is observationally
+// identical.
 func (in *Interp) EvalScript(s *Script) (string, error) {
+	if !in.noVM && !in.direct {
+		if p := s.compiled(); p != nil {
+			return in.runVM(p)
+		}
+	}
 	var result string
 	for i := range s.cmds {
 		r, err := in.evalCommand(&s.cmds[i])
@@ -383,19 +445,37 @@ func (in *Interp) EvalScript(s *Script) (string, error) {
 	return result, nil
 }
 
-func (in *Interp) evalCommand(c *command) (string, error) {
+// chargeStep accounts one command evaluation against the step budget and
+// runs the yield/metering hooks. Shared verbatim by the tree-walker and the
+// VM so step counts, budget error text, and preemption points are
+// identical.
+func (in *Interp) chargeStep(line int) error {
 	in.Steps++
 	if in.MaxSteps > 0 && in.Steps > in.MaxSteps {
-		return "", fmt.Errorf("%w after %d steps (line %d)", ErrBudget, in.Steps-1, c.line)
+		return fmt.Errorf("%w after %d steps (line %d)", ErrBudget, in.Steps-1, line)
 	}
 	if in.YieldEvery > 0 && in.Yield != nil && in.Steps%in.YieldEvery == 0 {
 		in.Yield()
 	}
 	if in.StepHook != nil {
 		if err := in.StepHook(); err != nil {
-			return "", fmt.Errorf("tacl: line %d: %w", c.line, err)
+			return fmt.Errorf("tacl: line %d: %w", line, err)
 		}
 	}
+	return nil
+}
+
+func (in *Interp) evalCommand(c *command) (string, error) {
+	if err := in.chargeStep(c.line); err != nil {
+		return "", err
+	}
+	return in.evalCommandTail(c)
+}
+
+// evalCommandTail evaluates a command's words and dispatches, without
+// charging a step: the VM's guard ops call it for shadowed constructs whose
+// step was already charged by opStep.
+func (in *Interp) evalCommandTail(c *command) (string, error) {
 	base := len(in.argScratch)
 	defer func() { in.argScratch = in.argScratch[:base] }()
 	for i := range c.words {
@@ -409,22 +489,7 @@ func (in *Interp) evalCommand(c *command) (string, error) {
 	if len(args) == 0 {
 		return "", nil
 	}
-	name, rest := args[0], args[1:]
-	if p, ok := in.procs[name]; ok {
-		return in.callProc(p, rest, c.line)
-	}
-	fn, ok := in.commands[name]
-	if !ok {
-		fn, ok = in.table.lookup(name)
-	}
-	if ok {
-		res, err := fn(in, rest)
-		if err != nil && !isControl(err) {
-			return "", decorate(err, name, c.line)
-		}
-		return res, err
-	}
-	return "", fmt.Errorf("tacl: line %d: unknown command %q", c.line, name)
+	return in.dispatchDyn(args, c.line)
 }
 
 // decorate adds command/line context to an error once, leaving sentinel

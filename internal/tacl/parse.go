@@ -15,11 +15,22 @@
 // Interpreters enforce a step budget so a runaway agent cannot pin a site;
 // the paper proposes charging electronic cash for cycles, and the cash
 // package builds exactly that on top of the budget hook.
+//
+// Three execution engines share these parse trees, selected per
+// interpreter via SetEngine and ordered fastest-first: (1) the bytecode VM
+// (bytecode.go/vm.go), the default, which lowers a Script to a flat
+// register IR on first execution; (2) the tree-walking evaluator with
+// compiled expression ASTs (interp.go/exprc.go), the automatic fallback
+// when bytecode compilation fails; (3) the reference string-walking
+// evaluator (expr.go), the differential-testing oracle the other two are
+// pinned against. All three are observationally identical — results, error
+// text, step accounting, side-effect order.
 package tacl
 
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // segKind discriminates the parts of a word.
@@ -50,10 +61,16 @@ type command struct {
 }
 
 // Script is a parsed TacL script. Scripts are immutable once parsed and
-// safe to share between interpreter runs.
+// safe to share between interpreter runs. The bytecode program is attached
+// lazily on first execution (so every cache layer holding a *Script —
+// process parse cache, site script cache — caches the compiled program for
+// free) and is itself immutable once published.
 type Script struct {
 	cmds []command
 	src  string
+
+	prog atomic.Pointer[program] // compiled bytecode, nil until first VM run
+	noVM atomic.Bool             // sticky compile failure: tree-walk forever
 }
 
 // Source returns the original text the script was parsed from.

@@ -1,0 +1,362 @@
+package tacl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Register VM. runVM executes the flat op stream produced by bytecode.go.
+// Arguments accumulate in the interpreter's shared argScratch arena (no
+// per-command []string), dispatch goes through interned symbols into the
+// table snapshot's dense array, and control flow is pc manipulation instead
+// of sentinel-error unwinding — except where the tree-walker's semantics
+// are themselves error-based (break/continue/park/jump crossing proc or
+// [cmd] boundaries), which the region table reproduces exactly.
+
+// vmFrame holds per-activation loop state: step marks for no-progress
+// charging, plus foreach element lists and cursors. One unified slot space,
+// sized by the program's slot count; pooled per interpreter.
+type vmFrame struct {
+	marks []int
+	lists [][]string
+	idxs  []int
+}
+
+func (in *Interp) getVMFrame(n int) *vmFrame {
+	var fr *vmFrame
+	if k := len(in.freeVMFrames); k > 0 {
+		fr = in.freeVMFrames[k-1]
+		in.freeVMFrames[k-1] = nil
+		in.freeVMFrames = in.freeVMFrames[:k-1]
+	} else {
+		fr = &vmFrame{}
+	}
+	if cap(fr.marks) < n {
+		fr.marks = make([]int, n)
+		fr.lists = make([][]string, n)
+		fr.idxs = make([]int, n)
+	} else {
+		fr.marks = fr.marks[:n]
+		fr.lists = fr.lists[:n]
+		fr.idxs = fr.idxs[:n]
+	}
+	return fr
+}
+
+func (in *Interp) putVMFrame(fr *vmFrame) {
+	// Drop element references so a pooled interpreter never pins a prior
+	// activation's foreach lists.
+	for i := range fr.lists {
+		fr.lists[i] = nil
+	}
+	in.freeVMFrames = append(in.freeVMFrames, fr)
+}
+
+// runVM executes a compiled program and returns the last command's result,
+// exactly as EvalScript's tree-walk loop would.
+func (in *Interp) runVM(p *program) (string, error) {
+	var fr *vmFrame
+	if p.numSlots > 0 {
+		fr = in.getVMFrame(p.numSlots)
+		defer in.putVMFrame(fr)
+	}
+	base := len(in.argScratch)
+	defer func() { in.argScratch = in.argScratch[:base] }()
+	var result string
+	ops := p.ops
+	pc := 0
+	for pc < len(ops) {
+		op := &ops[pc]
+		var err error
+		switch op.code {
+		case opStep:
+			err = in.chargeStep(int(op.line))
+		case opArgConst:
+			in.argScratch = append(in.argScratch, p.consts[op.a])
+		case opArgVar:
+			var v string
+			v, err = in.getVar(p.consts[op.a])
+			if err == nil {
+				in.argScratch = append(in.argScratch, v)
+			}
+		case opArgScript:
+			in.depth++
+			if in.depth > maxDepth {
+				in.depth--
+				err = ErrDepth
+			} else {
+				var v string
+				v, err = in.EvalScript(p.scripts[op.a])
+				in.depth--
+				if err == nil {
+					in.argScratch = append(in.argScratch, v)
+				}
+			}
+		case opArgWord:
+			var v string
+			v, err = in.evalWord(p.words[op.a])
+			if err == nil {
+				in.argScratch = append(in.argScratch, v)
+			}
+		case opCall:
+			argc := int(op.b)
+			args := in.argScratch[len(in.argScratch)-argc:]
+			var res string
+			res, err = in.dispatchStatic(p.syms[op.a], args, int(op.line))
+			in.argScratch = in.argScratch[:len(in.argScratch)-argc]
+			if err == nil {
+				result = res
+			}
+		case opCallConst:
+			var res string
+			res, err = in.dispatchStatic(p.syms[op.b], p.argLists[op.a], int(op.line))
+			if err == nil {
+				result = res
+			}
+		case opCallDyn:
+			argc := int(op.a)
+			args := in.argScratch[len(in.argScratch)-argc:]
+			var res string
+			res, err = in.dispatchDyn(args, int(op.line))
+			in.argScratch = in.argScratch[:len(in.argScratch)-argc]
+			if err == nil {
+				result = res
+			}
+		case opGuard:
+			if in.cmdShadowed(p.syms[op.a], op.kind) {
+				var res string
+				res, err = in.evalCommandTail(p.cmds[op.c])
+				if err == nil {
+					result = res
+					pc = int(op.b)
+					continue
+				}
+			}
+		case opJump:
+			pc = int(op.a)
+			continue
+		case opCondJump:
+			if op.c >= 0 {
+				fr.marks[op.c] = in.Steps
+			}
+			var ok bool
+			ok, err = in.vmCondEval(p.exprs[op.a])
+			if err == nil && !ok {
+				pc = int(op.b)
+				continue
+			}
+		case opLoopBottom:
+			// An iteration that evaluated no commands (empty body,
+			// command-free condition) still burns one step: without this a
+			// hostile agent could spin `while {1} {}` for free under guard
+			// metering. Mirrors the same charge in the tree-walk builtins.
+			if fr.marks[op.a] == in.Steps {
+				err = in.chargeStep(int(op.line))
+			}
+			if err == nil {
+				pc = int(op.b)
+				continue
+			}
+		case opForeachInit:
+			n := len(in.argScratch)
+			var elems []string
+			elems, err = ParseList(in.argScratch[n-1])
+			in.argScratch = in.argScratch[:n-1]
+			if err == nil {
+				fr.lists[op.a] = elems
+				fr.idxs[op.a] = 0
+			}
+		case opForeachNext:
+			i := fr.idxs[op.a]
+			elems := fr.lists[op.a]
+			if i >= len(elems) {
+				pc = int(op.b)
+				continue
+			}
+			fr.marks[op.a] = in.Steps
+			in.setVar(p.consts[op.c], elems[i])
+			fr.idxs[op.a] = i + 1
+		case opExpr:
+			var res string
+			res, err = vmExprEval(in, p.exprs[op.a])
+			if err != nil && !isControl(err) {
+				err = decorate(err, "expr", int(op.line))
+			}
+			if err == nil {
+				result = res
+			}
+		case opResult:
+			result = p.consts[op.a]
+		case opDepth:
+			in.depth++
+			if in.depth > maxDepth {
+				err = ErrDepth // the depth region undoes the increment
+			}
+		case opArgResult:
+			in.depth--
+			in.argScratch = append(in.argScratch, result)
+		}
+		if err != nil {
+			npc, scratch, nerr := p.recoverErr(in, pc, err)
+			if nerr != nil {
+				in.argScratch = in.argScratch[:base]
+				return "", nerr
+			}
+			// Resuming inside the program: keep the enclosing pending call
+			// args (see region.scratch), drop anything pushed above them.
+			in.argScratch = in.argScratch[:base+scratch]
+			pc = npc
+			continue
+		}
+		pc++
+	}
+	return result, nil
+}
+
+// recoverErr walks the regions containing pc from innermost outward: loop
+// regions consume break/continue (returning the resume pc and its arg-stack
+// watermark), depth regions undo their opDepth increment as the error leaves
+// the inlined [cmd], and decor regions add the enclosing construct's
+// name-and-line frame to non-control errors — the exact composition the
+// nested tree-walk builtins produce. Cold path.
+func (p *program) recoverErr(in *Interp, pc int, err error) (int, int, error) {
+	var hits []int
+	for i := range p.regions {
+		r := &p.regions[i]
+		if int32(pc) >= r.start && int32(pc) < r.end {
+			hits = append(hits, i)
+		}
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		ra, rb := &p.regions[hits[a]], &p.regions[hits[b]]
+		return ra.end-ra.start < rb.end-rb.start
+	})
+	for _, i := range hits {
+		r := &p.regions[i]
+		switch {
+		case r.isLoop:
+			// Exact sentinel identity, as the tree-walk loops test: a
+			// break wrapped by expr's %w is an ordinary error here.
+			if err == errBreak {
+				return int(r.breakPC), int(r.scratch), nil
+			}
+			if err == errContinue {
+				return int(r.contPC), int(r.scratch), nil
+			}
+		case r.isDepth:
+			in.depth--
+		default:
+			if !isControl(err) {
+				err = decorate(err, r.name, int(r.line))
+			}
+		}
+	}
+	return -1, 0, err
+}
+
+// cmdShadowed reports whether an inlined construct's name no longer
+// resolves to the canonical builtin: a script proc, a per-activation
+// Register override, or a table snapshot whose entry was replaced. Any of
+// those sends the guard op down the generic-dispatch path.
+func (in *Interp) cmdShadowed(sym *symbol, kind uint8) bool {
+	if in.procs != nil {
+		if _, ok := in.procs[sym.name]; ok {
+			return true
+		}
+	}
+	if in.commands != nil {
+		if _, ok := in.commands[sym.name]; ok {
+			return true
+		}
+	}
+	return in.table.state.Load().canon&(1<<kind) == 0
+}
+
+// dispatchStatic calls a symbol-resolved command with the tree-walker's
+// dispatch order: procs, per-interp overrides, then the table snapshot's
+// dense array (map fallback covers symbols interned after the snapshot was
+// built). Proc and control errors propagate raw; command errors get the
+// name-and-line decoration evalCommand applies.
+func (in *Interp) dispatchStatic(sym *symbol, args []string, line int) (string, error) {
+	if in.procs != nil {
+		if pd, ok := in.procs[sym.name]; ok {
+			return in.callProc(pd, args, line)
+		}
+	}
+	var fn CmdFunc
+	if in.commands != nil {
+		fn = in.commands[sym.name]
+	}
+	if fn == nil {
+		st := in.table.state.Load()
+		if int(sym.id) < len(st.dense) {
+			fn = st.dense[sym.id]
+		}
+		if fn == nil {
+			fn = st.cmds[sym.name]
+		}
+	}
+	if fn == nil {
+		return "", fmt.Errorf("tacl: line %d: unknown command %q", line, sym.name)
+	}
+	in.curLine = line
+	res, err := fn(in, args)
+	if err != nil && !isControl(err) {
+		return "", decorate(err, sym.name, line)
+	}
+	return res, err
+}
+
+// dispatchDyn resolves a command whose name was produced at runtime
+// (args[0]); shared by the VM's dynamic calls and the tree-walker's
+// evalCommandTail.
+func (in *Interp) dispatchDyn(args []string, line int) (string, error) {
+	name := args[0]
+	if pd, ok := in.procs[name]; ok {
+		return in.callProc(pd, args[1:], line)
+	}
+	fn, ok := in.commands[name]
+	if !ok {
+		fn, ok = in.table.lookup(name)
+	}
+	if !ok {
+		return "", fmt.Errorf("tacl: line %d: unknown command %q", line, name)
+	}
+	in.curLine = line
+	res, err := fn(in, args[1:])
+	if err != nil && !isControl(err) {
+		return "", decorate(err, name, line)
+	}
+	return res, err
+}
+
+// vmCondEval evaluates a loop/branch condition to a boolean. Errors stay
+// raw: the construct's decor region frames them, matching how the
+// tree-walk builtins return condition errors undecorated to evalCommand.
+func (in *Interp) vmCondEval(ref *exprRef) (bool, error) {
+	if ref.isConst {
+		return ref.constTruthy, ref.constTruthyErr
+	}
+	v, err := vmExprEval(in, ref)
+	if err != nil {
+		return false, err
+	}
+	return Truthy(v)
+}
+
+// vmExprEval mirrors evalExpr for a precompiled operand: folded constant,
+// compiled AST with the standard "expr %q" wrap, or the reference
+// string-walking evaluator when compilation failed.
+func vmExprEval(in *Interp, ref *exprRef) (string, error) {
+	if ref.isConst {
+		return ref.constVal, nil
+	}
+	if ref.prog == nil {
+		return evalExprDirect(in, ref.src)
+	}
+	v, err := ref.prog.root.eval(in)
+	if err != nil {
+		return "", fmt.Errorf("expr %q: %w", ref.src, err)
+	}
+	return v.text(), nil
+}

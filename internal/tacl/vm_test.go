@@ -1,0 +1,209 @@
+package tacl
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"testing"
+)
+
+// Edge-semantics pins for the bytecode VM: park/jump signals crossing
+// nested proc and loop boundaries, step budgets tripping inside a host
+// command that itself evaluates TacL, and pooled-interpreter hygiene. All
+// behavioral cases run through the three-engine matrix; any divergence from
+// the reference interpreter fails.
+
+type vmEdgeResult struct {
+	out      string
+	isErr    bool
+	errText  string
+	steps    int
+	isJump   bool
+	jumpDest string
+	isPark   bool
+	parkName string
+	isBudget bool
+	hostRuns int
+}
+
+func runVMEdge(src string, engine Engine, maxSteps int) vmEdgeResult {
+	in := New()
+	in.SetEngine(engine)
+	in.MaxSteps = maxSteps
+	in.Register("jump", func(_ *Interp, args []string) (string, error) {
+		if len(args) != 1 {
+			return "", errors.New("jump needs one arg")
+		}
+		return "", JumpSignal(args[0])
+	})
+	in.Register("park", func(_ *Interp, args []string) (string, error) {
+		if len(args) != 1 {
+			return "", errors.New("park needs one arg")
+		}
+		return "", ParkSignal(args[0])
+	})
+	// hosteval mimics kernel commands that run TacL internally (the guard's
+	// ACL hooks, meet bodies): steps charged inside the host call must land
+	// in the same budget accounting on every engine.
+	hostRuns := 0
+	in.Register("hosteval", func(in *Interp, args []string) (string, error) {
+		if len(args) != 1 {
+			return "", errors.New("hosteval needs one arg")
+		}
+		hostRuns++
+		return in.EvalCached(args[0])
+	})
+	out, err := in.Eval(src)
+	r := vmEdgeResult{out: out, steps: in.Steps, hostRuns: hostRuns}
+	if err != nil {
+		r.isErr = true
+		r.errText = err.Error()
+		if d, ok := IsJump(err); ok {
+			r.isJump, r.jumpDest = true, d
+		}
+		if n, ok := IsPark(err); ok {
+			r.isPark, r.parkName = true, n
+		}
+		r.isBudget = errors.Is(err, ErrBudget)
+	}
+	return r
+}
+
+var vmEdgeCorpus = []string{
+	// Jump raised from a proc called inside nested loops.
+	`proc hop {d} { jump $d }
+set i 0
+while {$i < 5} { if {$i == 2} { hop H2 }; set i [expr $i + 1] }`,
+	// Park raised from a proc inside a foreach.
+	`proc nap {n} { park $n }
+foreach x {a b c} { if {$x eq "b"} { nap w1 } }`,
+	// Jump from a loop inside a proc inside a loop inside a proc.
+	`proc outer {d} { foreach q {1 2} { inner $d } }
+proc inner {d} { while {1} { jump $d } }
+outer dest9`,
+	// Park from deep in a counted loop.
+	`set i 0
+while {1} { set i [expr $i + 1]; if {$i > 3} { park deep } }`,
+	// Signals crossing a [cmd] substitution boundary (inlined by the VM).
+	`set x [jump viaarg]; set x`,
+	`while {1} { set x [park viaarg] }`,
+	`proc relay {} { set r [jump relayed]; set r }
+foreach q {a b} { relay }`,
+	// Host command that evaluates TacL internally.
+	`hosteval {set a 1; set b 2; set c 3}`,
+	`set i 0
+while {$i < 20} { hosteval {set t 1; set t 2; set t 3; set t 4}; set i [expr $i + 1] }`,
+	`foreach x {a b c d} { hosteval {unknowncmd; set u 1} }`,
+	// Errors inside the host-run script keep their text through both layers.
+	`hosteval {set}`,
+	`hosteval {while {1} {}}`,
+}
+
+func TestVMEdgeSemantics(t *testing.T) {
+	for _, src := range vmEdgeCorpus {
+		// Budgets from "trips almost immediately" through "mid-host-command"
+		// to "never trips": the exact step at which ErrBudget fires — even
+		// inside hosteval's nested EvalCached — must agree everywhere.
+		// (No unlimited entry: some corpus scripts spin forever by design.)
+		for _, budget := range []int{1, 2, 3, 5, 7, 11, 19, 40, 150, 1000} {
+			ref := runVMEdge(src, EngineReference, budget)
+			for _, e := range allEngines[:2] { // vm, ast
+				got := runVMEdge(src, e.engine, budget)
+				if got != ref {
+					t.Errorf("engine %s budget %d src %q:\n got %+v\nwant %+v",
+						e.name, budget, src, got, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestVMBudgetMidHostCommand pins the precise failure step when the budget
+// trips inside a host command's own EvalCached: the partial side effects
+// before exhaustion must be identical, and the error must carry the inner
+// script's line number on every engine.
+func TestVMBudgetMidHostCommand(t *testing.T) {
+	for _, e := range allEngines {
+		in := New()
+		in.SetEngine(e.engine)
+		in.MaxSteps = 4
+		var effects []string
+		in.Register("mark", func(_ *Interp, args []string) (string, error) {
+			effects = append(effects, args[0])
+			return "", nil
+		})
+		in.Register("hosteval", func(in *Interp, args []string) (string, error) {
+			return in.EvalCached(args[0])
+		})
+		_, err := in.Eval("mark a\nhosteval {mark b\nmark c\nmark d\nmark e}")
+		if err == nil || !errors.Is(err, ErrBudget) {
+			t.Fatalf("engine %v: want budget error, got %v", e.name, err)
+		}
+		// Steps: mark a, hosteval, mark b, mark c, then exhaustion charging
+		// mark d (the inner script's line 3). The budget error surfaces
+		// through hosteval's command frame, like any host command error.
+		wantErr := fmt.Sprintf("tacl: line 2: hosteval: %v after 4 steps (line 3)", ErrBudget)
+		if got := err.Error(); got != wantErr {
+			t.Errorf("engine %v: error = %q, want %q", e.name, got, wantErr)
+		}
+		if got := fmt.Sprint(effects); got != "[a b c]" {
+			t.Errorf("engine %v: effects = %v, want [a b c]", e.name, got)
+		}
+		if in.Steps != 5 {
+			t.Errorf("engine %v: steps = %d, want 5", e.name, in.Steps)
+		}
+	}
+}
+
+// TestPutResetsVMState checks pooled-interpreter hygiene for the VM's
+// per-activation machinery: loop frames returned to the freelist must not
+// pin foreach element lists, and Put must clear the engine override and
+// line state so the next activation starts from the default VM engine.
+func TestPutResetsVMState(t *testing.T) {
+	in := New()
+	if _, err := in.Eval(`foreach x {alpha beta gamma} { set y $x }`); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.freeVMFrames) == 0 {
+		t.Fatal("expected a pooled VM frame after a foreach script")
+	}
+	for _, fr := range in.freeVMFrames {
+		for i, l := range fr.lists {
+			if l != nil {
+				t.Errorf("pooled frame slot %d still pins a foreach list: %v", i, l)
+			}
+		}
+	}
+	in.SetEngine(EngineReference)
+	in.curLine = 7
+	Put(in)
+	if in.noVM || in.direct {
+		t.Error("Put must reset the engine override to the default VM")
+	}
+	if in.curLine != 0 {
+		t.Error("Put must clear line state")
+	}
+}
+
+// TestVMStepAccountingMatchesReference spot-checks that step counts for a
+// loop-heavy script are identical across engines at several budgets — the
+// property the guard's cycle metering depends on.
+func TestVMStepAccountingMatchesReference(t *testing.T) {
+	src := `set n 0
+set i 0
+while {$i < 9} {
+	foreach q {x y z} { set n [expr $n + 1] }
+	set i [expr $i + 1]
+}
+set n`
+	ref := runVMEdge(src, EngineReference, 0)
+	if ref.isErr || ref.out != strconv.Itoa(27) {
+		t.Fatalf("reference sanity: %+v", ref)
+	}
+	for _, e := range allEngines {
+		got := runVMEdge(src, e.engine, 0)
+		if got != ref {
+			t.Errorf("engine %s: %+v != %+v", e.name, got, ref)
+		}
+	}
+}

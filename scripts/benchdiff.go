@@ -89,6 +89,7 @@ func main() {
 	p99Threshold := flag.Float64("p99-threshold", 0.25, "maximum tolerated fractional p99 latency regression")
 	allocsThreshold := flag.Float64("allocs-threshold", 0.20, "maximum tolerated fractional allocs/op regression")
 	ungated := flag.String("ungated", "", "comma-separated benchmark names that are compared and printed but never fail the run (disk-latency-bound lanes whose ops/sec tracks the runner's fdatasync cost, not the code); a lane missing entirely still fails")
+	allocsCap := flag.String("allocs-cap", "", "comma-separated name=limit absolute allocs/op ceilings (e.g. script=50): the new report's lane fails when it reaches the limit, independent of the baseline — this is how a hard-won alloc budget stays won")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.15] [-p99-threshold 0.25] [-allocs-threshold 0.20] [-ungated lane1,lane2] baseline.json new.json")
@@ -98,6 +99,22 @@ func main() {
 	for _, name := range strings.Split(*ungated, ",") {
 		if name = strings.TrimSpace(name); name != "" {
 			ungatedSet[name] = true
+		}
+	}
+	caps := make(map[string]float64)
+	if *allocsCap != "" {
+		for _, pair := range strings.Split(*allocsCap, ",") {
+			name, limit, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			var v float64
+			if ok {
+				_, err := fmt.Sscanf(limit, "%g", &v)
+				ok = err == nil && v > 0
+			}
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchdiff: bad -allocs-cap entry %q (want name=limit)\n", pair)
+				os.Exit(2)
+			}
+			caps[name] = v
 		}
 	}
 	base, err := load(flag.Arg(0))
@@ -154,13 +171,22 @@ func main() {
 				addFailure(&verdict, &failed, fmt.Sprintf("ALLOCS REGRESSION (>%.0f%% more allocs/op)", *allocsThreshold*100))
 			}
 		}
+		// The absolute cap is an explicit opt-in per lane, so it applies
+		// even to ungated lanes.
+		if limit, capped := caps[b.Name]; capped && n.AllocsPerOp >= limit {
+			addFailure(&verdict, &failed, fmt.Sprintf("ALLOCS CAP (%.1f allocs/op >= %.0f)", n.AllocsPerOp, limit))
+		}
 		fmt.Printf("%-10s %14.0f %14.0f %+7.1f%% %11dns %11dns %+7.1f%% %7.1f %7.1f %+7.1f%%  %s\n",
 			b.Name, b.OpsPerSec, n.OpsPerSec, delta*100, b.P99Ns, n.P99Ns, p99Delta*100,
 			b.AllocsPerOp, n.AllocsPerOp, allocsDelta*100, verdict)
 	}
 	for name, n := range curByName {
-		fmt.Printf("%-10s %14s %14.0f %8s %12s %11dns %8s %7s %7.1f %8s  new benchmark\n",
-			name, "-", n.OpsPerSec, "-", "-", n.P99Ns, "-", "-", n.AllocsPerOp, "-")
+		verdict := "new benchmark"
+		if limit, capped := caps[name]; capped && n.AllocsPerOp >= limit {
+			addFailure(&verdict, &failed, fmt.Sprintf("ALLOCS CAP (%.1f allocs/op >= %.0f)", n.AllocsPerOp, limit))
+		}
+		fmt.Printf("%-10s %14s %14.0f %8s %12s %11dns %8s %7s %7.1f %8s  %s\n",
+			name, "-", n.OpsPerSec, "-", "-", n.P99Ns, "-", "-", n.AllocsPerOp, "-", verdict)
 	}
 	if failed {
 		fmt.Println("benchdiff: FAIL")
