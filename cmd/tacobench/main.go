@@ -217,6 +217,10 @@ type op func(worker int) error
 type workload struct {
 	op      op
 	cleanup func()
+	// stats, when non-nil, renders a one-line workload summary after the
+	// measured run (the durable lanes report the WAL's group-commit batch
+	// histogram). Printed to stderr so JSON output stays machine-parseable.
+	stats func() string
 	// concurrency, when non-zero, pins the workload's worker count
 	// regardless of the -concurrency flag. The durable lanes use it: group
 	// commit is a concurrency phenomenon, and the committed baseline's
@@ -256,7 +260,11 @@ func runMode(mode string, o benchOpts) (Result, error) {
 	if w.concurrency > 0 {
 		concurrency = w.concurrency
 	}
-	return measure(mode, concurrency, o.duration, w.op)
+	res, err := measure(mode, concurrency, o.duration, w.op)
+	if err == nil && w.stats != nil {
+		fmt.Fprintf(os.Stderr, "tacobench: %s: %s\n", mode, w.stats())
+	}
+	return res, err
 }
 
 func buildWorkload(mode string, o benchOpts) (workload, error) {
@@ -649,6 +657,11 @@ func durableWorkload(payload int, naive, replicated bool) (workload, error) {
 		},
 		cleanup:     teardown,
 		concurrency: durableConcurrency,
+		stats: func() string {
+			st := wal.Stats()
+			return fmt.Sprintf("wal sync batches: %s (records=%d syncs=%d)",
+				st.FormatBatchHist(), st.Records, st.Syncs)
+		},
 	}, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -81,6 +82,50 @@ type Stats struct {
 	SyncFailures int64
 	// LastSyncError is the sticky failure's message, "" while healthy.
 	LastSyncError string
+	// BatchHist is the group-commit batch-size distribution:
+	// BatchHist[i] counts fdatasync barriers whose record batch fell in
+	// bucket i of batchHistBounds — 0, 1, 2, 3-4, 5-8, 9-16, 17-32,
+	// 33-64, 65+ records per sync. Records/Syncs gives the mean batching
+	// factor; the histogram shows its shape (a durable lane stuck at
+	// batch=1 is paying one fsync per record no matter what the mean
+	// says), which is what the group-commit barrier work needs to see.
+	BatchHist [numBatchBuckets]int64
+}
+
+// batchHistBounds[i] is the inclusive upper bound of BatchHist bucket i;
+// the last bucket is unbounded.
+var batchHistBounds = [numBatchBuckets - 1]int64{0, 1, 2, 4, 8, 16, 32, 64}
+
+const numBatchBuckets = 9
+
+// batchBucket maps a records-per-sync count to its BatchHist bucket.
+func batchBucket(n int64) int {
+	for i, b := range batchHistBounds {
+		if n <= b {
+			return i
+		}
+	}
+	return numBatchBuckets - 1
+}
+
+// FormatBatchHist renders the non-empty BatchHist buckets as
+// "bucket:count" pairs, e.g. "1:3 5-8:12 65+:1". Empty when no syncs have
+// happened.
+func (s Stats) FormatBatchHist() string {
+	labels := [numBatchBuckets]string{
+		"0", "1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", "65+",
+	}
+	var b strings.Builder
+	for i, n := range s.BatchHist {
+		if n == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", labels[i], n)
+	}
+	return b.String()
 }
 
 // WAL is a write-ahead log bound to one file cabinet. It implements
@@ -129,6 +174,7 @@ type WAL struct {
 	stSyncs       atomic.Int64
 	stCompactions atomic.Int64
 	stFailures    atomic.Int64
+	stBatchHist   [numBatchBuckets]int64 // guarded by mu (flush + Stats)
 }
 
 // maxRetainedBuf bounds the recycled record buffer so one huge load record
@@ -216,6 +262,7 @@ func (w *WAL) Err() error {
 func (w *WAL) Stats() Stats {
 	w.mu.Lock()
 	seg, snap := w.segBytes, w.snapBytes
+	hist := w.stBatchHist
 	lastErr := ""
 	if w.err != nil {
 		lastErr = w.err.Error()
@@ -229,6 +276,7 @@ func (w *WAL) Stats() Stats {
 		SnapshotBytes: snap,
 		SyncFailures:  w.stFailures.Load(),
 		LastSyncError: lastErr,
+		BatchHist:     hist,
 	}
 }
 
@@ -406,6 +454,7 @@ func (w *WAL) runSyncCycleLocked() {
 func (w *WAL) flushLocked() {
 	batch := w.buf
 	target := w.seq
+	pending := int64(target - w.synced) // records this barrier commits
 	if w.spare != nil {
 		w.buf, w.spare = w.spare[:0], nil
 	} else {
@@ -433,6 +482,7 @@ func (w *WAL) flushLocked() {
 		w.synced = target
 		w.segBytes += int64(len(batch))
 		w.stSyncs.Add(1)
+		w.stBatchHist[batchBucket(pending)]++
 		if len(batch) > 0 {
 			w.notifyLocked()
 		}

@@ -513,3 +513,48 @@ func TestSnapshotGapRefused(t *testing.T) {
 		t.Fatal("segment gap accepted")
 	}
 }
+
+// TestBatchHistogram pins the records-per-fdatasync distribution Stats
+// exposes: one Sync over N pending records is a single barrier of N, and
+// SyncEveryRecord commits every record as a batch of one. NoSync keeps the
+// test off disk latency — the histogram counts barriers, not syscalls.
+func TestBatchHistogram(t *testing.T) {
+	dir := t.TempDir()
+	cab, w := openTemp(t, dir, Options{NoSync: true})
+	for i := 0; i < 5; i++ {
+		cab.AppendString("K", fmt.Sprintf("e%d", i))
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if got := st.BatchHist[batchBucket(5)]; got != 1 {
+		t.Errorf("batch-of-5 bucket = %d, want 1 (hist %v)", got, st.BatchHist)
+	}
+	var total int64
+	for _, n := range st.BatchHist {
+		total += n
+	}
+	if total != st.Syncs {
+		t.Errorf("histogram total %d != Syncs %d", total, st.Syncs)
+	}
+	if s := st.FormatBatchHist(); s != "5-8:1" {
+		t.Errorf("FormatBatchHist = %q, want \"5-8:1\"", s)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dir2 := t.TempDir()
+	cab2, w2 := openTemp(t, dir2, Options{SyncEveryRecord: true, NoSync: true})
+	for i := 0; i < 3; i++ {
+		cab2.AppendString("K", "x")
+	}
+	st2 := w2.Stats()
+	if got := st2.BatchHist[batchBucket(1)]; got != 3 {
+		t.Errorf("naive batch-of-1 bucket = %d, want 3 (hist %v)", got, st2.BatchHist)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -95,20 +95,26 @@ func cmdIncr(in *Interp, args []string) (string, error) {
 			return "", fmt.Errorf("expected integer increment, got %q", args[1])
 		}
 	}
+	return in.incrVar(args[0], delta)
+}
+
+// incrVar is the shared increment core behind cmdIncr and the VM's inlined
+// opIncrSlot slow path.
+func (in *Interp) incrVar(name string, delta int64) (string, error) {
 	cur := "0"
-	if in.varExists(args[0]) {
+	if in.varExists(name) {
 		var err error
-		cur, err = in.getVar(args[0])
+		cur, err = in.getVar(name)
 		if err != nil {
 			return "", err
 		}
 	}
 	n, err := strconv.ParseInt(cur, 10, 64)
 	if err != nil {
-		return "", fmt.Errorf("expected integer in %q, got %q", args[0], cur)
+		return "", fmt.Errorf("expected integer in %q, got %q", name, cur)
 	}
 	v := strconv.FormatInt(n+delta, 10)
-	in.setVar(args[0], v)
+	in.setVar(name, v)
 	return v, nil
 }
 
@@ -142,6 +148,10 @@ func cmdGlobal(in *Interp, args []string) (string, error) {
 	for _, name := range args {
 		f.global[name] = true
 	}
+	// Slot fast paths assume every name in the frame's layout lives in its
+	// slot array; a global link redirects resolution elsewhere, so divert
+	// this frame's slot ops to the full resolver for the rest of its life.
+	f.diverted = true
 	return "", nil
 }
 
@@ -302,6 +312,7 @@ func cmdProc(in *Interp, args []string) (string, error) {
 		in.procs = make(map[string]*procDef, 8)
 	}
 	in.procs[args[0]] = &procDef{name: args[0], params: params, body: body}
+	in.canonState = nil // the new proc may shadow an inlinable builtin
 	return "", nil
 }
 

@@ -296,6 +296,9 @@ func cmdUpvar(in *Interp, args []string) (string, error) {
 	if f == nil {
 		return "", errors.New("upvar: not inside a proc")
 	}
+	// Any upvar link redirects resolution away from the frame's slot array;
+	// divert its slot fast paths to the full resolver permanently.
+	f.diverted = true
 	switch level {
 	case "#0":
 		// Alias to a global: reuse the global-linking machinery, with a

@@ -2,6 +2,7 @@ package tacl
 
 import (
 	"errors"
+	"strconv"
 	"strings"
 )
 
@@ -32,16 +33,19 @@ const (
 	opCall                     // static call syms[a] with top b args
 	opCallConst                // static call syms[b] with argLists[a] (all-const args)
 	opCallDyn                  // dynamic call, top a words (args[0] is the name)
-	opGuard                    // inline guard: if syms[a] shadowed, run cmds[c] generically, jump b
+	opGuard                    // inline guard: if canon kind shadowed, run cmds[c] generically, jump b
 	opJump                     // jump to a
 	opCondJump                 // eval exprs[a]; mark slot c (if >=0); jump b when false
 	opLoopBottom               // charge step at line if slot a marked no progress; jump b
 	opForeachInit              // pop list string, ParseList into slot a
-	opForeachNext              // next element of slot a into var consts[c]; jump b when done
+	opForeachNext              // next element of slot a into var consts[c]/var-slot d; jump b when done
 	opExpr                     // result = eval exprs[a] (inlined expr command)
 	opResult                   // result = consts[a]
 	opDepth                    // enter an inlined [cmd]: depth++ with ErrDepth check
 	opArgResult                // leave an inlined [cmd]: depth--, push result register
+	opLoadSlot                 // push variable consts[a] from var slot b
+	opStoreSlot                // inlined `set`: pop value into var slot b (name consts[a]); result = value
+	opIncrSlot                 // inlined `incr`: var slot b (name consts[a]) += c; result = new value
 )
 
 type vmOp struct {
@@ -51,6 +55,7 @@ type vmOp struct {
 	a    int32
 	b    int32
 	c    int32
+	d    int32 // variable slot for opForeachNext (-1 = none)
 }
 
 // exprRef is a precompiled expression operand. prog == nil means the source
@@ -65,7 +70,36 @@ type exprRef struct {
 	constVal       string
 	constTruthy    bool
 	constTruthyErr error
+
+	// Fast form, set when the specialized AST is exactly
+	// `slotVar op intConst`: the VM computes the result from a slot read and
+	// one integer op, skipping the AST walk and exprVal conversions. Any
+	// precondition miss (scope not bound to fastProg, diverted, slot not
+	// live, value not a plain integer) falls back to the generic AST, whose
+	// semantics the fast path reproduces bit-for-bit on the cases it takes.
+	fastKind  uint8
+	fastSlot  int32
+	fastConst int64
+	fastProg  *program
+	// fastCmd is set (with fastKind == fastCmdSub) when the AST is exactly
+	// one [command] substitution: the VM runs its layout-shared program
+	// directly, skipping the AST node and the exprVal round-trip.
+	fastCmd *slotCmdNode
 }
+
+// exprRef fast-form kinds. Additive results are int64 sums (same wraparound
+// as applyAdditive's int path); relational results compare as float64 like
+// applyRelational does when both sides are numeric.
+const (
+	fastNone = iota
+	fastAdd
+	fastSub
+	fastLT
+	fastLE
+	fastGT
+	fastGE
+	fastCmdSub
+)
 
 // region describes error-handling extents of the op stream. Loop regions
 // intercept break/continue raised anywhere in the loop body (including from
@@ -103,11 +137,28 @@ type program struct {
 	argLists [][]string
 	regions  []region
 	numSlots int // loop state slots (marks / foreach lists)
+	// Variable layout: every statically-known variable name in this program
+	// (set targets, $reads, foreach loop vars, incr targets, expression
+	// $operands) owns a dense slot index. A scope bound to this program
+	// stores those names in its slot array; varIdx is the resolution table
+	// the name-based accessors consult at the terminal scope.
+	varIdx   map[string]int32
+	varNames []string
+	// layout points at the program whose variable layout this program's
+	// slot ops index: itself for independently compiled programs, the
+	// enclosing parent for [cmd]-substitution bodies compiled against the
+	// parent's slots (specializeExpr's cmdNode case). A scope bound to the
+	// layout program satisfies every slot op of every program sharing it.
+	layout *program
 }
 
 const (
 	maxInlineDepth = 32
 	maxProgramOps  = 1 << 20
+	// maxVarSlots caps a program's variable layout; names past the cap (or
+	// computed at runtime) live in the scope's overflow map instead. Keeps
+	// per-frame slot arrays small enough to pool.
+	maxVarSlots = 128
 )
 
 var errProgramTooLarge = errors.New("tacl: script too large for bytecode")
@@ -145,16 +196,41 @@ func compileProgram(s *Script) (p *program, err error) {
 		}
 	}()
 	c := &compiler{
-		prog:     &program{},
+		prog:     &program{varIdx: make(map[string]int32)},
+		constIdx: make(map[string]int32),
+		exprIdx:  make(map[string]int32),
+		symIdx:   make(map[*symbol]int32),
+	}
+	c.prog.layout = c.prog
+	c.compileCmds(s.cmds)
+	if len(c.prog.ops) > maxProgramOps {
+		return nil, errProgramTooLarge
+	}
+	return c.prog, nil
+}
+
+// compileProgramShared compiles a [cmd]-substitution body against the
+// enclosing program's variable layout, so the body's slot ops index the
+// very scope its parent binds — the nested activation keeps the slot fast
+// path instead of dropping to name resolution. Fails soft (nil) and the
+// caller keeps the generic cmdNode.
+func compileProgramShared(s *Script, layout *program) (p *program) {
+	defer func() {
+		if r := recover(); r != nil {
+			p = nil
+		}
+	}()
+	c := &compiler{
+		prog:     &program{layout: layout},
 		constIdx: make(map[string]int32),
 		exprIdx:  make(map[string]int32),
 		symIdx:   make(map[*symbol]int32),
 	}
 	c.compileCmds(s.cmds)
 	if len(c.prog.ops) > maxProgramOps {
-		return nil, errProgramTooLarge
+		return nil
 	}
-	return c.prog, nil
+	return c.prog
 }
 
 type compiler struct {
@@ -222,9 +298,27 @@ func (c *compiler) newSlot() int32 {
 	return int32(c.prog.numSlots - 1)
 }
 
+// varRef assigns (or returns) name's slot in the program's variable layout,
+// or -1 once the layout is full — the name then compiles to name-based ops
+// and lives in the overflow map, consistently everywhere.
+func (c *compiler) varRef(name string) int32 {
+	lp := c.prog.layout
+	if i, ok := lp.varIdx[name]; ok {
+		return i
+	}
+	if len(lp.varNames) >= maxVarSlots {
+		return -1
+	}
+	i := int32(len(lp.varNames))
+	lp.varNames = append(lp.varNames, name)
+	lp.varIdx[name] = i
+	return i
+}
+
 func (c *compiler) addRegion(r region) { c.prog.regions = append(c.prog.regions, r) }
 
-// exprRefIdx precompiles an expression operand, folding it when pure.
+// exprRefIdx precompiles an expression operand, folding it when pure and
+// otherwise specializing its $variable reads to this program's slots.
 func (c *compiler) exprRefIdx(src string) int32 {
 	if i, ok := c.exprIdx[src]; ok {
 		return i
@@ -238,12 +332,149 @@ func (c *compiler) exprRefIdx(src string) int32 {
 				ref.constVal = v.text()
 				ref.constTruthy, ref.constTruthyErr = Truthy(ref.constVal)
 			}
+		} else if root, changed := c.specializeExpr(p.root); changed {
+			// The shared cached AST stays untouched (EngineAST keeps using
+			// it); this program gets a private clone whose varNodes read
+			// their slot directly when the program's scope is current.
+			ref.prog = &exprProg{root: root}
+			c.noteFastExpr(ref, root)
 		}
 	}
 	i := int32(len(c.prog.exprs))
 	c.prog.exprs = append(c.prog.exprs, ref)
 	c.exprIdx[src] = i
 	return i
+}
+
+// specializeExpr rewrites an expression AST's varNodes into slotVarNodes
+// bound to this program's layout, cloning only the spine above a rewritten
+// node. cmdNode bodies are ordinary scripts with their own compilation and
+// are shared as-is.
+func (c *compiler) specializeExpr(n exprNode) (exprNode, bool) {
+	switch x := n.(type) {
+	case *varNode:
+		if i := c.varRef(x.name); i >= 0 {
+			return &slotVarNode{name: x.name, prog: c.prog.layout, slot: i}, true
+		}
+	case *cmdNode:
+		if p2 := compileProgramShared(x.body, c.prog.layout); p2 != nil {
+			return &slotCmdNode{body: x.body, prog: p2}, true
+		}
+	case *notNode:
+		if y, ch := c.specializeExpr(x.x); ch {
+			return &notNode{x: y}, true
+		}
+	case *negNode:
+		if y, ch := c.specializeExpr(x.x); ch {
+			return &negNode{x: y}, true
+		}
+	case *andOrNode:
+		l, cl := c.specializeExpr(x.l)
+		r, cr := c.specializeExpr(x.r)
+		if cl || cr {
+			return &andOrNode{or: x.or, l: l, r: r}, true
+		}
+	case *eqNode:
+		l, cl := c.specializeExpr(x.l)
+		r, cr := c.specializeExpr(x.r)
+		if cl || cr {
+			return &eqNode{op: x.op, l: l, r: r}, true
+		}
+	case *relNode:
+		l, cl := c.specializeExpr(x.l)
+		r, cr := c.specializeExpr(x.r)
+		if cl || cr {
+			return &relNode{op: x.op, l: l, r: r}, true
+		}
+	case *addNode:
+		l, cl := c.specializeExpr(x.l)
+		r, cr := c.specializeExpr(x.r)
+		if cl || cr {
+			return &addNode{op: x.op, l: l, r: r}, true
+		}
+	case *mulNode:
+		l, cl := c.specializeExpr(x.l)
+		r, cr := c.specializeExpr(x.r)
+		if cl || cr {
+			return &mulNode{op: x.op, l: l, r: r}, true
+		}
+	case *ternaryNode:
+		cond, cc := c.specializeExpr(x.cond)
+		thenN, ct := c.specializeExpr(x.then)
+		elseN, ce := c.specializeExpr(x.els)
+		if cc || ct || ce {
+			return &ternaryNode{cond: cond, then: thenN, els: elseN}, true
+		}
+	case *callNode:
+		var args []exprNode
+		changed := false
+		for i, a := range x.args {
+			y, ch := c.specializeExpr(a)
+			if ch && args == nil {
+				args = append([]exprNode(nil), x.args...)
+			}
+			if args != nil {
+				args[i] = y
+			}
+			changed = changed || ch
+		}
+		if changed {
+			return &callNode{name: x.name, args: args}, true
+		}
+	}
+	return n, false
+}
+
+// noteFastExpr records the exprRef fast form when the specialized AST is
+// exactly `slotVar op intConst` for an additive or relational op — the
+// canonical loop-counter shapes (`$i < 100`, `$i + 1`).
+func (c *compiler) noteFastExpr(ref *exprRef, root exprNode) {
+	var kind uint8
+	var l, r exprNode
+	switch x := root.(type) {
+	case *slotCmdNode:
+		ref.fastKind = fastCmdSub
+		ref.fastCmd = x
+		return
+	case *addNode:
+		switch x.op {
+		case '+':
+			kind = fastAdd
+		case '-':
+			kind = fastSub
+		default:
+			return
+		}
+		l, r = x.l, x.r
+	case *relNode:
+		switch x.op {
+		case "<":
+			kind = fastLT
+		case "<=":
+			kind = fastLE
+		case ">":
+			kind = fastGT
+		case ">=":
+			kind = fastGE
+		default:
+			return
+		}
+		l, r = x.l, x.r
+	default:
+		return
+	}
+	sv, ok := l.(*slotVarNode)
+	if !ok || sv.prog != c.prog.layout {
+		return
+	}
+	cn, ok := r.(*constNode)
+	if !ok || !cn.v.isInt {
+		return
+	}
+	ref.fastKind = kind
+	ref.fastSlot = sv.slot
+	ref.fastConst = cn.v.i
+	ref.fastProg = sv.prog
 }
 
 // exprPure reports whether an expression AST is free of variable and
@@ -278,6 +509,13 @@ func exprPure(n exprNode) bool {
 	default: // varNode, cmdNode
 		return false
 	}
+}
+
+// parseInt32 parses a base-10 integer constrained to int32 (it travels in a
+// vmOp field); out-of-range deltas make the caller fall back to generic
+// dispatch, which handles full int64.
+func parseInt32(s string) (int64, error) {
+	return strconv.ParseInt(s, 10, 32)
 }
 
 // constWord returns a word's literal text when it is a single literal
@@ -337,6 +575,14 @@ func (c *compiler) compileCommand(cmd *command) {
 			if c.tryExpr(cmd) {
 				return
 			}
+		case "set":
+			if c.trySet(cmd) {
+				return
+			}
+		case "incr":
+			if c.tryIncr(cmd) {
+				return
+			}
 		}
 	}
 	if nameConst {
@@ -372,7 +618,11 @@ func (c *compiler) compileArg(w *word) {
 			c.emit(vmOp{code: opArgConst, a: c.constRef(seg.text)})
 			return
 		case segVar:
-			c.emit(vmOp{code: opArgVar, a: c.constRef(seg.text)})
+			if slot := c.varRef(seg.text); slot >= 0 {
+				c.emit(vmOp{code: opLoadSlot, a: c.constRef(seg.text), b: slot})
+			} else {
+				c.emit(vmOp{code: opArgVar, a: c.constRef(seg.text)})
+			}
 			return
 		case segCmd:
 			// Inline the substitution's commands into this program: the hot
@@ -400,18 +650,71 @@ func (c *compiler) compileArg(w *word) {
 	c.emit(vmOp{code: opArgWord, a: c.wordRef(w)})
 }
 
-// emitGuard emits the shadow check preceding an inlined construct. Returns
-// the guard's op index (its jump-over target is patched by the caller), or
-// -1 when the name cannot be interned (caller falls back to generic).
-func (c *compiler) emitGuard(cmd *command, kind uint8, name string) int32 {
-	sym := internScriptSym(name)
-	if sym == nil {
-		return -1
-	}
+// emitGuard emits the shadow check preceding an inlined construct; the
+// guard's jump-over target is patched by the caller. The check itself is
+// the interpreter's cached canon mask (see Interp.cmdShadowed), so no
+// symbol is needed — only the canon kind and the original command for the
+// generic fallback.
+func (c *compiler) emitGuard(cmd *command, kind uint8) int32 {
 	return c.emit(vmOp{
-		code: opGuard, kind: kind, line: int32(cmd.line),
-		a: c.symRef(sym), c: c.cmdRef(cmd),
+		code: opGuard, kind: kind, line: int32(cmd.line), c: c.cmdRef(cmd),
 	})
+}
+
+// trySet inlines the two-argument `set name value` when the target name is
+// a static literal with a slot: the value word compiles as an ordinary
+// argument and opStoreSlot moves it into the slot. One-argument reads and
+// dynamic names keep generic dispatch.
+func (c *compiler) trySet(cmd *command) bool {
+	if len(cmd.words) != 3 {
+		return false
+	}
+	name, ok := constWord(&cmd.words[1])
+	if !ok {
+		return false
+	}
+	slot := c.varRef(name)
+	if slot < 0 {
+		return false
+	}
+	g := c.emitGuard(cmd, kindSet)
+	c.compileArg(&cmd.words[2])
+	c.emit(vmOp{code: opStoreSlot, line: int32(cmd.line), a: c.constRef(name), b: slot})
+	c.patchB(g, c.pc())
+	return true
+}
+
+// tryIncr inlines `incr name ?delta?` for a slotted static name and a
+// literal integer delta that fits int32. Non-integer deltas fall back to
+// the generic call, which owns that error's text.
+func (c *compiler) tryIncr(cmd *command) bool {
+	if len(cmd.words) != 2 && len(cmd.words) != 3 {
+		return false
+	}
+	name, ok := constWord(&cmd.words[1])
+	if !ok {
+		return false
+	}
+	delta := int64(1)
+	if len(cmd.words) == 3 {
+		ds, ok := constWord(&cmd.words[2])
+		if !ok {
+			return false
+		}
+		var err error
+		delta, err = parseInt32(ds)
+		if err != nil {
+			return false
+		}
+	}
+	slot := c.varRef(name)
+	if slot < 0 {
+		return false
+	}
+	g := c.emitGuard(cmd, kindIncr)
+	c.emit(vmOp{code: opIncrSlot, line: int32(cmd.line), a: c.constRef(name), b: slot, c: int32(delta)})
+	c.patchB(g, c.pc())
+	return true
 }
 
 func (c *compiler) tryExpr(cmd *command) bool {
@@ -420,10 +723,7 @@ func (c *compiler) tryExpr(cmd *command) bool {
 		return false
 	}
 	src := strings.Join(args[1:], " ")
-	g := c.emitGuard(cmd, kindExpr, "expr")
-	if g < 0 {
-		return false
-	}
+	g := c.emitGuard(cmd, kindExpr)
 	c.emit(vmOp{code: opExpr, line: int32(cmd.line), a: c.exprRefIdx(src)})
 	c.patchB(g, c.pc())
 	return true
@@ -442,10 +742,7 @@ func (c *compiler) tryWhile(cmd *command) bool {
 	if err != nil {
 		return false // generic call reproduces the parse error
 	}
-	g := c.emitGuard(cmd, kindWhile, "while")
-	if g < 0 {
-		return false
-	}
+	g := c.emitGuard(cmd, kindWhile)
 	slot := c.newSlot()
 	line := int32(cmd.line)
 	top := c.pc()
@@ -489,10 +786,7 @@ func (c *compiler) tryFor(cmd *command) bool {
 	if err != nil {
 		return false
 	}
-	g := c.emitGuard(cmd, kindFor, "for")
-	if g < 0 {
-		return false
-	}
+	g := c.emitGuard(cmd, kindFor)
 	slot := c.newSlot()
 	line := int32(cmd.line)
 	c.inline++
@@ -529,10 +823,7 @@ func (c *compiler) tryForeach(cmd *command) bool {
 	if err != nil {
 		return false
 	}
-	g := c.emitGuard(cmd, kindForeach, "foreach")
-	if g < 0 {
-		return false
-	}
+	g := c.emitGuard(cmd, kindForeach)
 	slot := c.newSlot()
 	line := int32(cmd.line)
 	// The list word may be dynamic; its evaluation errors stay undecorated
@@ -540,7 +831,7 @@ func (c *compiler) tryForeach(cmd *command) bool {
 	// decor region.
 	c.compileArg(&cmd.words[2])
 	initPC := c.emit(vmOp{code: opForeachInit, line: line, a: slot})
-	top := c.emit(vmOp{code: opForeachNext, line: line, a: slot, c: c.constRef(varName)})
+	top := c.emit(vmOp{code: opForeachNext, line: line, a: slot, c: c.constRef(varName), d: c.varRef(varName)})
 	c.inline++
 	bodyStart := c.pc()
 	c.compileCmds(bodyScript.cmds)
@@ -602,10 +893,7 @@ func (c *compiler) tryIf(cmd *command) bool {
 			break
 		}
 	}
-	g := c.emitGuard(cmd, kindIf, "if")
-	if g < 0 {
-		return false
-	}
+	g := c.emitGuard(cmd, kindIf)
 	line := int32(cmd.line)
 	start := c.pc()
 	emptyIdx := c.constRef("")

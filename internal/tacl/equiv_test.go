@@ -205,6 +205,26 @@ var equivCorpus = []string{
 	`info steps`,
 	// puts output.
 	`puts hello; puts -nonewline world`,
+	// Slot-resolved variable store: statically-known names live in frame
+	// slots, computed names spill to the frame map, and `global`/`upvar`
+	// divert a frame entirely. These pin the slot↔map aliasing rules.
+	`set name v; set $name 7; catch {set v} msg; list [info exists v] $msg`,
+	`set v 1; set name v; set $name 9; incr v; set v`,
+	`proc outer {} { proc inner {} { global g; incr g }; inner }; set g 5; outer; set g`,
+	`set a 1; unset a; info exists a`,
+	`set name b; set $name 2; unset $name; info exists b`,
+	`set a 1; set name a; unset $name; catch {set a} msg; set msg`,
+	`proc f {} { set loc 3; unset loc; info exists loc }; f`,
+	`proc f {x} { upvar 1 $x v; set v 42; incr v }; set t 0; f t; set t`,
+	`proc f {} { global gg; set gg 2; unset gg }; set gg 1; f; info exists gg`,
+	`set c 0; catch { set c 1; error boom } msg; list $c $msg`,
+	`proc f {} { global w; unset w; set w 8 }; set w 3; f; set w`,
+	// Condition truthiness runs Truthy on the result text: a command
+	// substitution yielding padded numerals must error ("expected
+	// boolean") identically on every engine — the VM's fast paths must
+	// not accidentally trim.
+	`if {[format " %d " 2]} { set r yes }`,
+	`while {[format " %d " 1]} { break }`,
 	// Jump semantics: execution stops at the origin after a migration.
 	`set x 1; jump site-b; set x 2`,
 	`set i 0; while {$i < 10} { incr i; if {$i == 4} { jump dest } }`,

@@ -68,12 +68,60 @@ func (n *varNode) eval(in *Interp) (exprVal, error) {
 	return strVal(v), nil
 }
 
+// slotVarNode is a varNode specialized by the bytecode compiler against one
+// program's slot layout: when evaluation happens in a scope bound to that
+// exact program (and not diverted by global/upvar links), the read is a
+// direct slot index; otherwise it falls back to the full resolver.
+type slotVarNode struct {
+	name string
+	prog *program
+	slot int32
+}
+
+func (n *slotVarNode) eval(in *Interp) (exprVal, error) {
+	if sc := in.curScope(); sc.prog == n.prog && !sc.diverted {
+		if sc.meta[n.slot]&slotLive != 0 {
+			return strVal(sc.slots[n.slot]), nil
+		}
+		return exprVal{}, fmt.Errorf("tacl: no such variable %q", n.name)
+	}
+	v, err := in.getVar(n.name)
+	if err != nil {
+		return exprVal{}, err
+	}
+	return strVal(v), nil
+}
+
 // cmdNode is a [command] substitution; the script inside the brackets is
 // parsed at compile time and executed per evaluation.
 type cmdNode struct{ body *Script }
 
 func (n *cmdNode) eval(in *Interp) (exprVal, error) {
 	res, err := in.EvalScript(n.body)
+	if err != nil {
+		return exprVal{}, err
+	}
+	return strVal(res), nil
+}
+
+// slotCmdNode is a cmdNode specialized by the bytecode compiler: the body
+// is recompiled against the enclosing program's variable layout (see
+// compileProgramShared), so the nested activation's variable ops keep the
+// slot fast path. Behaviorally identical to cmdNode — EvalScript on the
+// same body would run the body's independently compiled program instead.
+type slotCmdNode struct {
+	body *Script
+	prog *program
+}
+
+func (n *slotCmdNode) eval(in *Interp) (exprVal, error) {
+	var res string
+	var err error
+	if !in.noVM && !in.direct {
+		res, err = in.runVM(n.prog)
+	} else {
+		res, err = in.EvalScript(n.body)
+	}
 	if err != nil {
 		return exprVal{}, err
 	}

@@ -123,6 +123,14 @@ func FuzzVMScript(f *testing.F) {
 		`continue`,
 		`return 5`,
 		`unknowncmd a b`,
+		// Slot↔map aliasing: computed names, global in nested procs,
+		// unset/exists on slotted and spilled names, diverted frames.
+		`set name v; set $name 7; info exists v`,
+		`proc o {} { proc i {} { global g; incr g }; i }; set g 1; o; set g`,
+		`set a 1; set name a; unset $name; catch {set a} msg; set msg`,
+		`proc f {x} { upvar 1 $x v; set v 42 }; set t 0; f t; set t`,
+		`proc f {} { set q 1; unset q; info exists q }; f`,
+		`if {[format " %d " 2]} { set r yes }`,
 	}
 	for _, s := range seeds {
 		f.Add(s)

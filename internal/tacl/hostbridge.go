@@ -89,8 +89,24 @@ const (
 	kindFor
 	kindForeach
 	kindExpr
+	kindSet
+	kindIncr
 	numCanonKinds
 )
+
+// canonNames mirrors canonicalBuiltins' names without referencing the
+// builtin funcs: cmdShadowed (reachable from every builtin via runVM) needs
+// the names at runtime, and referencing canonicalBuiltins there would form
+// an initialization cycle through its cmd* function pointers.
+var canonNames = [numCanonKinds]string{
+	kindIf:      "if",
+	kindWhile:   "while",
+	kindFor:     "for",
+	kindForeach: "foreach",
+	kindExpr:    "expr",
+	kindSet:     "set",
+	kindIncr:    "incr",
+}
 
 var canonicalBuiltins = [numCanonKinds]struct {
 	name string
@@ -101,6 +117,8 @@ var canonicalBuiltins = [numCanonKinds]struct {
 	kindFor:     {"for", reflect.ValueOf(cmdFor).Pointer()},
 	kindForeach: {"foreach", reflect.ValueOf(cmdForeach).Pointer()},
 	kindExpr:    {"expr", reflect.ValueOf(cmdExpr).Pointer()},
+	kindSet:     {"set", reflect.ValueOf(cmdSet).Pointer()},
+	kindIncr:    {"incr", reflect.ValueOf(cmdIncr).Pointer()},
 }
 
 // buildTableState builds a publishable snapshot for cmds: it interns every
@@ -210,9 +228,13 @@ func fastFormat(in *Interp, spec string, vals []string) (string, bool) {
 			if vi >= len(vals) {
 				return "", false
 			}
-			n, err := strconv.ParseInt(vals[vi], 10, 64)
-			if err != nil {
-				return "", false
+			n, ok := fastAtoi(vals[vi])
+			if !ok {
+				var err error
+				n, err = strconv.ParseInt(vals[vi], 10, 64)
+				if err != nil {
+					return "", false
+				}
 			}
 			buf = strconv.AppendInt(buf, n, 10)
 			vi++

@@ -19,6 +19,7 @@ import (
 // activation its own.
 type Interp struct {
 	globals  map[string]string
+	gscope   varScope // slot storage for top-level variables (see varScope)
 	frames   []*frame
 	procs    map[string]*procDef // lazily allocated by proc
 	commands map[string]CmdFunc  // per-interp overrides; lazily allocated by Register
@@ -77,6 +78,21 @@ type Interp struct {
 	// the length afterwards. Nested evaluation stacks cleanly because a
 	// nested command's region starts at or beyond its parent's end.
 	argScratch []string
+	// canonState/canonMask cache the guard ops' shadow check: canonMask has
+	// a bit per inlinable canonical builtin (kind*) that is still canonical
+	// for this interpreter — the table snapshot's canon bits minus any name
+	// shadowed by a script proc or per-interp Register override. Recomputed
+	// lazily whenever canonState no longer matches the table's published
+	// snapshot; proc definition and Register invalidate it by nil-ing
+	// canonState.
+	canonState *tableState
+	canonMask  uint16
+	// nextYield is the smallest step count at which the yield cadence
+	// could fire, derived from Steps/YieldEvery the last time the VM took
+	// chargeStep's slow path. Steps below it provably have
+	// Steps%YieldEvery != 0, so the hot step op skips the division. Zero
+	// forces the slow path (recomputation); Put resets it.
+	nextYield int
 }
 
 // CmdFunc implements a command. args excludes the command name.
@@ -99,6 +115,83 @@ type frame struct {
 	vars    map[string]string
 	global  map[string]bool   // names linked to globals via the global command
 	aliases map[string]varRef // names linked by upvar
+	varScope
+}
+
+// slotLive marks a slot as holding a variable; a zero meta byte is "unset".
+const slotLive uint8 = 1
+
+// varScope is the slot-resolved half of a variable scope (one per proc
+// frame, plus Interp.gscope for top level). When a scope is bound to a
+// compiled program, every variable name the compiler saw statically owns a
+// dense slot index in that program's layout (program.varIdx), and the
+// name's storage IS the slot — an array cell, no hashing. Names outside the
+// layout (computed names, overflow past maxVarSlots) live in the scope's
+// ordinary map. The placement rule is a function of (terminal scope layout,
+// name) only, so the VM's slot ops, the tree-walking builtins, and the host
+// Get/Set API all agree on where a variable lives; the three-way
+// equivalence suite pins that agreement.
+type varScope struct {
+	prog  *program // layout owner; nil = unbound, everything in the map
+	slots []string
+	meta  []uint8
+	// diverted is set once the scope gains a `global` link or an `upvar`
+	// alias: slot fast paths (which skip alias resolution) stand down for
+	// the rest of the frame's lifetime and all access goes through the full
+	// resolver. Links are permanent per frame, so a sticky bool is exact.
+	diverted bool
+}
+
+// bind sizes the scope's slot arrays for program p's variable layout. The
+// caller guarantees the arrays are already scrubbed (clearScope).
+func (sc *varScope) bind(p *program) {
+	n := len(p.varNames)
+	if cap(sc.slots) >= n {
+		sc.slots = sc.slots[:n]
+		sc.meta = sc.meta[:n]
+	} else {
+		sc.slots = make([]string, n)
+		sc.meta = make([]uint8, n)
+	}
+	sc.prog = p
+}
+
+// clearScope unbinds the scope and drops every slot's string reference so a
+// pooled frame or interpreter never pins a prior activation's values.
+func (sc *varScope) clearScope() {
+	for i := range sc.slots {
+		sc.slots[i] = ""
+	}
+	for i := range sc.meta {
+		sc.meta[i] = 0
+	}
+	sc.slots = sc.slots[:0]
+	sc.meta = sc.meta[:0]
+	sc.prog = nil
+	sc.diverted = false
+}
+
+// slotOf returns name's slot index in the scope's bound layout, or -1.
+func (sc *varScope) slotOf(name string) int32 {
+	if sc.prog != nil {
+		if i, ok := sc.prog.varIdx[name]; ok {
+			return i
+		}
+	}
+	return -1
+}
+
+// localSet writes a variable directly into frame f's own storage (slot when
+// the bound layout knows the name, map otherwise) without alias resolution.
+// Only for fresh frames — callProc's parameter binding, where no links can
+// exist yet.
+func (f *frame) localSet(name, value string) {
+	if i := f.slotOf(name); i >= 0 {
+		f.slots[i] = value
+		f.meta[i] = slotLive
+		return
+	}
+	f.vars[name] = value
 }
 
 // varRef names a variable in another scope: frame == nil means globals.
@@ -299,11 +392,38 @@ func Get(t *Table) *Interp {
 	return in
 }
 
+// Pool-hygiene caps: a pooled interpreter (or frame freelist entry) keeps
+// its allocated maps and arrays for reuse, but one pathological activation
+// — a giant script with hundreds of variables, a deep recursion, a huge
+// argument list — must not size the pool's retained memory forever. State
+// grown past these caps is dropped at Put/putFrame instead of recycled.
+const (
+	maxPooledVars    = 64   // map entries retained in globals / frame vars
+	maxPooledSlots   = 64   // retained capacity of a scope's slot array
+	maxPooledFrames  = 16   // retained proc-frame / VM-frame freelist length
+	maxPooledScratch = 1024 // retained argument-arena capacity (strings)
+)
+
+// trimMapStr replaces a map that grew past the pool cap (Go maps never
+// shrink their buckets) and clears a small one in place.
+func trimMapStr(m map[string]string) map[string]string {
+	if len(m) > maxPooledVars {
+		return make(map[string]string, 8)
+	}
+	clear(m)
+	return m
+}
+
 // Put resets in and returns it to the pool. The caller must not use in
 // afterwards. Recycled interpreters keep their allocated maps and frame
 // freelist, which is what makes repeat activations allocation-free.
 func Put(in *Interp) {
-	clear(in.globals)
+	in.globals = trimMapStr(in.globals)
+	in.gscope.clearScope()
+	if cap(in.gscope.slots) > maxPooledSlots {
+		in.gscope.slots = nil
+		in.gscope.meta = nil
+	}
 	if in.procs != nil {
 		clear(in.procs)
 	}
@@ -311,13 +431,31 @@ func Put(in *Interp) {
 		clear(in.commands)
 	}
 	in.frames = in.frames[:0]
+	if len(in.freeFrames) > maxPooledFrames {
+		for i := maxPooledFrames; i < len(in.freeFrames); i++ {
+			in.freeFrames[i] = nil
+		}
+		in.freeFrames = in.freeFrames[:maxPooledFrames]
+	}
+	if len(in.freeVMFrames) > maxPooledFrames {
+		for i := maxPooledFrames; i < len(in.freeVMFrames); i++ {
+			in.freeVMFrames[i] = nil
+		}
+		in.freeVMFrames = in.freeVMFrames[:maxPooledFrames]
+	}
 	// Clear the whole argument arena (not just its length) so string
 	// headers from this activation don't pin large arguments for the
 	// pool's lifetime.
+	if cap(in.argScratch) > maxPooledScratch {
+		in.argScratch = nil
+	}
 	scratch := in.argScratch[:cap(in.argScratch)]
 	clear(scratch)
 	in.argScratch = scratch[:0]
 	in.table = nil
+	in.canonState = nil
+	in.canonMask = 0
+	in.nextYield = 0
 	in.MaxSteps = 0
 	in.Steps = 0
 	in.StepHook = nil
@@ -369,6 +507,7 @@ func (in *Interp) Register(name string, fn CmdFunc) {
 		in.commands = make(map[string]CmdFunc, 8)
 	}
 	in.commands[name] = fn
+	in.canonState = nil // the override may shadow an inlinable builtin
 }
 
 // Commands returns the names of all registered commands, sorted. With no
@@ -394,11 +533,25 @@ func (in *Interp) Commands() []string {
 	return out
 }
 
-// SetGlobal sets a global variable.
-func (in *Interp) SetGlobal(name, value string) { in.globals[name] = value }
+// SetGlobal sets a global variable, honoring the bound slot layout so host
+// writes and script writes share one storage location per name.
+func (in *Interp) SetGlobal(name, value string) {
+	if i := in.gscope.slotOf(name); i >= 0 {
+		in.gscope.slots[i] = value
+		in.gscope.meta[i] = slotLive
+		return
+	}
+	in.globals[name] = value
+}
 
-// Global reads a global variable.
+// Global reads a global variable (slot or map, per the bound layout).
 func (in *Interp) Global(name string) (string, bool) {
+	if i := in.gscope.slotOf(name); i >= 0 {
+		if in.gscope.meta[i]&slotLive != 0 {
+			return in.gscope.slots[i], true
+		}
+		return "", false
+	}
 	v, ok := in.globals[name]
 	return v, ok
 }
@@ -586,24 +739,41 @@ func (in *Interp) parentFrame() *frame {
 	return in.frames[len(in.frames)-2]
 }
 
-// resolve follows upvar aliases and global links to the map and key that
-// actually store a name in frame f (nil map means the interpreter globals).
-func (in *Interp) resolve(f *frame, name string) (map[string]string, string) {
+// curScope returns the variable scope commands in the current frame write
+// to: the top frame's, or the interpreter's global scope at top level.
+func (in *Interp) curScope() *varScope {
+	if n := len(in.frames); n > 0 {
+		return &in.frames[n-1].varScope
+	}
+	return &in.gscope
+}
+
+// resolveLoc follows upvar aliases and global links to the terminal scope
+// and map that store a name reached from frame f. Whether the name then
+// lives in a slot or the map is the terminal scope's layout's decision
+// (slotOf), applied identically by every accessor below.
+func (in *Interp) resolveLoc(f *frame, name string) (*varScope, map[string]string, string) {
 	for depth := 0; f != nil && depth < maxDepth; depth++ {
 		if ref, ok := f.aliases[name]; ok {
 			f, name = ref.frame, ref.name
 			continue
 		}
 		if f.global[name] {
-			return in.globals, name
+			break
 		}
-		return f.vars, name
+		return &f.varScope, f.vars, name
 	}
-	return in.globals, name
+	return &in.gscope, in.globals, name
 }
 
 func (in *Interp) getVar(name string) (string, error) {
-	vars, key := in.resolve(in.currentFrame(), name)
+	sc, vars, key := in.resolveLoc(in.currentFrame(), name)
+	if i := sc.slotOf(key); i >= 0 {
+		if sc.meta[i]&slotLive != 0 {
+			return sc.slots[i], nil
+		}
+		return "", fmt.Errorf("tacl: no such variable %q", name)
+	}
 	if v, ok := vars[key]; ok {
 		return v, nil
 	}
@@ -611,12 +781,25 @@ func (in *Interp) getVar(name string) (string, error) {
 }
 
 func (in *Interp) setVar(name, value string) {
-	vars, key := in.resolve(in.currentFrame(), name)
+	sc, vars, key := in.resolveLoc(in.currentFrame(), name)
+	if i := sc.slotOf(key); i >= 0 {
+		sc.slots[i] = value
+		sc.meta[i] = slotLive
+		return
+	}
 	vars[key] = value
 }
 
 func (in *Interp) unsetVar(name string) error {
-	vars, key := in.resolve(in.currentFrame(), name)
+	sc, vars, key := in.resolveLoc(in.currentFrame(), name)
+	if i := sc.slotOf(key); i >= 0 {
+		if sc.meta[i]&slotLive == 0 {
+			return fmt.Errorf("tacl: no such variable %q", name)
+		}
+		sc.slots[i] = ""
+		sc.meta[i] = 0
+		return nil
+	}
 	if _, ok := vars[key]; !ok {
 		return fmt.Errorf("tacl: no such variable %q", name)
 	}
@@ -625,9 +808,33 @@ func (in *Interp) unsetVar(name string) error {
 }
 
 func (in *Interp) varExists(name string) bool {
-	vars, key := in.resolve(in.currentFrame(), name)
+	sc, vars, key := in.resolveLoc(in.currentFrame(), name)
+	if i := sc.slotOf(key); i >= 0 {
+		return sc.meta[i]&slotLive != 0
+	}
 	_, ok := vars[key]
 	return ok
+}
+
+// bindGlobalScope binds the top-level scope to program p's variable layout
+// and migrates any globals already set through the map (SetGlobal before
+// the first eval — the kernel's host/from bindings) into their slots, so a
+// slotted name is never stored in both places. Called by runVM on the first
+// variable-bearing program of an activation; later top-level programs
+// (catch/eval bodies, a second EvalScript) keep the established layout and
+// reach slots through the name path.
+func (in *Interp) bindGlobalScope(p *program) {
+	sc := &in.gscope
+	sc.bind(p)
+	if len(in.globals) > 0 {
+		for i, name := range p.varNames {
+			if v, ok := in.globals[name]; ok {
+				sc.slots[i] = v
+				sc.meta[i] = slotLive
+				delete(in.globals, name)
+			}
+		}
+	}
 }
 
 // getFrame takes a frame from the freelist or allocates one. Frames are
@@ -643,9 +850,18 @@ func (in *Interp) getFrame() *frame {
 }
 
 func (in *Interp) putFrame(f *frame) {
-	clear(f.vars)
-	clear(f.global)
+	f.vars = trimMapStr(f.vars)
+	if len(f.global) > maxPooledVars {
+		f.global = make(map[string]bool)
+	} else {
+		clear(f.global)
+	}
 	f.aliases = nil
+	f.clearScope()
+	if cap(f.slots) > maxPooledSlots {
+		f.slots = nil
+		f.meta = nil
+	}
 	in.freeFrames = append(in.freeFrames, f)
 }
 
@@ -658,17 +874,26 @@ func (in *Interp) callProc(p *procDef, args []string, line int) (string, error) 
 	defer func() { in.depth-- }()
 
 	f := in.getFrame()
+	// Bind the frame to the body's compiled layout before parameter
+	// placement, so parameters land in their slots. Engine pins and compile
+	// failures leave the frame unbound and everything goes through the map,
+	// exactly as before slots existed.
+	if !in.noVM && !in.direct {
+		if pb := p.body.compiled(); pb != nil && len(pb.varNames) > 0 {
+			f.bind(pb)
+		}
+	}
 	i := 0
 	for pi, param := range p.params {
 		switch {
 		case param.variadic:
-			f.vars[param.name] = FormatList(args[i:])
+			f.localSet(param.name, FormatList(args[i:]))
 			i = len(args)
 		case i < len(args):
-			f.vars[param.name] = args[i]
+			f.localSet(param.name, args[i])
 			i++
 		case param.hasDef:
-			f.vars[param.name] = param.def
+			f.localSet(param.name, param.def)
 		default:
 			in.putFrame(f)
 			return "", fmt.Errorf("tacl: line %d: proc %q missing argument %q", line, p.name, p.params[pi].name)

@@ -3,6 +3,7 @@ package tacl
 import (
 	"fmt"
 	"sort"
+	"strconv"
 )
 
 // Register VM. runVM executes the flat op stream produced by bytecode.go.
@@ -60,6 +61,23 @@ func (in *Interp) runVM(p *program) (string, error) {
 		fr = in.getVMFrame(p.numSlots)
 		defer in.putVMFrame(fr)
 	}
+	// Resolve the current variable scope once: commands that swap frames
+	// (proc calls, uplevel) restore them before returning control to this
+	// loop, so the scope pointer is stable for the whole run. The slot fast
+	// path is valid only when the scope's bound layout is this very program
+	// (sc.diverted is re-read per op — a `global`/`upvar` mid-run downgrades
+	// the remaining ops to the full resolver). The first variable-bearing
+	// program to run at top level binds the activation's global layout.
+	var sc *varScope
+	if len(in.frames) == 0 {
+		if in.gscope.prog == nil && len(p.varNames) > 0 {
+			in.bindGlobalScope(p)
+		}
+		sc = &in.gscope
+	} else {
+		sc = &in.frames[len(in.frames)-1].varScope
+	}
+	slotOK := sc.prog == p.layout
 	base := len(in.argScratch)
 	defer func() { in.argScratch = in.argScratch[:base] }()
 	var result string
@@ -70,7 +88,25 @@ func (in *Interp) runVM(p *program) (string, error) {
 		var err error
 		switch op.code {
 		case opStep:
-			err = in.chargeStep(int(op.line))
+			// Inlined chargeStep hot path: plain accounting when neither
+			// the budget, the yield cadence (nextYield proves the modulo
+			// can't hit), nor a hook can fire on this step. Any slow
+			// condition re-runs the shared chargeStep from the
+			// pre-increment state so its behavior stays the single source
+			// of truth.
+			in.Steps++
+			if (in.MaxSteps > 0 && in.Steps > in.MaxSteps) ||
+				in.Steps >= in.nextYield || in.StepHook != nil {
+				in.Steps--
+				err = in.chargeStep(int(op.line))
+				if in.Steps >= in.nextYield {
+					if in.YieldEvery > 0 && in.Yield != nil {
+						in.nextYield = in.Steps - in.Steps%in.YieldEvery + in.YieldEvery
+					} else {
+						in.nextYield = int(^uint(0) >> 1)
+					}
+				}
+			}
 		case opArgConst:
 			in.argScratch = append(in.argScratch, p.consts[op.a])
 		case opArgVar:
@@ -122,8 +158,39 @@ func (in *Interp) runVM(p *program) (string, error) {
 			if err == nil {
 				result = res
 			}
+		case opLoadSlot:
+			if slotOK && !sc.diverted {
+				if sc.meta[op.b]&slotLive != 0 {
+					in.argScratch = append(in.argScratch, sc.slots[op.b])
+				} else {
+					err = fmt.Errorf("tacl: no such variable %q", p.consts[op.a])
+				}
+			} else {
+				var v string
+				v, err = in.getVar(p.consts[op.a])
+				if err == nil {
+					in.argScratch = append(in.argScratch, v)
+				}
+			}
+		case opStoreSlot:
+			n := len(in.argScratch) - 1
+			v := in.argScratch[n]
+			in.argScratch = in.argScratch[:n]
+			if slotOK && !sc.diverted {
+				sc.slots[op.b] = v
+				sc.meta[op.b] = slotLive
+			} else {
+				in.setVar(p.consts[op.a], v)
+			}
+			result = v
+		case opIncrSlot:
+			var res string
+			res, err = in.vmIncrSlot(p, sc, slotOK, op)
+			if err == nil {
+				result = res
+			}
 		case opGuard:
-			if in.cmdShadowed(p.syms[op.a], op.kind) {
+			if in.cmdShadowed(op.kind) {
 				var res string
 				res, err = in.evalCommandTail(p.cmds[op.c])
 				if err == nil {
@@ -174,7 +241,12 @@ func (in *Interp) runVM(p *program) (string, error) {
 				continue
 			}
 			fr.marks[op.a] = in.Steps
-			in.setVar(p.consts[op.c], elems[i])
+			if op.d >= 0 && slotOK && !sc.diverted {
+				sc.slots[op.d] = elems[i]
+				sc.meta[op.d] = slotLive
+			} else {
+				in.setVar(p.consts[op.c], elems[i])
+			}
 			fr.idxs[op.a] = i + 1
 		case opExpr:
 			var res string
@@ -257,19 +329,57 @@ func (p *program) recoverErr(in *Interp, pc int, err error) (int, int, error) {
 // cmdShadowed reports whether an inlined construct's name no longer
 // resolves to the canonical builtin: a script proc, a per-activation
 // Register override, or a table snapshot whose entry was replaced. Any of
-// those sends the guard op down the generic-dispatch path.
-func (in *Interp) cmdShadowed(sym *symbol, kind uint8) bool {
-	if in.procs != nil {
-		if _, ok := in.procs[sym.name]; ok {
-			return true
+// those sends the guard op down the generic-dispatch path. The verdict per
+// kind is cached in canonMask; proc definition and Register nil canonState
+// to force a rebuild, and a table Register invalidates by publishing a new
+// snapshot pointer.
+func (in *Interp) cmdShadowed(kind uint8) bool {
+	st := in.table.state.Load()
+	if st != in.canonState {
+		mask := st.canon
+		for k := uint8(0); k < numCanonKinds; k++ {
+			name := canonNames[k]
+			if in.procs != nil {
+				if _, ok := in.procs[name]; ok {
+					mask &^= 1 << k
+					continue
+				}
+			}
+			if in.commands != nil {
+				if _, ok := in.commands[name]; ok {
+					mask &^= 1 << k
+				}
+			}
 		}
+		in.canonMask, in.canonState = mask, st
 	}
-	if in.commands != nil {
-		if _, ok := in.commands[sym.name]; ok {
-			return true
+	return in.canonMask&(1<<kind) == 0
+}
+
+// vmIncrSlot executes an inlined incr: slot storage on the fast path, the
+// unified resolver otherwise, with cmdIncr's exact error text and the
+// name-and-line decoration generic dispatch would add.
+func (in *Interp) vmIncrSlot(p *program, sc *varScope, slotOK bool, op *vmOp) (string, error) {
+	name := p.consts[op.a]
+	if slotOK && !sc.diverted {
+		cur := "0"
+		if sc.meta[op.b]&slotLive != 0 {
+			cur = sc.slots[op.b]
 		}
+		n, perr := strconv.ParseInt(cur, 10, 64)
+		if perr != nil {
+			return "", decorate(fmt.Errorf("expected integer in %q, got %q", name, cur), "incr", int(op.line))
+		}
+		v := strconv.FormatInt(n+int64(op.c), 10)
+		sc.slots[op.b] = v
+		sc.meta[op.b] = slotLive
+		return v, nil
 	}
-	return in.table.state.Load().canon&(1<<kind) == 0
+	v, err := in.incrVar(name, int64(op.c))
+	if err != nil && !isControl(err) {
+		return "", decorate(err, "incr", int(op.line))
+	}
+	return v, err
 }
 
 // dispatchStatic calls a symbol-resolved command with the tree-walker's
@@ -337,6 +447,14 @@ func (in *Interp) vmCondEval(ref *exprRef) (bool, error) {
 	if ref.isConst {
 		return ref.constTruthy, ref.constTruthyErr
 	}
+	if ref.fastKind >= fastLT && ref.fastKind <= fastGE {
+		if li, ok := in.fastExprOperand(ref); ok {
+			return fastExprRel(ref.fastKind, li, ref.fastConst), nil
+		}
+	}
+	// Truthiness always goes through Truthy on the result TEXT — not
+	// exprVal.truthy(), whose strVal trims whitespace before the numeric
+	// parse and would accept conditions like "  2 " that Truthy rejects.
 	v, err := vmExprEval(in, ref)
 	if err != nil {
 		return false, err
@@ -345,11 +463,39 @@ func (in *Interp) vmCondEval(ref *exprRef) (bool, error) {
 }
 
 // vmExprEval mirrors evalExpr for a precompiled operand: folded constant,
-// compiled AST with the standard "expr %q" wrap, or the reference
-// string-walking evaluator when compilation failed.
+// fast slot-op form, compiled AST with the standard "expr %q" wrap, or the
+// reference string-walking evaluator when compilation failed.
 func vmExprEval(in *Interp, ref *exprRef) (string, error) {
 	if ref.isConst {
 		return ref.constVal, nil
+	}
+	if ref.fastKind != fastNone {
+		if ref.fastKind == fastCmdSub {
+			var res string
+			var err error
+			if !in.noVM && !in.direct {
+				res, err = in.runVM(ref.fastCmd.prog)
+			} else {
+				res, err = in.EvalScript(ref.fastCmd.body)
+			}
+			if err != nil {
+				return "", fmt.Errorf("expr %q: %w", ref.src, err)
+			}
+			return res, nil
+		}
+		if li, ok := in.fastExprOperand(ref); ok {
+			switch ref.fastKind {
+			case fastAdd:
+				return strconv.FormatInt(li+ref.fastConst, 10), nil
+			case fastSub:
+				return strconv.FormatInt(li-ref.fastConst, 10), nil
+			default:
+				if fastExprRel(ref.fastKind, li, ref.fastConst) {
+					return "1", nil
+				}
+				return "0", nil
+			}
+		}
 	}
 	if ref.prog == nil {
 		return evalExprDirect(in, ref.src)
@@ -359,4 +505,32 @@ func vmExprEval(in *Interp, ref *exprRef) (string, error) {
 		return "", fmt.Errorf("expr %q: %w", ref.src, err)
 	}
 	return v.text(), nil
+}
+
+// fastExprOperand reads an exprRef fast form's slot operand as an integer.
+// ok=false on any precondition miss (scope not bound to the ref's program,
+// diverted, slot not live, or a value fastAtoi can't take), sending the
+// caller to the generic AST for identical handling of every edge.
+func (in *Interp) fastExprOperand(ref *exprRef) (int64, bool) {
+	sc := in.curScope()
+	if sc.prog != ref.fastProg || sc.diverted || sc.meta[ref.fastSlot]&slotLive == 0 {
+		return 0, false
+	}
+	return fastAtoi(sc.slots[ref.fastSlot])
+}
+
+// fastExprRel compares as float64, exactly like applyRelational's numeric
+// arm (both operands of a taken fast path are numeric by construction).
+func fastExprRel(kind uint8, l, r int64) bool {
+	lf, rf := float64(l), float64(r)
+	switch kind {
+	case fastLT:
+		return lf < rf
+	case fastLE:
+		return lf <= rf
+	case fastGT:
+		return lf > rf
+	default:
+		return lf >= rf
+	}
 }

@@ -89,6 +89,17 @@ while {1} { set i [expr $i + 1]; if {$i > 3} { park deep } }`,
 	`while {1} { set x [park viaarg] }`,
 	`proc relay {} { set r [jump relayed]; set r }
 foreach q {a b} { relay }`,
+	// Park raised while proc frames hold live slot arrays: the signal and
+	// step count must agree, and nothing about the slotted state may leak
+	// into a later activation (TestParkedInterpReuse covers the reuse).
+	`proc work {n} { set acc 0; set i 0; while {$i < 10} { incr acc $i; incr i; if {$i == $n} { park mid } }; set acc }
+work 4`,
+	// Park under a diverted frame (upvar aliases the caller's slot).
+	`proc f {vn} { upvar 1 $vn v; set v 1; park w2; set v 2 }
+set t 0; f t`,
+	// Park after a computed-name write spilled to the frame map.
+	`proc f {} { set name x; set $name 5; park w3 }
+f`,
 	// Host command that evaluates TacL internally.
 	`hosteval {set a 1; set b 2; set c 3}`,
 	`set i 0
